@@ -1,0 +1,544 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md §3 and EXPERIMENTS.md).
+
+   Usage:  dune exec bench/main.exe -- [section] [scale]
+   Sections: table1 table2 table3 fig3 fig4 fig5 fig6 threads ablation
+             micro all (default: all, scale 1.0). *)
+
+open Mcl_netlist
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    exp (List.fold_left (fun a x -> a +. log (Float.max 1e-9 x)) 0.0 xs
+         /. float_of_int (List.length xs))
+
+let heights_summary d =
+  let h_max = Design.max_height d in
+  List.init h_max (fun i -> Design.cells_of_height d (i + 1))
+  |> List.map string_of_int
+  |> String.concat "/"
+
+(* ---------------------------------------------------------------- *)
+(* Table 1: ours vs the contest-champion stand-in (greedy) on the    *)
+(* ICCAD-2017-like suite, with fences and routability constraints.   *)
+(* ---------------------------------------------------------------- *)
+
+let table1 ~scale () =
+  Printf.printf
+    "== Table 1: comparison with the ICCAD'17-champion stand-in ==\n\
+     (avg/max displacement in row heights; S per Eq. 10; 1st = greedy \
+     stand-in)\n\n";
+  Printf.printf
+    "%-20s %8s %7s | %7s %7s | %6s %6s | %5s %5s | %5s %5s | %7s %7s | %6s %6s\n"
+    "benchmark" "#cells" "dens" "avg1st" "avgOurs" "max1st" "maxOur" "pin1"
+    "pinO" "edge1" "edgeO" "S-1st" "S-ours" "t1st" "tOurs";
+  let ratios_avg = ref [] and ratios_max = ref [] and ratios_s = ref [] in
+  let rows = ref [] in
+  List.iter
+    (fun spec ->
+       let d_ours = Mcl_gen.Generator.generate spec in
+       let d_champ = Mcl_gen.Generator.generate spec in
+       let gp_hpwl = Mcl_eval.Metrics.hpwl d_ours in
+       let density =
+         Mcl.Mgl.utilization d_ours
+       in
+       let _, t_champ = timed (fun () -> Mcl.Baseline_greedy.run Mcl.Config.default d_champ) in
+       let s_champ = Mcl_eval.Score.evaluate ~gp_hpwl d_champ in
+       let _, t_ours = timed (fun () -> Mcl.Pipeline.run Mcl.Config.default d_ours) in
+       let s_ours = Mcl_eval.Score.evaluate ~gp_hpwl d_ours in
+       assert (Mcl_eval.Legality.is_legal d_ours);
+       assert (Mcl_eval.Legality.is_legal d_champ);
+       Printf.printf
+         "%-20s %8d %6.1f%% | %7.3f %7.3f | %6.1f %6.1f | %5d %5d | %5d %5d | %7.3f %7.3f | %6.2f %6.2f\n%!"
+         spec.Mcl_gen.Spec.name (Design.num_cells d_ours) (density *. 100.0)
+         s_champ.Mcl_eval.Score.avg_disp s_ours.Mcl_eval.Score.avg_disp
+         s_champ.Mcl_eval.Score.max_disp s_ours.Mcl_eval.Score.max_disp
+         s_champ.Mcl_eval.Score.pin_violations s_ours.Mcl_eval.Score.pin_violations
+         s_champ.Mcl_eval.Score.edge_violations s_ours.Mcl_eval.Score.edge_violations
+         s_champ.Mcl_eval.Score.score s_ours.Mcl_eval.Score.score t_champ t_ours;
+       ratios_avg :=
+         (s_champ.Mcl_eval.Score.avg_disp /. Float.max 1e-9 s_ours.Mcl_eval.Score.avg_disp)
+         :: !ratios_avg;
+       ratios_max :=
+         (s_champ.Mcl_eval.Score.max_disp /. Float.max 1e-9 s_ours.Mcl_eval.Score.max_disp)
+         :: !ratios_max;
+       ratios_s :=
+         (s_champ.Mcl_eval.Score.score /. Float.max 1e-9 s_ours.Mcl_eval.Score.score)
+         :: !ratios_s;
+       rows := (spec.Mcl_gen.Spec.name, s_champ, s_ours) :: !rows)
+    (Mcl_gen.Suites.iccad2017 ~scale ());
+  Printf.printf
+    "\nNorm. avg (1st / ours): avg disp %.2f, max disp %.2f, score %.2f\n\
+     (paper: 1.18 avg, 1.12 max, 1.26 score)\n\n"
+    (geomean !ratios_avg) (geomean !ratios_max) (geomean !ratios_s)
+
+(* ---------------------------------------------------------------- *)
+(* Table 2: total displacement vs MLL-Imp [12], Abacus-style [7] and  *)
+(* the [9] stand-in (MLL + fixed-row-order MCF), routability off.     *)
+(* ---------------------------------------------------------------- *)
+
+let table2 ~scale () =
+  Printf.printf
+    "== Table 2: total displacement (sites) vs prior legalizers ==\n\
+     ([12]-Imp = MLL; [7] = Abacus-style ordered; [9]* = MLL + MCF \
+     refinement stand-in)\n\n";
+  Printf.printf "%-16s %8s %7s | %10s %10s %10s %10s | %6s %6s %6s %6s\n"
+    "benchmark" "#cells" "dens" "[12]-Imp" "[7]" "[9]*" "Ours" "t12" "t7" "t9"
+    "tOurs";
+  let r12 = ref [] and r7 = ref [] and r9 = ref [] in
+  let t12 = ref [] and t7 = ref [] and t9 = ref [] and tq = ref [] in
+  List.iter
+    (fun spec ->
+       let cfg = Mcl.Config.total_displacement in
+       let run_on algo =
+         let d = Mcl_gen.Generator.generate spec in
+         let (), t = timed (fun () -> algo d) in
+         assert (Mcl_eval.Legality.is_legal d);
+         (Mcl_eval.Metrics.total_displacement_sites d, t, d)
+       in
+       let disp_mll, time_mll, _ =
+         run_on (fun d -> ignore (Mcl.Scheduler.run ~disp_from:`Current cfg d))
+       in
+       let disp_ab, time_ab, _ =
+         run_on (fun d -> ignore (Mcl.Baseline_abacus.run cfg d))
+       in
+       let disp_lcp, time_lcp, _ =
+         run_on (fun d ->
+             ignore (Mcl.Scheduler.run ~disp_from:`Current cfg d);
+             ignore (Mcl.Row_order_opt.run cfg d))
+       in
+       let disp_ours, time_ours, d_ours =
+         run_on (fun d -> ignore (Mcl.Pipeline.run cfg d))
+       in
+       Printf.printf
+         "%-16s %8d %6.1f%% | %10.0f %10.0f %10.0f %10.0f | %6.2f %6.2f %6.2f %6.2f\n%!"
+         spec.Mcl_gen.Spec.name (Design.num_cells d_ours)
+         (Mcl.Mgl.utilization d_ours *. 100.0) disp_mll disp_ab disp_lcp
+         disp_ours time_mll time_ab time_lcp time_ours;
+       let ratio x = x /. Float.max 1e-9 disp_ours in
+       r12 := ratio disp_mll :: !r12;
+       r7 := ratio disp_ab :: !r7;
+       r9 := ratio disp_lcp :: !r9;
+       t12 := (time_mll /. Float.max 1e-6 time_ours) :: !t12;
+       t7 := (time_ab /. Float.max 1e-6 time_ours) :: !t7;
+       t9 := (time_lcp /. Float.max 1e-6 time_ours) :: !t9;
+       tq := 1.0 :: !tq)
+    (Mcl_gen.Suites.ispd2015 ~scale ());
+  Printf.printf
+    "\nNorm. avg total disp (x / ours): [12]-Imp %.2f, [7] %.2f, [9]* %.2f\n\
+     (paper: 1.20, 1.17, 1.09)\n\
+     Norm. avg runtime   (x / ours): [12]-Imp %.2f, [7] %.2f, [9]* %.2f\n\n"
+    (geomean !r12) (geomean !r7) (geomean !r9) (geomean !t12) (geomean !t7)
+    (geomean !t9)
+
+(* ---------------------------------------------------------------- *)
+(* Table 3: effect of the two post-processing stages.                 *)
+(* ---------------------------------------------------------------- *)
+
+let table3 ~scale () =
+  Printf.printf "== Table 3: post-processing (before = MGL only) ==\n\n";
+  Printf.printf "%-20s | %9s %9s | %9s %9s\n" "benchmark" "avgBefore"
+    "avgAfter" "maxBefore" "maxAfter";
+  let ravg = ref [] and rmax = ref [] in
+  List.iter
+    (fun spec ->
+       let d = Mcl_gen.Generator.generate spec in
+       let cfg = Mcl.Config.default in
+       ignore (Mcl.Scheduler.run cfg d);
+       let avg_b = Mcl_eval.Metrics.average_displacement d in
+       let max_b = Mcl_eval.Metrics.max_displacement d in
+       ignore (Mcl.Matching_opt.run cfg d);
+       ignore (Mcl.Row_order_opt.run cfg d);
+       let avg_a = Mcl_eval.Metrics.average_displacement d in
+       let max_a = Mcl_eval.Metrics.max_displacement d in
+       assert (Mcl_eval.Legality.is_legal d);
+       Printf.printf "%-20s | %9.3f %9.3f | %9.1f %9.1f\n%!"
+         spec.Mcl_gen.Spec.name avg_b avg_a max_b max_a;
+       ravg := (avg_b /. Float.max 1e-9 avg_a) :: !ravg;
+       rmax := (max_b /. Float.max 1e-9 max_a) :: !rmax)
+    (Mcl_gen.Suites.iccad2017 ~scale ());
+  Printf.printf
+    "\nNorm. avg (before / after): avg disp %.2f, max disp %.2f\n\
+     (paper: 1.01 avg, 1.23 max)\n\n"
+    (geomean !ravg) (geomean !rmax)
+
+(* ---------------------------------------------------------------- *)
+(* Figure 3: the MGL vs MLL toy.                                      *)
+(* ---------------------------------------------------------------- *)
+
+let fig3_design () =
+  let fp = Floorplan.make ~num_sites:12 ~num_rows:1 ~site_width:2 ~row_height:20 () in
+  let types = [| Cell_type.make ~type_id:0 ~name:"w1" ~width:1 ~height:1 ();
+                 Cell_type.make ~type_id:1 ~name:"w2" ~width:2 ~height:1 () |] in
+  (* A at 1 (gp 1), D at 3 (gp 4, displaced 1), B at 10 (gp 9,
+     displaced 1); target T (width 2) gp 3. *)
+  let cells =
+    [| Cell.make ~id:0 ~type_id:1 ~gp_x:1 ~gp_y:0 ();   (* A *)
+       Cell.make ~id:1 ~type_id:0 ~gp_x:4 ~gp_y:0 ();   (* D *)
+       Cell.make ~id:2 ~type_id:0 ~gp_x:9 ~gp_y:0 ();   (* B *)
+       Cell.make ~id:3 ~type_id:1 ~gp_x:3 ~gp_y:0 () |] (* T *)
+  in
+  cells.(1).Cell.x <- 3;
+  cells.(2).Cell.x <- 10;
+  Design.make ~name:"fig3" ~floorplan:fp ~cell_types:types ~cells ()
+
+let fig3_insert ~disp_from =
+  let d = fig3_design () in
+  let cfg =
+    { Mcl.Config.default with
+      Mcl.Config.consider_routability = false;
+      consider_fences = false;
+      objective = Mcl.Config.Total }
+  in
+  let segments = Mcl.Segment.build ~respect_fences:false d in
+  let placement = Mcl.Placement.create d in
+  List.iter (Mcl.Placement.add placement) [ 0; 1; 2 ];
+  let ctx =
+    Mcl.Insertion.make_ctx ~disp_from cfg d ~placement ~segments ~routability:None
+  in
+  let window = Mcl_geom.Rect.make ~xl:0 ~yl:0 ~xh:12 ~yh:1 in
+  (match Mcl.Insertion.best ctx ~target:3 ~window with
+   | Some cand -> Mcl.Insertion.apply ctx ~target:3 cand
+   | None -> failwith "fig3: no insertion point");
+  d
+
+let fig3 () =
+  Printf.printf "== Figure 3: MGL vs MLL on the toy instance ==\n\n";
+  let show tag d =
+    Printf.printf
+      "%s: T at x=%d; positions A=%d D=%d B=%d; total displacement = %.0f sites\n"
+      tag d.Design.cells.(3).Cell.x d.Design.cells.(0).Cell.x
+      d.Design.cells.(1).Cell.x d.Design.cells.(2).Cell.x
+      (Mcl_eval.Metrics.total_displacement_sites d)
+  in
+  let d_mll = fig3_insert ~disp_from:`Current in
+  show "MLL (curr. disp)" d_mll;
+  let d_mgl = fig3_insert ~disp_from:`Gp in
+  show "MGL (GP disp)  " d_mgl;
+  Printf.printf "(paper: MLL ends at total 3, MGL at total 2)\n\n"
+
+(* ---------------------------------------------------------------- *)
+(* Figure 4: the four displacement-curve types.                       *)
+(* ---------------------------------------------------------------- *)
+
+let fig4 () =
+  Printf.printf "== Figure 4: displacement curve types A-D ==\n\n";
+  let sample name mk =
+    let c = Mcl.Curve.create () in
+    mk c;
+    Printf.printf "%-50s:" name;
+    for x = 0 to 20 do
+      Printf.printf " %3.0f" (Mcl.Curve.eval c x)
+    done;
+    print_newline ()
+  in
+  (* right-of-p cell, GP at/left of current: pushed right only (A) *)
+  sample "A: right cell, gp <= cur (pushed off its GP)"
+    (fun c -> Mcl.Curve.add_right c ~weight:1.0 ~cur:10 ~gp:8 ~dist:2);
+  (* left-of-p cell, current at GP: pushed left only (B) *)
+  sample "B: left cell, gp >= cur (MLL-style)"
+    (fun c -> Mcl.Curve.add_left c ~weight:1.0 ~cur:10 ~gp:10 ~dist:2);
+  (* right cell whose GP lies right of current: V-shaped (C) *)
+  sample "C: right cell, gp > cur (push helps, then hurts)"
+    (fun c -> Mcl.Curve.add_right c ~weight:1.0 ~cur:6 ~gp:12 ~dist:2);
+  (* left cell whose GP lies left of current: V then flat (D) *)
+  sample "D: left cell, gp < cur"
+    (fun c -> Mcl.Curve.add_left c ~weight:1.0 ~cur:14 ~gp:6 ~dist:2);
+  let c = Mcl.Curve.create () in
+  Mcl.Curve.add_target c ~weight:1.0 ~gp:10;
+  Mcl.Curve.add_right c ~weight:1.0 ~cur:6 ~gp:12 ~dist:2;
+  Mcl.Curve.add_left c ~weight:1.0 ~cur:14 ~gp:6 ~dist:2;
+  let x, v = Mcl.Curve.minimize c ~lo:0 ~hi:20 in
+  Printf.printf "\nsummed curve minimized by breakpoint sweep: x*=%d cost=%.1f\n\n" x v
+
+(* ---------------------------------------------------------------- *)
+(* Figure 5: the 3-cell fixed-row/order MCF toy.                      *)
+(* ---------------------------------------------------------------- *)
+
+let fig5 () =
+  Printf.printf "== Figure 5: fixed row & order MCF on the 3-cell toy ==\n\n";
+  let fp = Floorplan.make ~num_sites:12 ~num_rows:2 ~site_width:2 ~row_height:20 () in
+  let types = [| Cell_type.make ~type_id:0 ~name:"s" ~width:4 ~height:1 ();
+                 Cell_type.make ~type_id:1 ~name:"d" ~width:4 ~height:2 () |] in
+  let cells =
+    [| Cell.make ~id:0 ~type_id:0 ~gp_x:2 ~gp_y:0 ();
+       Cell.make ~id:1 ~type_id:0 ~gp_x:2 ~gp_y:1 ();
+       Cell.make ~id:2 ~type_id:1 ~gp_x:4 ~gp_y:0 () |]
+  in
+  cells.(0).Cell.x <- 0;
+  cells.(1).Cell.x <- 1;
+  cells.(2).Cell.x <- 6;
+  let d = Design.make ~name:"fig5" ~floorplan:fp ~cell_types:types ~cells () in
+  let cfg =
+    { Mcl.Config.total_displacement with Mcl.Config.n0_factor = 0.0 }
+  in
+  let s = Mcl.Row_order_opt.run cfg d in
+  Printf.printf
+    "c1: %d -> %d (gp 2), c2: %d -> %d (gp 2), c3 (double row): %d -> %d (gp 4)\n"
+    0 d.Design.cells.(0).Cell.x 1 d.Design.cells.(1).Cell.x 6
+    d.Design.cells.(2).Cell.x;
+  Printf.printf "flow network: %d arcs; objective %.0f -> %.0f (optimal: 2,2,6)\n\n"
+    s.Mcl.Row_order_opt.arcs s.Mcl.Row_order_opt.weighted_disp_before
+    s.Mcl.Row_order_opt.weighted_disp_after
+
+(* ---------------------------------------------------------------- *)
+(* Figure 6: max-displacement matching, before/after profile.         *)
+(* ---------------------------------------------------------------- *)
+
+let fig6 ~scale () =
+  Printf.printf "== Figure 6: matching-based max-displacement optimization ==\n\n";
+  let spec =
+    match Mcl_gen.Suites.find ~scale "des_perf_a_md2" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let d = Mcl_gen.Generator.generate spec in
+  let cfg = Mcl.Config.default in
+  ignore (Mcl.Scheduler.run cfg d);
+  let profile () =
+    let disps =
+      Array.to_list d.Design.cells
+      |> List.filter (fun (c : Cell.t) -> not c.Cell.is_fixed)
+      |> List.map (fun c -> Mcl_eval.Metrics.displacement d c)
+      |> List.sort (fun a b -> compare b a)
+    in
+    (List.filteri (fun i _ -> i < 10) disps,
+     Mcl_eval.Metrics.average_displacement d)
+  in
+  let top_b, avg_b = profile () in
+  (* find the same-type group with the furthest-displaced cell and
+     highlight it, like the paper's red cells *)
+  let worst_type =
+    Array.fold_left
+      (fun (best_t, best_d) (c : Cell.t) ->
+         if c.Cell.is_fixed then (best_t, best_d)
+         else
+           let disp = Mcl_eval.Metrics.displacement d c in
+           if disp > best_d then (c.Cell.type_id, disp) else (best_t, best_d))
+      (0, 0.0) d.Design.cells
+    |> fst
+  in
+  Mcl_eval.Svg_render.write_file ~highlight_type:worst_type "fig6_before.svg" d;
+  let s = Mcl.Matching_opt.run cfg d in
+  Mcl_eval.Svg_render.write_file ~highlight_type:worst_type "fig6_after.svg" d;
+  let top_a, avg_a = profile () in
+  let show l = String.concat " " (List.map (Printf.sprintf "%5.1f") l) in
+  Printf.printf "top-10 displacements before: %s\n" (show top_b);
+  Printf.printf "top-10 displacements after : %s\n" (show top_a);
+  Printf.printf "average: %.3f -> %.3f; cells moved: %d (phi %.0f -> %.0f)\n"
+    avg_b avg_a s.Mcl.Matching_opt.cells_moved s.Mcl.Matching_opt.phi_before
+    s.Mcl.Matching_opt.phi_after;
+  Printf.printf "wrote fig6_before.svg / fig6_after.svg (red = most-displaced type)\n\n"
+
+(* ---------------------------------------------------------------- *)
+(* Section 3.5: deterministic multi-threading.                        *)
+(* ---------------------------------------------------------------- *)
+
+let threads ~scale () =
+  Printf.printf "== Sec. 3.5: scheduler determinism and domains ==\n\n";
+  let spec =
+    match Mcl_gen.Suites.find ~scale "edit_dist_a_md2" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let reference = ref None in
+  List.iter
+    (fun n ->
+       let d = Mcl_gen.Generator.generate spec in
+       let cfg = { Mcl.Config.default with Mcl.Config.threads = n } in
+       let _, t = timed (fun () -> Mcl.Scheduler.run cfg d) in
+       let positions = Design.snapshot d in
+       let same =
+         match !reference with
+         | None ->
+           reference := Some positions;
+           true
+         | Some p -> p = positions
+       in
+       Printf.printf "threads=%d: %.2fs, identical to 1-thread result: %b\n%!" n t
+         same)
+    [ 1; 2; 4 ];
+  print_newline ()
+
+(* ---------------------------------------------------------------- *)
+(* Ablations: design choices called out in DESIGN.md.                 *)
+(* ---------------------------------------------------------------- *)
+
+let ablation ~scale () =
+  Printf.printf "== Ablations (benchmark: des_perf_b_md2) ==\n\n";
+  let spec =
+    match Mcl_gen.Suites.find ~scale "des_perf_b_md2" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let run cfg =
+    let d = Mcl_gen.Generator.generate spec in
+    let gp_hpwl = Mcl_eval.Metrics.hpwl d in
+    let _, t = timed (fun () -> Mcl.Pipeline.run cfg d) in
+    (Mcl_eval.Score.evaluate ~gp_hpwl d, t)
+  in
+  Printf.printf "%-40s %8s %8s %6s %6s %8s\n" "variant" "avg" "max" "pins"
+    "edges" "time";
+  let show name (s : Mcl_eval.Score.t) t =
+    Printf.printf "%-40s %8.3f %8.1f %6d %6d %7.2fs\n%!" name
+      s.Mcl_eval.Score.avg_disp s.Mcl_eval.Score.max_disp
+      s.Mcl_eval.Score.pin_violations s.Mcl_eval.Score.edge_violations t
+  in
+  let base = Mcl.Config.default in
+  let s, t = run base in
+  show "full pipeline (delta0=8, n0=4)" s t;
+  let s, t = run { base with Mcl.Config.run_matching = false } in
+  show "no matching stage" s t;
+  let s, t = run { base with Mcl.Config.run_row_order = false } in
+  show "no row-order stage" s t;
+  let s, t = run { base with Mcl.Config.consider_routability = false } in
+  show "routability off" s t;
+  List.iter
+    (fun d0 ->
+       let s, t = run { base with Mcl.Config.delta0_rows = d0 } in
+       show (Printf.sprintf "matching delta0 = %.0f rows" d0) s t)
+    [ 2.0; 16.0 ];
+  List.iter
+    (fun n0 ->
+       let s, t = run { base with Mcl.Config.n0_factor = n0 } in
+       show (Printf.sprintf "row-order n0 = %.0f" n0) s t)
+    [ 0.0; 16.0 ];
+  List.iter
+    (fun hw ->
+       let s, t = run { base with Mcl.Config.window_halfwidth = hw } in
+       show (Printf.sprintf "initial window halfwidth = %d" hw) s t)
+    [ 10; 60 ];
+  List.iter
+    (fun solver ->
+       let name =
+         match solver with
+         | Mcl_flow.Mcf.Network_simplex_block -> "NS block pivots"
+         | Mcl_flow.Mcf.Network_simplex_first -> "NS first-eligible pivots (paper)"
+         | Mcl_flow.Mcf.Ssp -> "successive shortest paths"
+       in
+       let s, t = run { base with Mcl.Config.solver = solver } in
+       show ("solver: " ^ name) s t)
+    [ Mcl_flow.Mcf.Network_simplex_first ];
+  print_newline ()
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure kernel.  *)
+(* ---------------------------------------------------------------- *)
+
+let micro () =
+  Printf.printf "== Bechamel micro-benchmarks (ns/run, OLS) ==\n\n";
+  let open Bechamel in
+  let small name = { Mcl_gen.Spec.default with Mcl_gen.Spec.num_cells = 300; name } in
+  let t1 =
+    Test.make ~name:"table1:pipeline-small"
+      (Staged.stage (fun () ->
+           let d = Mcl_gen.Generator.generate (small "t1") in
+           ignore (Mcl.Pipeline.run Mcl.Config.default d)))
+  in
+  let t2 =
+    Test.make ~name:"table2:mll-small"
+      (Staged.stage (fun () ->
+           let d = Mcl_gen.Generator.generate (small "t2") in
+           ignore
+             (Mcl.Scheduler.run ~disp_from:`Current Mcl.Config.total_displacement d)))
+  in
+  let t3 =
+    Test.make ~name:"table3:postprocess-small"
+      (Staged.stage
+         (let d = Mcl_gen.Generator.generate (small "t3") in
+          ignore (Mcl.Scheduler.run Mcl.Config.default d);
+          let snap = Design.snapshot d in
+          fun () ->
+            Design.restore d snap;
+            ignore (Mcl.Matching_opt.run Mcl.Config.default d);
+            ignore (Mcl.Row_order_opt.run Mcl.Config.default d)))
+  in
+  let f4 =
+    Test.make ~name:"fig4:curve-minimize"
+      (Staged.stage
+         (let c = Mcl.Curve.create () in
+          for i = 0 to 199 do
+            Mcl.Curve.add_left c ~weight:1.0 ~cur:(1000 + i) ~gp:(900 + (2 * i))
+              ~dist:(10 + i)
+          done;
+          fun () -> ignore (Mcl.Curve.minimize c ~lo:0 ~hi:3000)))
+  in
+  let f5 =
+    Test.make ~name:"fig5:mcf-row-order"
+      (Staged.stage
+         (let d = Mcl_gen.Generator.generate (small "f5") in
+          ignore (Mcl.Scheduler.run Mcl.Config.default d);
+          let snap = Design.snapshot d in
+          fun () ->
+            Design.restore d snap;
+            ignore (Mcl.Row_order_opt.run Mcl.Config.default d)))
+  in
+  let f6 =
+    Test.make ~name:"fig6:matching"
+      (Staged.stage
+         (let d = Mcl_gen.Generator.generate (small "f6") in
+          ignore (Mcl.Scheduler.run Mcl.Config.default d);
+          let snap = Design.snapshot d in
+          fun () ->
+            Design.restore d snap;
+            ignore (Mcl.Matching_opt.run Mcl.Config.default d)))
+  in
+  let tests = Test.make_grouped ~name:"mcl" [ t1; t2; t3; f4; f5; f6 ] in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+  |> List.iter (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ t ] -> Printf.printf "%-28s %12.0f ns/run (%.3f ms)\n" name t (t /. 1e6)
+      | _ -> Printf.printf "%-28s (no estimate)\n" name);
+  print_newline ()
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let section = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let scale =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 1.0
+  in
+  ignore heights_summary;
+  let all () =
+    fig3 ();
+    fig4 ();
+    fig5 ();
+    fig6 ~scale ();
+    table3 ~scale ();
+    table1 ~scale ();
+    table2 ~scale ();
+    threads ~scale ();
+    ablation ~scale ();
+    micro ()
+  in
+  match section with
+  | "table1" -> table1 ~scale ()
+  | "table2" -> table2 ~scale ()
+  | "table3" -> table3 ~scale ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "fig6" -> fig6 ~scale ()
+  | "threads" -> threads ~scale ()
+  | "ablation" -> ablation ~scale ()
+  | "micro" -> micro ()
+  | "all" -> all ()
+  | other ->
+    Printf.eprintf
+      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|micro|all)\n"
+      other;
+    exit 2

@@ -1,0 +1,1 @@
+bin/genbench.ml: Arg Cmd Cmdliner Filename List Mcl_bookshelf Mcl_gen Mcl_netlist Printf Term Unix

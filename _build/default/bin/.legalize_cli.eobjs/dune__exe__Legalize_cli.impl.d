@@ -1,0 +1,1 @@
+bin/legalize_cli.ml: Arg Cmd Cmdliner Format List Mcl Mcl_bookshelf Mcl_eval Mcl_gen Mcl_netlist Printf Term Unix

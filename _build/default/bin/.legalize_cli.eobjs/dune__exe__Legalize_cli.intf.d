@@ -1,0 +1,1 @@
+bin/legalize_cli.mli:

@@ -1,0 +1,34 @@
+(* Generate suite benchmarks to disk in the bookshelf-style format. *)
+
+open Cmdliner
+
+let run suite scale outdir =
+  let specs =
+    match suite with
+    | "iccad2017" -> Mcl_gen.Suites.iccad2017 ~scale ()
+    | "ispd2015" -> Mcl_gen.Suites.ispd2015 ~scale ()
+    | name ->
+      (match Mcl_gen.Suites.find ~scale name with
+       | Some s -> [ s ]
+       | None -> failwith (Printf.sprintf "unknown suite or benchmark %S" name))
+  in
+  (try Unix.mkdir outdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun spec ->
+       let d = Mcl_gen.Generator.generate spec in
+       let path = Filename.concat outdir (spec.Mcl_gen.Spec.name ^ ".mcl") in
+       Mcl_bookshelf.Writer.write_file path d;
+       Printf.printf "%s: %d cells\n%!" path (Mcl_netlist.Design.num_cells d))
+    specs
+
+let cmd =
+  let suite =
+    Arg.(value & pos 0 string "iccad2017"
+         & info [] ~docv:"SUITE" ~doc:"iccad2017, ispd2015 or a benchmark name.")
+  in
+  let scale = Arg.(value & opt float 1.0 & info [ "scale" ]) in
+  let outdir = Arg.(value & opt string "benchmarks" & info [ "o"; "outdir" ]) in
+  Cmd.v (Cmd.info "mcl-genbench" ~doc:"Generate benchmark files")
+    Term.(const run $ suite $ scale $ outdir)
+
+let () = exit (Cmd.eval cmd)

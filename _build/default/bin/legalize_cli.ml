@@ -1,0 +1,115 @@
+(* Command-line front end: legalize a design from a benchmark file or a
+   generated suite entry, with any of the implemented legalizers, and
+   report the paper's quality metrics. *)
+
+open Cmdliner
+
+type algo = Pipeline | Mgl_only | Greedy | Abacus | Mll
+
+let algo_conv =
+  Arg.enum
+    [ ("pipeline", Pipeline); ("mgl", Mgl_only); ("greedy", Greedy);
+      ("abacus", Abacus); ("mll", Mll) ]
+
+let load ~input ~suite ~scale =
+  match input, suite with
+  | Some path, _ ->
+    (match Mcl_bookshelf.Parser.parse_file path with
+     | Ok d -> d
+     | Error msg -> failwith (Printf.sprintf "%s: %s" path msg))
+  | None, Some name ->
+    (match Mcl_gen.Suites.find ~scale name with
+     | Some spec -> Mcl_gen.Generator.generate spec
+     | None -> failwith (Printf.sprintf "unknown suite benchmark %S" name))
+  | None, None -> Mcl_gen.Generator.generate Mcl_gen.Spec.default
+
+let run input suite scale algo threads no_fences no_routability objective_total
+    output verbose =
+  let design = load ~input ~suite ~scale in
+  let config =
+    { (if objective_total then Mcl.Config.total_displacement else Mcl.Config.default)
+      with
+      Mcl.Config.threads;
+      consider_fences =
+        (not no_fences)
+        && (if objective_total then false else not no_fences);
+      consider_routability =
+        (not no_routability)
+        && (if objective_total then false else not no_routability) }
+  in
+  let gp_hpwl = Mcl_eval.Metrics.hpwl design in
+  let t0 = Unix.gettimeofday () in
+  (match algo with
+   | Pipeline ->
+     let report = Mcl.Pipeline.run config design in
+     if verbose then Format.printf "%a@." Mcl.Pipeline.pp_report report
+   | Mgl_only -> ignore (Mcl.Scheduler.run config design)
+   | Greedy -> ignore (Mcl.Baseline_greedy.run config design)
+   | Abacus -> ignore (Mcl.Baseline_abacus.run config design)
+   | Mll -> ignore (Mcl.Scheduler.run ~disp_from:`Current config design));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let violations = Mcl_eval.Legality.check design in
+  let score = Mcl_eval.Score.evaluate ~gp_hpwl design in
+  Format.printf "design     : %s (%d cells)@." design.Mcl_netlist.Design.name
+    (Mcl_netlist.Design.num_cells design);
+  Format.printf "legal      : %s@."
+    (if violations = [] then "yes"
+     else Printf.sprintf "NO (%d violations)" (List.length violations));
+  Format.printf "avg disp   : %.4f rows@." score.Mcl_eval.Score.avg_disp;
+  Format.printf "max disp   : %.1f rows@." score.Mcl_eval.Score.max_disp;
+  Format.printf "total disp : %.0f sites@."
+    (Mcl_eval.Metrics.total_displacement_sites design);
+  Format.printf "hpwl delta : %+.4f@." score.Mcl_eval.Score.s_hpwl;
+  Format.printf "pin viol   : %d@." score.Mcl_eval.Score.pin_violations;
+  Format.printf "edge viol  : %d@." score.Mcl_eval.Score.edge_violations;
+  Format.printf "score S    : %.4f@." score.Mcl_eval.Score.score;
+  Format.printf "runtime    : %.2fs@." elapsed;
+  (match output with
+   | Some path ->
+     Mcl_bookshelf.Writer.write_file path design;
+     Format.printf "wrote      : %s@." path
+   | None -> ());
+  if violations <> [] then exit 1
+
+let cmd =
+  let input =
+    Arg.(value & opt (some string) None
+         & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input benchmark file.")
+  in
+  let suite =
+    Arg.(value & opt (some string) None
+         & info [ "b"; "benchmark" ] ~docv:"NAME"
+             ~doc:"Generate a named suite benchmark (e.g. des_perf_1).")
+  in
+  let scale =
+    Arg.(value & opt float 1.0
+         & info [ "scale" ] ~doc:"Suite size multiplier.")
+  in
+  let algo =
+    Arg.(value & opt algo_conv Pipeline
+         & info [ "a"; "algo" ] ~doc:"Legalizer: pipeline|mgl|greedy|abacus|mll.")
+  in
+  let threads =
+    Arg.(value & opt int 1 & info [ "j"; "threads" ] ~doc:"MGL scheduler domains.")
+  in
+  let no_fences = Arg.(value & flag & info [ "no-fences" ] ~doc:"Ignore fences.") in
+  let no_rout =
+    Arg.(value & flag & info [ "no-routability" ] ~doc:"Ignore routability rules.")
+  in
+  let total =
+    Arg.(value & flag
+         & info [ "total-displacement" ]
+             ~doc:"Optimize total instead of weighted-average displacement \
+                   (also disables fences and routability, as in Table 2).")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the legalized design.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Stage stats.") in
+  Cmd.v
+    (Cmd.info "mcl-legalize" ~doc:"Mixed-cell-height legalization (DAC'18 reproduction)")
+    Term.(const run $ input $ suite $ scale $ algo $ threads $ no_fences
+          $ no_rout $ total $ output $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/fence_design.ml: Array Cell Design Fence Format List Mcl Mcl_eval Mcl_gen Mcl_geom Mcl_netlist Printf

@@ -1,0 +1,1 @@
+examples/mgl_vs_mll.ml: Array Cell Cell_type Design Floorplan List Mcl Mcl_eval Mcl_gen Mcl_geom Mcl_netlist Printf

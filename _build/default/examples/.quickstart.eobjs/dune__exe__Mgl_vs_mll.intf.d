@@ -1,0 +1,1 @@
+examples/mgl_vs_mll.mli:

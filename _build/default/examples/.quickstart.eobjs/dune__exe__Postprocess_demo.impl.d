@@ -1,0 +1,1 @@
+examples/postprocess_demo.ml: Array Cell Design Mcl Mcl_eval Mcl_gen Mcl_netlist Printf String

@@ -1,0 +1,1 @@
+examples/postprocess_demo.mli:

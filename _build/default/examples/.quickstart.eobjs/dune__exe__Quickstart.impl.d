@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Mcl Mcl_bookshelf Mcl_eval Mcl_gen Mcl_netlist Printf

@@ -1,0 +1,1 @@
+examples/routability_demo.ml: Mcl Mcl_eval Mcl_gen Printf

@@ -1,0 +1,1 @@
+examples/routability_demo.mli:

@@ -1,0 +1,1 @@
+lib/bookshelf/parser.ml: Array Cell Cell_type Design Fence Floorplan Layer List Mcl_geom Mcl_netlist Net Printf String

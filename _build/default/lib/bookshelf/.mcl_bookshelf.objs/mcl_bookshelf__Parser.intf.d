@@ -1,0 +1,1 @@
+lib/bookshelf/parser.mli: Mcl_netlist Result

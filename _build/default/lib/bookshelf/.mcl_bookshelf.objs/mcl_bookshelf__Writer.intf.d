@@ -1,0 +1,1 @@
+lib/bookshelf/writer.mli: Mcl_netlist

@@ -1,0 +1,161 @@
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+exception Parse_error of int * string
+
+type cursor = { lines : string array; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (cur.pos, msg))
+
+let next cur =
+  let rec go () =
+    if cur.pos >= Array.length cur.lines then fail cur "unexpected end of file"
+    else begin
+      let line = String.trim cur.lines.(cur.pos) in
+      cur.pos <- cur.pos + 1;
+      if line = "" || String.length line > 0 && line.[0] = '#' then go ()
+      else line
+    end
+  in
+  go ()
+
+let words line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let int_of cur s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail cur (Printf.sprintf "expected integer, got %S" s)
+
+let rect_of cur = function
+  | [ a; b; c; d ] ->
+    Rect.make ~xl:(int_of cur a) ~yl:(int_of cur b) ~xh:(int_of cur c)
+      ~yh:(int_of cur d)
+  | l -> fail cur (Printf.sprintf "expected 4 rect fields, got %d" (List.length l))
+
+let layer_of cur s =
+  match Layer.of_string s with
+  | Some l -> l
+  | None -> fail cur (Printf.sprintf "unknown layer %S" s)
+
+let parse text =
+  let cur = { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 } in
+  try
+    let name =
+      match words (next cur) with
+      | "MCLBENCH" :: "1" :: rest -> String.concat " " rest
+      | _ -> fail cur "missing MCLBENCH 1 header"
+    in
+    let fp_line = words (next cur) in
+    let num_sites, num_rows, site_width, row_height, hrail_period,
+        hrail_halfwidth, vrail_pitch, vrail_width =
+      match fp_line with
+      | [ "floorplan"; a; b; c; d; e; f; g; h ] ->
+        (int_of cur a, int_of cur b, int_of cur c, int_of cur d, int_of cur e,
+         int_of cur f, int_of cur g, int_of cur h)
+      | _ -> fail cur "bad floorplan line"
+    in
+    let expect_count keyword =
+      match words (next cur) with
+      | [ k; n ] when k = keyword -> int_of cur n
+      | _ -> fail cur (Printf.sprintf "expected '%s <count>'" keyword)
+    in
+    let n_es = expect_count "edge_spacing" in
+    let edge_spacing =
+      Array.init n_es (fun _ ->
+          let vals = words (next cur) in
+          if List.length vals <> n_es then fail cur "bad edge_spacing row";
+          Array.of_list (List.map (int_of cur) vals))
+    in
+    let n_io = expect_count "io_pins" in
+    let io_pins =
+      List.init n_io (fun _ ->
+          match words (next cur) with
+          | layer :: rect ->
+            { Floorplan.io_layer = layer_of cur layer; io_rect = rect_of cur rect }
+          | [] -> fail cur "bad io pin")
+    in
+    let n_blk = expect_count "blockages" in
+    let blockages = List.init n_blk (fun _ -> rect_of cur (words (next cur))) in
+    let n_ct = expect_count "cell_types" in
+    let cell_types =
+      Array.init n_ct (fun type_id ->
+          match words (next cur) with
+          | [ name; w; h; et; npins ] ->
+            let pins =
+              List.init (int_of cur npins) (fun _ ->
+                  match words (next cur) with
+                  | "pin" :: pname :: layer :: rect ->
+                    { Cell_type.pin_name = pname;
+                      layer = layer_of cur layer;
+                      shape = rect_of cur rect }
+                  | _ -> fail cur "bad pin line")
+            in
+            Cell_type.make ~type_id ~name ~width:(int_of cur w)
+              ~height:(int_of cur h) ~edge_type:(int_of cur et) ~pins ()
+          | _ -> fail cur "bad cell type line")
+    in
+    let n_f = expect_count "fences" in
+    let fences =
+      Array.init n_f (fun i ->
+          match words (next cur) with
+          | [ fname; nrects ] ->
+            let rects =
+              List.init (int_of cur nrects) (fun _ -> rect_of cur (words (next cur)))
+            in
+            Fence.make ~fence_id:(i + 1) ~name:fname ~rects
+          | _ -> fail cur "bad fence line")
+    in
+    let n_c = expect_count "cells" in
+    let cells =
+      Array.init n_c (fun id ->
+          match words (next cur) with
+          | [ tid; region; fixed; gpx; gpy; x; y ] ->
+            let c =
+              Cell.make ~id ~type_id:(int_of cur tid) ~region:(int_of cur region)
+                ~is_fixed:(int_of cur fixed = 1) ~gp_x:(int_of cur gpx)
+                ~gp_y:(int_of cur gpy) ()
+            in
+            c.Cell.x <- int_of cur x;
+            c.Cell.y <- int_of cur y;
+            c
+          | _ -> fail cur "bad cell line")
+    in
+    let n_n = expect_count "nets" in
+    let nets =
+      Array.init n_n (fun net_id ->
+          let rec eps acc = function
+            | [] -> List.rev acc
+            | "c" :: cell :: dx :: dy :: rest ->
+              eps
+                (Net.Cell_pin
+                   { cell = int_of cur cell; dx = int_of cur dx; dy = int_of cur dy }
+                 :: acc)
+                rest
+            | "f" :: px :: py :: rest ->
+              eps (Net.Fixed_pin { px = int_of cur px; py = int_of cur py } :: acc) rest
+            | w :: _ -> fail cur (Printf.sprintf "bad net endpoint %S" w)
+          in
+          match words (next cur) with
+          | count :: rest ->
+            let endpoints = eps [] rest in
+            if List.length endpoints <> int_of cur count then
+              fail cur "net endpoint count mismatch";
+            Net.make ~net_id ~endpoints
+          | [] -> fail cur "bad net line")
+    in
+    let floorplan =
+      Floorplan.make ~num_sites ~num_rows ~site_width ~row_height ~hrail_period
+        ~hrail_halfwidth ~vrail_pitch ~vrail_width ~io_pins ~blockages
+        ~edge_spacing ()
+    in
+    Ok (Design.make ~name ~floorplan ~cell_types ~cells ~nets ~fences ())
+  with
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Invalid_argument msg -> Error msg
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text

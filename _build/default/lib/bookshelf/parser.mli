@@ -1,0 +1,7 @@
+(** Parser for the {!Writer} format. *)
+
+(** [parse text] rebuilds the design, or returns a descriptive error
+    ["line N: ..."]. *)
+val parse : string -> (Mcl_netlist.Design.t, string) Result.t
+
+val parse_file : string -> (Mcl_netlist.Design.t, string) Result.t

@@ -1,0 +1,76 @@
+module Rect = Mcl_geom.Rect
+module Interval = Mcl_geom.Interval
+open Mcl_netlist
+
+let rect_fields (r : Rect.t) =
+  Printf.sprintf "%d %d %d %d" r.Rect.x.Interval.lo r.Rect.y.Interval.lo
+    r.Rect.x.Interval.hi r.Rect.y.Interval.hi
+
+let write design =
+  let buf = Buffer.create 65536 in
+  let fp = design.Design.floorplan in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "MCLBENCH 1 %s\n" design.Design.name;
+  pf "floorplan %d %d %d %d %d %d %d %d\n" fp.Floorplan.num_sites
+    fp.Floorplan.num_rows fp.Floorplan.site_width fp.Floorplan.row_height
+    fp.Floorplan.hrail_period fp.Floorplan.hrail_halfwidth
+    fp.Floorplan.vrail_pitch fp.Floorplan.vrail_width;
+  let es = fp.Floorplan.edge_spacing in
+  pf "edge_spacing %d\n" (Array.length es);
+  Array.iter
+    (fun row ->
+       Array.iteri (fun i v -> pf "%s%d" (if i > 0 then " " else "") v) row;
+       pf "\n")
+    es;
+  pf "io_pins %d\n" (List.length fp.Floorplan.io_pins);
+  List.iter
+    (fun (io : Floorplan.io_pin) ->
+       pf "%s %s\n" (Layer.to_string io.Floorplan.io_layer)
+         (rect_fields io.Floorplan.io_rect))
+    fp.Floorplan.io_pins;
+  pf "blockages %d\n" (List.length fp.Floorplan.blockages);
+  List.iter (fun b -> pf "%s\n" (rect_fields b)) fp.Floorplan.blockages;
+  pf "cell_types %d\n" (Array.length design.Design.cell_types);
+  Array.iter
+    (fun (ct : Cell_type.t) ->
+       pf "%s %d %d %d %d\n" ct.Cell_type.name ct.Cell_type.width
+         ct.Cell_type.height ct.Cell_type.edge_type
+         (List.length ct.Cell_type.pins);
+       List.iter
+         (fun (p : Cell_type.pin) ->
+            pf "pin %s %s %s\n" p.Cell_type.pin_name
+              (Layer.to_string p.Cell_type.layer)
+              (rect_fields p.Cell_type.shape))
+         ct.Cell_type.pins)
+    design.Design.cell_types;
+  pf "fences %d\n" (Array.length design.Design.fences);
+  Array.iter
+    (fun (f : Fence.t) ->
+       pf "%s %d\n" f.Fence.name (List.length f.Fence.rects);
+       List.iter (fun r -> pf "%s\n" (rect_fields r)) f.Fence.rects)
+    design.Design.fences;
+  pf "cells %d\n" (Array.length design.Design.cells);
+  Array.iter
+    (fun (c : Cell.t) ->
+       pf "%d %d %d %d %d %d %d\n" c.Cell.type_id c.Cell.region
+         (if c.Cell.is_fixed then 1 else 0) c.Cell.gp_x c.Cell.gp_y c.Cell.x
+         c.Cell.y)
+    design.Design.cells;
+  pf "nets %d\n" (Array.length design.Design.nets);
+  Array.iter
+    (fun (n : Net.t) ->
+       pf "%d" (List.length n.Net.endpoints);
+       List.iter
+         (fun ep ->
+            match ep with
+            | Net.Cell_pin { cell; dx; dy } -> pf " c %d %d %d" cell dx dy
+            | Net.Fixed_pin { px; py } -> pf " f %d %d" px py)
+         n.Net.endpoints;
+       pf "\n")
+    design.Design.nets;
+  Buffer.contents buf
+
+let write_file path design =
+  let oc = open_out path in
+  output_string oc (write design);
+  close_out oc

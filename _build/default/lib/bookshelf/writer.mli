@@ -1,0 +1,7 @@
+(** Plain-text serialization of designs (a bookshelf-style single-file
+    format, documented in the README). [Parser.parse (write d)]
+    round-trips every field, including current cell positions. *)
+
+val write : Mcl_netlist.Design.t -> string
+
+val write_file : string -> Mcl_netlist.Design.t -> unit

@@ -1,0 +1,1 @@
+lib/core/baseline_abacus.ml: Array Cell Config Design Floorplan List Mcl_geom Mcl_netlist Option Printf Segment

@@ -1,0 +1,1 @@
+lib/core/baseline_abacus.mli: Config Design Mcl_netlist

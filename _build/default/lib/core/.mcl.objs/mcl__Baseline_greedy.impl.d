@@ -1,0 +1,1 @@
+lib/core/baseline_greedy.ml: Array Cell Config Design Floorplan List Mcl_geom Mcl_netlist Placement Printf Segment

@@ -1,0 +1,1 @@
+lib/core/baseline_greedy.mli: Config Design Mcl_netlist

@@ -1,0 +1,1 @@
+lib/core/curve.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/eco.ml: Array Cell Config Design Hashtbl Insertion List Mcl_netlist Mgl Placement Routability Segment

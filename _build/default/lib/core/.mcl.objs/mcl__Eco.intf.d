@@ -1,0 +1,1 @@
+lib/core/eco.mli: Config Design Mcl_netlist

@@ -1,0 +1,1 @@
+lib/core/insertion.ml: Array Cell Cell_type Config Curve Design Float Floorplan Hashtbl List Mcl_geom Mcl_netlist Placement Routability Segment

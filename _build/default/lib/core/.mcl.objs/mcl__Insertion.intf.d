@@ -1,0 +1,1 @@
+lib/core/insertion.mli: Config Design Mcl_geom Mcl_netlist Placement Routability Segment

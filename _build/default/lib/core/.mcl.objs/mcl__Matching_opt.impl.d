@@ -1,0 +1,1 @@
+lib/core/matching_opt.ml: Array Cell Config Design Float Floorplan Hashtbl List Mcl_eval Mcl_flow Mcl_netlist

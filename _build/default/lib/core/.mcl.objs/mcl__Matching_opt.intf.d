@@ -1,0 +1,1 @@
+lib/core/matching_opt.mli: Config Design Mcl_netlist

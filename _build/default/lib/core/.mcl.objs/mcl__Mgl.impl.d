@@ -1,0 +1,1 @@
+lib/core/mgl.ml: Array Cell Config Design Float Floorplan Insertion List Mcl_geom Mcl_netlist Placement Printf Routability Segment

@@ -1,0 +1,1 @@
+lib/core/mgl.mli: Cell Config Design Insertion Mcl_geom Mcl_netlist

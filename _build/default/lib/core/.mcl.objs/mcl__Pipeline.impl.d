@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Config Format Matching_opt Printf Row_order_opt Scheduler Unix

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Design Format Matching_opt Mcl_netlist Row_order_opt Scheduler

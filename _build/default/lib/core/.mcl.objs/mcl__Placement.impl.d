@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Cell Design Floorplan Mcl_geom Mcl_netlist

@@ -1,0 +1,1 @@
+lib/core/placement.mli: Design Mcl_geom Mcl_netlist

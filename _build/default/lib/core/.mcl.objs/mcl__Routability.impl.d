@@ -1,0 +1,1 @@
+lib/core/routability.ml: Array Cell_type Design Floorplan Layer List Mcl_geom Mcl_netlist

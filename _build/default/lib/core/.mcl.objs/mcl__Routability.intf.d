@@ -1,0 +1,1 @@
+lib/core/routability.mli: Design Mcl_netlist

@@ -1,0 +1,1 @@
+lib/core/row_order_opt.ml: Array Cell Cell_type Config Design Floorplan Hashtbl List Mcl_eval Mcl_flow Mcl_geom Mcl_netlist Mgl Placement Routability Segment

@@ -1,0 +1,1 @@
+lib/core/row_order_opt.mli: Config Design Mcl_netlist

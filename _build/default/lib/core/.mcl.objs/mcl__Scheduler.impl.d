@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Cell Config Design Domain Floorplan Insertion List Mcl_geom Mcl_netlist Mgl Placement Printf Queue Routability Segment

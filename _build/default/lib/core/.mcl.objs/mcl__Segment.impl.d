@@ -1,0 +1,1 @@
+lib/core/segment.ml: Array Cell Design Fence Floorplan List Mcl_geom Mcl_netlist

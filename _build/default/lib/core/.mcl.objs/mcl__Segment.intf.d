@@ -1,0 +1,1 @@
+lib/core/segment.mli: Cell Design Mcl_geom Mcl_netlist

@@ -1,0 +1,17 @@
+(** Ordered, Abacus-style legalizer: our reimplementation of the
+    Wang et al. ASPDAC'17 comparator [7] (Table 2; see DESIGN.md §4).
+
+    Cells are legalized left-to-right in GP x-order, honoring that
+    order per row (the class-(1) approach of the paper's related-work
+    taxonomy). Single-row cells use Abacus row clustering with a
+    linear displacement cost (cluster position = weighted median of
+    member targets); multi-row cells are appended greedily across
+    their row range and become rigid walls — a documented
+    simplification of [7]'s multi-row cluster merging. *)
+
+open Mcl_netlist
+
+type stats = { legalized : int }
+
+(** Raises [Failure] when some cell cannot be placed. *)
+val run : Config.t -> Design.t -> stats

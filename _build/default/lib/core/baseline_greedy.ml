@@ -1,0 +1,112 @@
+module Interval = Mcl_geom.Interval
+open Mcl_netlist
+
+type stats = { legalized : int }
+
+(* Free gaps of [row] for region [reg], with every placed cell as an
+   obstacle. *)
+let row_free design placement segments ~row ~reg =
+  let cuts = ref [] in
+  let arr, len = Placement.row_cells placement row in
+  for i = 0 to len - 1 do
+    let c = design.Design.cells.(arr.(i)) in
+    cuts := Interval.make c.Cell.x (c.Cell.x + Design.width design c) :: !cuts
+  done;
+  Segment.spans segments ~row ~region:reg
+  |> List.concat_map (fun s -> Interval.subtract s !cuts)
+
+let place_one design placement segments target =
+  let tgt = design.Design.cells.(target) in
+  let h = Design.height design tgt and w = Design.width design tgt in
+  let fp = design.Design.floorplan in
+  let reg = Segment.region_of segments tgt in
+  let dy_cost = fp.Floorplan.row_height / fp.Floorplan.site_width in
+  let best = ref None in
+  let consider ~y0 ~x =
+    let cost = abs (x - tgt.Cell.gp_x) + (abs (y0 - tgt.Cell.gp_y) * dy_cost) in
+    match !best with
+    | Some (_, _, c) when c <= cost -> ()
+    | Some _ | None -> best := Some (y0, x, cost)
+  in
+  (* scan rows outward from the GP row; stop expanding once even the
+     y-distance alone exceeds the best cost found *)
+  let num_rows = fp.Floorplan.num_rows in
+  let try_row y0 =
+    if y0 >= 0 && y0 + h <= num_rows && (h mod 2 = 1 || y0 mod 2 = 0) then begin
+      let beatable =
+        match !best with
+        | Some (_, _, c) -> abs (y0 - tgt.Cell.gp_y) * dy_cost < c
+        | None -> true
+      in
+      if beatable then begin
+        let free = ref (row_free design placement segments ~row:y0 ~reg) in
+        for k = 1 to h - 1 do
+          free :=
+            List.concat_map
+              (fun a ->
+                 List.filter_map
+                   (fun b ->
+                      let i = Interval.inter a b in
+                      if Interval.is_empty i then None else Some i)
+                   (row_free design placement segments ~row:(y0 + k) ~reg))
+              !free
+        done;
+        List.iter
+          (fun (g : Interval.t) ->
+             if Interval.length g >= w then
+               consider ~y0
+                 ~x:(Interval.clamp (Interval.make g.Interval.lo (g.Interval.hi - w + 1))
+                       tgt.Cell.gp_x))
+          !free
+      end
+    end
+  in
+  try_row tgt.Cell.gp_y;
+  let radius = ref 1 in
+  let continue = ref true in
+  while !continue do
+    let y_up = tgt.Cell.gp_y + !radius and y_dn = tgt.Cell.gp_y - !radius in
+    try_row y_up;
+    try_row y_dn;
+    let exhausted = y_up + h > num_rows && y_dn < 0 in
+    let good_enough =
+      match !best with
+      | Some (_, _, c) -> (!radius - 1) * dy_cost > c
+      | None -> false
+    in
+    if exhausted || good_enough then continue := false else incr radius
+  done;
+  match !best with
+  | Some (y0, x, _) ->
+    tgt.Cell.x <- x;
+    tgt.Cell.y <- y0;
+    Placement.add placement target;
+    true
+  | None -> false
+
+let run config design =
+  let segments =
+    Segment.build ~respect_fences:config.Config.consider_fences design
+  in
+  let placement = Placement.create design in
+  Array.iter
+    (fun (c : Cell.t) -> if c.Cell.is_fixed then Placement.add placement c.Cell.id)
+    design.Design.cells;
+  let order =
+    Array.to_list design.Design.cells
+    |> List.filter (fun (c : Cell.t) -> not c.Cell.is_fixed)
+    |> List.map (fun (c : Cell.t) -> c.Cell.id)
+    |> List.sort (fun a b ->
+        let ca = design.Design.cells.(a) and cb = design.Design.cells.(b) in
+        compare
+          (-Design.height design ca, ca.Cell.gp_x, a)
+          (-Design.height design cb, cb.Cell.gp_x, b))
+    |> Array.of_list
+  in
+  let count = ref 0 in
+  Array.iter
+    (fun id ->
+       if place_one design placement segments id then incr count
+       else failwith (Printf.sprintf "Baseline_greedy: cell %d cannot be placed" id))
+    order;
+  { legalized = !count }

@@ -1,0 +1,40 @@
+type objective = Average_weighted | Total
+
+type t = {
+  objective : objective;
+  consider_fences : bool;
+  consider_routability : bool;
+  window_halfwidth : int;
+  window_halfheight : int;
+  window_growth : int;
+  max_window_tries : int;
+  delta0_rows : float;
+  matching_neighbors : int;
+  n0_factor : float;
+  solver : Mcl_flow.Mcf.solver;
+  run_matching : bool;
+  run_row_order : bool;
+  threads : int;
+}
+
+let default =
+  { objective = Average_weighted;
+    consider_fences = true;
+    consider_routability = true;
+    window_halfwidth = 30;
+    window_halfheight = 3;
+    window_growth = 2;
+    max_window_tries = 12;
+    delta0_rows = 8.0;
+    matching_neighbors = 20;
+    n0_factor = 4.0;
+    solver = Mcl_flow.Mcf.Network_simplex_block;
+    run_matching = true;
+    run_row_order = true;
+    threads = 1 }
+
+let total_displacement =
+  { default with
+    objective = Total;
+    consider_fences = false;
+    consider_routability = false }

@@ -1,0 +1,31 @@
+(** Tuning knobs of the legalization pipeline. *)
+
+(** The displacement objective MGL and the post-passes minimize:
+    [Average_weighted] is the contest's per-height-weighted average
+    (paper Eq. 2, Table 1 experiments); [Total] is the plain sum of
+    displacements (Table 2 experiments). *)
+type objective = Average_weighted | Total
+
+type t = {
+  objective : objective;
+  consider_fences : bool;       (** honor fence regions (hard) *)
+  consider_routability : bool;  (** avoid pin short/access, edge spacing *)
+  window_halfwidth : int;       (** initial MGL window, in sites *)
+  window_halfheight : int;      (** initial MGL window, in rows *)
+  window_growth : int;          (** growth factor numerator / 2 on failure *)
+  max_window_tries : int;       (** growth steps before greedy fallback *)
+  delta0_rows : float;          (** phi threshold delta_0 (Eq. 3), row heights *)
+  matching_neighbors : int;     (** candidate positions per cell in Sec. 3.2 *)
+  n0_factor : float;            (** weight of max-disp term in Eq. 8, as a
+                                    multiple of the mean cell weight *)
+  solver : Mcl_flow.Mcf.solver;
+  run_matching : bool;          (** enable stage 2 (Sec. 3.2) *)
+  run_row_order : bool;         (** enable stage 3 (Sec. 3.3) *)
+  threads : int;                (** MGL scheduler batch width (Sec. 3.5) *)
+}
+
+val default : t
+
+(** Configuration used for the Table 2 comparison: total-displacement
+    objective, fences and routability ignored. *)
+val total_displacement : t

@@ -1,0 +1,95 @@
+type piece =
+  | Target of { weight : float; gp : int }
+  | Left of { weight : float; cur : int; gp : int; dist : int }
+  | Right of { weight : float; cur : int; gp : int; dist : int }
+
+type t = {
+  mutable pieces : piece list;
+  mutable const : float;
+  (* slope-change events (x, delta); the slope left of every event is
+     [base_slope] *)
+  mutable events : (int * float) list;
+  mutable base_slope : float;
+}
+
+let create () = { pieces = []; const = 0.0; events = []; base_slope = 0.0 }
+
+let add_target t ~weight ~gp =
+  t.pieces <- Target { weight; gp } :: t.pieces;
+  t.base_slope <- t.base_slope -. weight;
+  t.events <- (gp, 2.0 *. weight) :: t.events
+
+(* f(x) = w * |min(cur, x - dist) - gp|.
+   Kinks: at [gp + dist] the moving part crosses gp (if it does so
+   before saturating) and at [cur + dist] the shift saturates. *)
+let add_left t ~weight ~cur ~gp ~dist =
+  t.pieces <- Left { weight; cur; gp; dist } :: t.pieces;
+  let a = gp + dist and b = cur + dist in
+  t.base_slope <- t.base_slope -. weight;
+  if a < b then
+    t.events <- (a, 2.0 *. weight) :: (b, -.weight) :: t.events
+  else t.events <- (b, weight) :: t.events
+
+(* f(x) = w * |max(cur, x + dist) - gp|. *)
+let add_right t ~weight ~cur ~gp ~dist =
+  t.pieces <- Right { weight; cur; gp; dist } :: t.pieces;
+  let a = gp - dist and b = cur - dist in
+  if a > b then
+    t.events <- (b, -.weight) :: (a, 2.0 *. weight) :: t.events
+  else t.events <- (b, weight) :: t.events
+
+let add_const t c = t.const <- t.const +. c
+
+let eval t x =
+  let piece_value = function
+    | Target { weight; gp } -> weight *. float_of_int (abs (x - gp))
+    | Left { weight; cur; gp; dist } ->
+      weight *. float_of_int (abs (min cur (x - dist) - gp))
+    | Right { weight; cur; gp; dist } ->
+      weight *. float_of_int (abs (max cur (x + dist) - gp))
+  in
+  List.fold_left (fun acc p -> acc +. piece_value p) t.const t.pieces
+
+let sorted_events t =
+  let arr = Array.of_list t.events in
+  Array.sort (fun (x1, _) (x2, _) -> compare x1 x2) arr;
+  arr
+
+let minimize t ~lo ~hi =
+  if hi < lo then invalid_arg "Curve.minimize: hi < lo";
+  let events = sorted_events t in
+  let n = Array.length events in
+  (* slope just right of lo, folding in all events at or before lo *)
+  let slope = ref t.base_slope in
+  let i = ref 0 in
+  while !i < n && fst events.(!i) <= lo do
+    slope := !slope +. snd events.(!i);
+    incr i
+  done;
+  let best_x = ref lo and best_v = ref (eval t lo) in
+  let x = ref lo and v = ref !best_v in
+  while !i < n && fst events.(!i) < hi do
+    let bx, dv = events.(!i) in
+    (* advance to the breakpoint *)
+    v := !v +. (!slope *. float_of_int (bx - !x));
+    x := bx;
+    slope := !slope +. dv;
+    if !v < !best_v then begin
+      best_v := !v;
+      best_x := bx
+    end;
+    incr i
+  done;
+  if hi > !x then begin
+    let v_hi = !v +. (!slope *. float_of_int (hi - !x)) in
+    if v_hi < !best_v then begin
+      best_v := v_hi;
+      best_x := hi
+    end
+  end;
+  (!best_x, !best_v)
+
+let breakpoints t ~lo ~hi =
+  sorted_events t |> Array.to_list
+  |> List.filter_map (fun (x, _) -> if x > lo && x < hi then Some x else None)
+  |> List.sort_uniq compare

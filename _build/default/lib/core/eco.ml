@@ -1,0 +1,57 @@
+open Mcl_netlist
+
+type stats = {
+  relegalized : int;
+  window_growths : int;
+  fallbacks : int;
+}
+
+let relegalize ?(targets = []) config design ~cells =
+  let eco = List.sort_uniq compare (cells @ List.map fst targets) in
+  (* target overrides: an ECO that moves a cell updates its GP anchor *)
+  List.iter
+    (fun (id, (x, y)) ->
+       let c = design.Design.cells.(id) in
+       c.Cell.gp_x <- x;
+       c.Cell.gp_y <- y)
+    targets;
+  List.iter
+    (fun id ->
+       if id < 0 || id >= Design.num_cells design then
+         invalid_arg "Eco.relegalize: unknown cell";
+       if design.Design.cells.(id).Cell.is_fixed then
+         invalid_arg "Eco.relegalize: cell is fixed")
+    eco;
+  let segments =
+    Segment.build ~boundary_gap:(Mgl.boundary_gap config design)
+      ~respect_fences:config.Config.consider_fences design
+  in
+  let routability =
+    if config.Config.consider_routability then Some (Routability.create design)
+    else None
+  in
+  let placement = Placement.create design in
+  let in_eco = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_eco id ()) eco;
+  Array.iter
+    (fun (c : Cell.t) ->
+       if not (Hashtbl.mem in_eco c.Cell.id) then Placement.add placement c.Cell.id)
+    design.Design.cells;
+  let ctx =
+    Insertion.make_ctx config design ~placement ~segments ~routability
+  in
+  (* taller cells first, like MGL's main order *)
+  let order =
+    List.sort
+      (fun a b ->
+         let ca = design.Design.cells.(a) and cb = design.Design.cells.(b) in
+         compare
+           (-Design.height design ca, -Design.width design ca, a)
+           (-Design.height design cb, -Design.width design cb, b))
+      eco
+    |> Array.of_list
+  in
+  let s = Mgl.run_with_ctx ctx ~order in
+  { relegalized = s.Mgl.legalized;
+    window_growths = s.Mgl.window_growths;
+    fallbacks = s.Mgl.fallbacks }

@@ -1,0 +1,28 @@
+(** Incremental re-legalization (ECO flow).
+
+    After an engineering change moves, resizes or adds a handful of
+    cells, re-running the whole pipeline is wasteful: [relegalize]
+    plucks only the given cells out of the placement and re-inserts
+    them with the same GP-referenced window machinery as MGL, leaving
+    every other cell where it is (cells inside the insertion windows
+    may still shift slightly — that is MGL's job).
+
+    Cells are re-inserted at minimum displacement from their GP
+    anchors; [targets] rebinds the anchors of moved cells first, so an
+    ECO that relocates a cell passes [(id, (new_x, new_y))]. *)
+
+open Mcl_netlist
+
+type stats = {
+  relegalized : int;
+  window_growths : int;
+  fallbacks : int;
+}
+
+(** [relegalize ?targets config design ~cells] re-inserts [cells]
+    (ids) plus every cell named in [targets]. The rest of the placement
+    must be legal. Raises [Failure] if a cell cannot be placed
+    anywhere. *)
+val relegalize :
+  ?targets:(int * (int * int)) list -> Config.t -> Design.t ->
+  cells:int list -> stats

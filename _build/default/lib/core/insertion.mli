@@ -1,0 +1,49 @@
+(** Insertion-point enumeration and evaluation inside an MGL window
+    (paper Sec. 3.1, Algorithm 1).
+
+    Given a target cell and a window, every way of inserting the target
+    into [height] consecutive rows is enumerated: a bottom row [y0]
+    (P/G-parity and horizontal-rail feasible), a {e common interval}
+    where each target row is covered by one obstacle-free sub-span, and
+    a {e cut} that splits the window's local cells into a left and a
+    right group. Pushing is propagated through multi-row cells with a
+    longest-chain DP, which yields both the feasible x-range of the
+    target and the saturating shift distance of every local cell — the
+    ingredients of the displacement curve. *)
+
+open Mcl_netlist
+
+type ctx = {
+  design : Design.t;
+  placement : Placement.t;
+  segments : Segment.t;
+  config : Config.t;
+  routability : Routability.t option;
+  disp_from : [ `Gp | `Current ];
+      (** [`Gp] measures local-cell displacement from GP positions
+          (MGL); [`Current] from current positions (the MLL baseline). *)
+  weights : float array;  (** curve weight per cell id *)
+}
+
+val make_ctx :
+  ?disp_from:[ `Gp | `Current ] -> Config.t -> Design.t ->
+  placement:Placement.t -> segments:Segment.t ->
+  routability:Routability.t option -> ctx
+
+type shift = { cell : int; dist : int }
+
+type candidate = {
+  y0 : int;
+  x : int;       (** chosen x of the target's left edge *)
+  cost : float;
+  lefts : shift list;   (** new x = min (cur, x - dist) *)
+  rights : shift list;  (** new x = max (cur, x + dist) *)
+}
+
+(** Cheapest insertion of [target] (an unplaced cell id) within
+    [window]; [None] when no feasible insertion point exists. *)
+val best : ctx -> target:int -> window:Mcl_geom.Rect.t -> candidate option
+
+(** Commit a candidate: shifts local cells, moves the target and
+    registers it in the placement. *)
+val apply : ctx -> target:int -> candidate -> unit

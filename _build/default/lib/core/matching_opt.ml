@@ -1,0 +1,120 @@
+open Mcl_netlist
+module Matching = Mcl_flow.Matching
+
+type stats = {
+  groups : int;
+  cells_moved : int;
+  phi_before : float;
+  phi_after : float;
+}
+
+let phi ~delta0 d =
+  if d <= delta0 then d else d ** 5.0 /. (delta0 ** 4.0)
+
+(* integer edge cost for the flow solver; phi can explode, so cap it *)
+let cost_scale = 1024.0
+let cost_cap = float_of_int (1 lsl 49)
+
+let int_cost v = int_of_float (Float.min (v *. cost_scale) cost_cap)
+
+(* displacement (row heights) of cell [c] if placed at position (x, y) *)
+let disp_at design (c : Cell.t) (x, y) =
+  let fp = design.Design.floorplan in
+  float_of_int
+    ((abs (x - c.gp_x) * fp.Floorplan.site_width)
+     + (abs (y - c.gp_y) * fp.Floorplan.row_height))
+  /. float_of_int fp.Floorplan.row_height
+
+let optimize_group ~delta0 design stats config cells =
+  let n = Array.length cells in
+  let positions = Array.map (fun (c : Cell.t) -> (c.x, c.y)) cells in
+  (* nearest positions per cell: brute force within the group, but
+     groups are modest; use a partial sort of squared distances *)
+  let k = min (n - 1) config.Config.matching_neighbors in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let c = cells.(i) in
+    let d j = disp_at design c positions.(j) in
+    (* always include the identity edge *)
+    edges := Matching.{ left = i; right = i; edge_cost = int_cost (phi ~delta0 (d i)) } :: !edges;
+    if k > 0 then begin
+      let order = Array.init n (fun j -> j) in
+      Array.sort (fun a b -> compare (d a) (d b)) order;
+      let added = ref 0 in
+      let ji = ref 0 in
+      while !added < k && !ji < n do
+        let j = order.(!ji) in
+        if j <> i then begin
+          edges :=
+            Matching.{ left = i; right = j; edge_cost = int_cost (phi ~delta0 (d j)) }
+            :: !edges;
+          incr added
+        end;
+        incr ji
+      done
+    end
+  done;
+  match Matching.solve ~n ~edges:!edges with
+  | Error _ -> ()  (* identity edges make this unreachable *)
+  | Ok mate ->
+    let before =
+      Array.to_list cells
+      |> List.fold_left (fun acc c -> acc +. phi ~delta0 (disp_at design c (c.Cell.x, c.Cell.y))) 0.0
+    in
+    Array.iteri
+      (fun i j ->
+         if j <> i then begin
+           let x, y = positions.(j) in
+           if cells.(i).Cell.x <> x || cells.(i).Cell.y <> y then begin
+             cells.(i).Cell.x <- x;
+             cells.(i).Cell.y <- y;
+             incr stats
+           end
+         end)
+      mate;
+    let after =
+      Array.to_list cells
+      |> List.fold_left (fun acc c -> acc +. phi ~delta0 (disp_at design c (c.Cell.x, c.Cell.y))) 0.0
+    in
+    assert (after <= before +. 1e-6);
+    ()
+
+let run config design =
+  (* Adaptive threshold: phi must stay linear for the bulk of the
+     distribution and explode only near the current maximum, otherwise
+     the matching trades far too much average for the maximum. *)
+  let delta0 =
+    Float.max config.Config.delta0_rows
+      (0.6 *. Mcl_eval.Metrics.max_displacement design)
+  in
+  let groups = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Cell.t) ->
+       if not c.is_fixed then begin
+         let region = if config.Config.consider_fences then c.region else 0 in
+         let key = (c.type_id, region) in
+         let cur = try Hashtbl.find groups key with Not_found -> [] in
+         Hashtbl.replace groups key (c :: cur)
+       end)
+    design.Design.cells;
+  let total_phi () =
+    Array.fold_left
+      (fun acc (c : Cell.t) ->
+         if c.is_fixed then acc
+         else acc +. phi ~delta0 (disp_at design c (c.Cell.x, c.Cell.y)))
+      0.0 design.Design.cells
+  in
+  let phi_before = total_phi () in
+  let moved = ref 0 in
+  let ngroups = ref 0 in
+  Hashtbl.iter
+    (fun _key cells ->
+       if List.length cells >= 2 then begin
+         incr ngroups;
+         optimize_group ~delta0 design moved config (Array.of_list cells)
+       end)
+    groups;
+  { groups = !ngroups;
+    cells_moved = !moved;
+    phi_before;
+    phi_after = total_phi () }

@@ -1,0 +1,235 @@
+module Interval = Mcl_geom.Interval
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+type stats = {
+  legalized : int;
+  window_growths : int;
+  fallbacks : int;
+}
+
+(* Emergency placement: nearest gap that fits the cell without moving
+   anything else. Only used when windowed insertion failed at the
+   largest window (e.g. a fragmented, nearly-full region). A safety
+   margin of the largest spacing rule is kept on both sides so no edge
+   violation can appear. *)
+let fallback_place ?(relax_routability = false) (ctx : Insertion.ctx) target =
+  let design = ctx.Insertion.design in
+  let placement = ctx.Insertion.placement in
+  let segments = ctx.Insertion.segments in
+  let tgt = design.Design.cells.(target) in
+  let h = Design.height design tgt and w = Design.width design tgt in
+  let fp = design.Design.floorplan in
+  let reg = Segment.region_of segments tgt in
+  let margin =
+    if ctx.Insertion.config.Config.consider_routability then
+      let t = fp.Floorplan.edge_spacing in
+      Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 t
+    else 0
+  in
+  let row_free row =
+    let cuts = ref [] in
+    let arr, len = Placement.row_cells placement row in
+    for i = 0 to len - 1 do
+      let c = design.Design.cells.(arr.(i)) in
+      let cw = Design.width design c in
+      cuts := Interval.make c.Cell.x (c.Cell.x + cw) :: !cuts
+    done;
+    Segment.spans segments ~row ~region:reg
+    |> List.concat_map (fun s -> Interval.subtract s !cuts)
+  in
+  let best = ref None in
+  let consider ~y0 ~x cost =
+    match !best with
+    | Some (_, _, c) when c <= cost -> ()
+    | Some _ | None -> best := Some (y0, x, cost)
+  in
+  let num_rows = fp.Floorplan.num_rows in
+  for y0 = 0 to num_rows - h do
+    let row_feasible =
+      (h mod 2 = 1 || y0 mod 2 = 0)
+      && (relax_routability
+          ||
+          match ctx.Insertion.routability with
+          | None -> true
+          | Some r -> Routability.row_ok r ~type_id:tgt.Cell.type_id ~y:y0)
+    in
+    if row_feasible then begin
+      (* intersect the free intervals of the h rows *)
+      let free = ref (row_free y0) in
+      for k = 1 to h - 1 do
+        free :=
+          List.concat_map
+            (fun a ->
+               List.filter_map
+                 (fun b ->
+                    let i = Interval.inter a b in
+                    if Interval.is_empty i then None else Some i)
+                 (row_free (y0 + k)))
+            !free
+      done;
+      List.iter
+        (fun (g : Interval.t) ->
+           let lo = g.Interval.lo + margin and hi = g.Interval.hi - margin - w in
+           if hi >= lo then begin
+             let x0 = Interval.clamp (Interval.make lo (hi + 1)) tgt.Cell.gp_x in
+             let x =
+               match ctx.Insertion.routability with
+               | None -> Some x0
+               | Some _ when relax_routability -> Some x0
+               | Some r ->
+                 Routability.nearest_ok_x r ~type_id:tgt.Cell.type_id ~x:x0 ~lo ~hi
+             in
+             match x with
+             | Some x ->
+               let cost =
+                 abs (x - tgt.Cell.gp_x)
+                 + (abs (y0 - tgt.Cell.gp_y) * fp.Floorplan.row_height
+                    / fp.Floorplan.site_width)
+               in
+               consider ~y0 ~x (float_of_int cost)
+             | None -> ()
+           end)
+        !free
+    end
+  done;
+  match !best with
+  | Some (y0, x, _) ->
+    tgt.Cell.x <- x;
+    tgt.Cell.y <- y0;
+    Placement.add placement target;
+    true
+  | None -> false
+
+let grow_window (w : Rect.t) ~die ~factor =
+  let cx = (w.Rect.x.Interval.lo + w.Rect.x.Interval.hi) / 2 in
+  let cy = (w.Rect.y.Interval.lo + w.Rect.y.Interval.hi) / 2 in
+  let hw = max 4 ((Interval.length w.Rect.x * factor) / 2) in
+  let hh = max 2 ((Interval.length w.Rect.y * factor) / 2) in
+  Rect.inter die
+    (Rect.make ~xl:(cx - hw) ~yl:(cy - hh) ~xh:(cx + hw) ~yh:(cy + hh))
+
+(* cached by physical design identity: called once per cell *)
+let util_cache : (Design.t * float) option ref = ref None
+
+let utilization design =
+  match !util_cache with
+  | Some (d, u) when d == design -> u
+  | Some _ | None ->
+    let fp = design.Design.floorplan in
+    let die_area = fp.Floorplan.num_sites * fp.Floorplan.num_rows in
+    let used =
+      Array.fold_left
+        (fun acc (c : Cell.t) ->
+           acc + (Design.width design c * Design.height design c))
+        0 design.Design.cells
+    in
+    let u = float_of_int used /. float_of_int (max 1 die_area) in
+    util_cache := Some (design, u);
+    u
+
+let initial_window config design (tgt : Cell.t) ~h ~w =
+  let die = Floorplan.die design.Design.floorplan in
+  (* dense designs need wider windows up-front: a window must contain
+     roughly [w] sites of slack for the insertion to be feasible *)
+  let u = utilization design in
+  let slack_factor = 1.0 /. Float.max 0.15 (1.0 -. u) in
+  let hw =
+    config.Config.window_halfwidth
+    + int_of_float (float_of_int w *. Float.min 8.0 slack_factor)
+  in
+  let hh = config.Config.window_halfheight + h in
+  Rect.inter die
+    (Rect.make ~xl:(tgt.Cell.gp_x - hw) ~yl:(tgt.Cell.gp_y - hh)
+       ~xh:(tgt.Cell.gp_x + w + hw) ~yh:(tgt.Cell.gp_y + h + hh))
+
+let legalize_one ctx ~target ~growths =
+  let design = ctx.Insertion.design in
+  let config = ctx.Insertion.config in
+  let tgt = design.Design.cells.(target) in
+  let h = Design.height design tgt and w = Design.width design tgt in
+  let die = Floorplan.die design.Design.floorplan in
+  let rec attempt window tries =
+    match Insertion.best ctx ~target ~window with
+    | Some cand ->
+      Insertion.apply ctx ~target cand;
+      true
+    | None ->
+      if tries >= config.Config.max_window_tries || Rect.equal window die then false
+      else begin
+        incr growths;
+        attempt (grow_window window ~die ~factor:config.Config.window_growth) (tries + 1)
+      end
+  in
+  attempt (initial_window config design tgt ~h ~w) 0
+
+let default_order design =
+  let ids =
+    Array.of_list
+      (Array.to_list design.Design.cells
+       |> List.filter (fun (c : Cell.t) -> not c.Cell.is_fixed)
+       |> List.map (fun (c : Cell.t) -> c.Cell.id))
+  in
+  (* taller, then wider, cells first: they are the hardest to fit *)
+  Array.sort
+    (fun a b ->
+       let ca = design.Design.cells.(a) and cb = design.Design.cells.(b) in
+       let ka =
+         (-Design.height design ca, -Design.width design ca, ca.Cell.gp_x, a)
+       and kb =
+         (-Design.height design cb, -Design.width design cb, cb.Cell.gp_x, b)
+       in
+       compare ka kb)
+    ids;
+  ids
+
+let run_with_ctx ctx ~order =
+  let growths = ref 0 and fallbacks = ref 0 and legalized = ref 0 in
+  Array.iter
+    (fun target ->
+       let ok = legalize_one ctx ~target ~growths in
+       let ok =
+         if ok then true
+         else begin
+           incr fallbacks;
+           (* routability is a soft constraint (paper Sec. 2): a last
+              resort placement with pin violations beats failing *)
+           fallback_place ctx target
+           || fallback_place ~relax_routability:true ctx target
+         end
+       in
+       if not ok then
+         failwith
+           (Printf.sprintf "Mgl: cell %d cannot be placed (region over capacity?)"
+              target);
+       incr legalized)
+    order;
+  { legalized = !legalized; window_growths = !growths; fallbacks = !fallbacks }
+
+(* Half the largest spacing rule, so cells on opposite sides of a
+   region boundary always end at least one full rule apart. *)
+let boundary_gap config design =
+  if not config.Config.consider_routability then 0
+  else begin
+    let t = design.Design.floorplan.Floorplan.edge_spacing in
+    let m = Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 t in
+    (m + 1) / 2
+  end
+
+let run ?(disp_from = `Gp) config design =
+  let segments =
+    Segment.build ~boundary_gap:(boundary_gap config design)
+      ~respect_fences:config.Config.consider_fences design
+  in
+  let routability =
+    if config.Config.consider_routability then Some (Routability.create design)
+    else None
+  in
+  let placement = Placement.create design in
+  Array.iter
+    (fun (c : Cell.t) -> if c.Cell.is_fixed then Placement.add placement c.Cell.id)
+    design.Design.cells;
+  let ctx =
+    Insertion.make_ctx ~disp_from config design ~placement ~segments ~routability
+  in
+  run_with_ctx ctx ~order:(default_order design)

@@ -1,0 +1,45 @@
+(** Multi-row global legalization (paper Sec. 3.1, Algorithm 1): cells
+    are legalized sequentially; each is inserted at the cheapest
+    insertion point of a window around its GP position, growing the
+    window on failure. Displacement is measured from GP positions
+    ([`Gp], the paper's MGL) or from current positions ([`Current],
+    which turns this into the MLL baseline of Chow et al.). *)
+
+open Mcl_netlist
+
+type stats = {
+  legalized : int;
+  window_growths : int;   (** total window enlargements *)
+  fallbacks : int;        (** cells placed by the emergency first-fit *)
+}
+
+(** [run ?disp_from config design] legalizes all movable cells in
+    place. Raises [Failure] if some cell cannot be placed at all (the
+    design is over-capacity). Returns per-run statistics. *)
+val run : ?disp_from:[ `Gp | `Current ] -> Config.t -> Design.t -> stats
+
+(** As {!run}, but reusing an existing context (placement must contain
+    only fixed cells). Exposed for the scheduler. *)
+val run_with_ctx : Insertion.ctx -> order:int array -> stats
+
+(** Boundary padding used when building segments for this config:
+    half the largest edge-spacing rule when routability is on. *)
+val boundary_gap : Config.t -> Mcl_netlist.Design.t -> int
+
+(** The MGL legalization order: taller, then wider, cells first. *)
+val default_order : Design.t -> int array
+
+(** Initial window around a cell's GP position. *)
+val initial_window :
+  Config.t -> Design.t -> Cell.t -> h:int -> w:int -> Mcl_geom.Rect.t
+
+(** Window enlargement used after a failed insertion. *)
+val grow_window :
+  Mcl_geom.Rect.t -> die:Mcl_geom.Rect.t -> factor:int -> Mcl_geom.Rect.t
+
+(** Emergency first-fit placement (see implementation notes); exposed
+    for the scheduler. *)
+val fallback_place : ?relax_routability:bool -> Insertion.ctx -> int -> bool
+
+(** Fraction of the die area occupied by cells (cached per design). *)
+val utilization : Design.t -> float

@@ -1,0 +1,51 @@
+type report = {
+  mgl_stats : Scheduler.stats;
+  matching_stats : Matching_opt.stats option;
+  row_order_stats : Row_order_opt.stats option;
+  mgl_seconds : float;
+  matching_seconds : float;
+  row_order_seconds : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run config design =
+  let mgl_stats, mgl_seconds = timed (fun () -> Scheduler.run config design) in
+  let matching_stats, matching_seconds =
+    if config.Config.run_matching then begin
+      let s, t = timed (fun () -> Matching_opt.run config design) in
+      (Some s, t)
+    end
+    else (None, 0.0)
+  in
+  let row_order_stats, row_order_seconds =
+    if config.Config.run_row_order then begin
+      let s, t = timed (fun () -> Row_order_opt.run config design) in
+      (Some s, t)
+    end
+    else (None, 0.0)
+  in
+  { mgl_stats; matching_stats; row_order_stats; mgl_seconds; matching_seconds;
+    row_order_seconds }
+
+let total_seconds r = r.mgl_seconds +. r.matching_seconds +. r.row_order_seconds
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "mgl: %d cells in %.2fs (%d growths, %d fallbacks); matching: %s in %.2fs; \
+     row-order: %s in %.2fs"
+    r.mgl_stats.Scheduler.legalized r.mgl_seconds
+    r.mgl_stats.Scheduler.window_growths r.mgl_stats.Scheduler.fallbacks
+    (match r.matching_stats with
+     | Some s -> Printf.sprintf "%d moved" s.Matching_opt.cells_moved
+     | None -> "skipped")
+    r.matching_seconds
+    (match r.row_order_stats with
+     | Some s ->
+       Printf.sprintf "%.0f -> %.0f" s.Row_order_opt.weighted_disp_before
+         s.Row_order_opt.weighted_disp_after
+     | None -> "skipped")
+    r.row_order_seconds

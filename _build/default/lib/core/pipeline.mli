@@ -1,0 +1,22 @@
+(** The full three-stage legalization flow of the paper (Fig. 2):
+    MGL, then the matching-based maximum-displacement optimization,
+    then the fixed-row & fixed-order MCF refinement. *)
+
+open Mcl_netlist
+
+type report = {
+  mgl_stats : Scheduler.stats;
+  matching_stats : Matching_opt.stats option;
+  row_order_stats : Row_order_opt.stats option;
+  mgl_seconds : float;
+  matching_seconds : float;
+  row_order_seconds : float;
+}
+
+(** [run config design] legalizes [design] in place and returns stage
+    statistics. Stages 2/3 run only when enabled in [config]. The
+    result always passes {!Mcl_eval.Legality.check}. *)
+val run : Config.t -> Design.t -> report
+
+val total_seconds : report -> float
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,109 @@
+module Interval = Mcl_geom.Interval
+open Mcl_netlist
+
+type row_store = { mutable arr : int array; mutable len : int }
+
+type t = {
+  design : Design.t;
+  rows : row_store array;
+  registered : bool array;
+}
+
+let create design =
+  { design;
+    rows =
+      Array.init design.Design.floorplan.Floorplan.num_rows (fun _ ->
+          { arr = Array.make 8 (-1); len = 0 });
+    registered = Array.make (Design.num_cells design) false }
+
+let cell_x t id = t.design.Design.cells.(id).Cell.x
+
+let find_pos t row x id =
+  (* first index whose cell sorts after (x, id) *)
+  let store = t.rows.(row) in
+  let lo = ref 0 and hi = ref store.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = store.arr.(mid) in
+    if (cell_x t c, c) < (x, id) then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let row_insert t row id =
+  let store = t.rows.(row) in
+  if store.len = Array.length store.arr then begin
+    let bigger = Array.make (2 * store.len) (-1) in
+    Array.blit store.arr 0 bigger 0 store.len;
+    store.arr <- bigger
+  end;
+  let pos = find_pos t row (cell_x t id) id in
+  Array.blit store.arr pos store.arr (pos + 1) (store.len - pos);
+  store.arr.(pos) <- id;
+  store.len <- store.len + 1
+
+let row_remove t row id =
+  let store = t.rows.(row) in
+  let rec find i =
+    if i >= store.len then invalid_arg "Placement.remove: cell not in row"
+    else if store.arr.(i) = id then i
+    else find (i + 1)
+  in
+  (* start near the binary-search position: x may have changed, so fall
+     back to linear scan from 0 *)
+  let pos = find 0 in
+  Array.blit store.arr (pos + 1) store.arr pos (store.len - pos - 1);
+  store.len <- store.len - 1
+
+let cell_rows t id =
+  let c = t.design.Design.cells.(id) in
+  let h = Design.height t.design c in
+  (c.Cell.y, c.Cell.y + h - 1)
+
+let add t id =
+  if t.registered.(id) then invalid_arg "Placement.add: already registered";
+  let lo, hi = cell_rows t id in
+  for row = lo to hi do
+    row_insert t row id
+  done;
+  t.registered.(id) <- true
+
+let remove t id =
+  if not t.registered.(id) then invalid_arg "Placement.remove: not registered";
+  let lo, hi = cell_rows t id in
+  for row = lo to hi do
+    row_remove t row id
+  done;
+  t.registered.(id) <- false
+
+let mem t id = t.registered.(id)
+
+let of_design design =
+  let t = create design in
+  Array.iter (fun (c : Cell.t) -> add t c.id) design.Design.cells;
+  t
+
+let row_cells t row =
+  let store = t.rows.(row) in
+  (store.arr, store.len)
+
+let iter_in_range t ~row iv f =
+  let store = t.rows.(row) in
+  for i = 0 to store.len - 1 do
+    let id = store.arr.(i) in
+    let c = t.design.Design.cells.(id) in
+    let w = Design.width t.design c in
+    if Interval.overlaps iv (Interval.make c.Cell.x (c.Cell.x + w)) then f id
+  done
+
+let well_formed t =
+  let ok = ref true in
+  Array.iter
+    (fun store ->
+       for i = 0 to store.len - 2 do
+         let a = store.arr.(i) and b = store.arr.(i + 1) in
+         let ca = t.design.Design.cells.(a) in
+         let wa = Design.width t.design ca in
+         if ca.Cell.x + wa > t.design.Design.cells.(b).Cell.x then ok := false
+       done)
+    t.rows;
+  !ok

@@ -1,0 +1,35 @@
+(** Mutable occupancy structure: which cells currently occupy each row,
+    kept sorted by x.
+
+    Invariant maintained by all users: a cell's [x] is only mutated
+    while the cell is outside the structure, or through shifts that
+    preserve each row's x-order (MGL's left/right spreading does). *)
+
+open Mcl_netlist
+
+type t
+
+(** Empty structure for the design (no cell registered). *)
+val create : Design.t -> t
+
+(** Structure with every movable cell registered at its current
+    position, plus fixed cells as permanent occupants. *)
+val of_design : Design.t -> t
+
+(** [add t id] registers cell [id] at its current coordinates. *)
+val add : t -> int -> unit
+
+(** [remove t id] unregisters cell [id] (reads its current rows). *)
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+(** Cells occupying [row], sorted by x ascending; do not mutate. *)
+val row_cells : t -> int -> int array * int
+(** [(array, len)]: only the first [len] entries are valid. *)
+
+(** Fold over cells of [row] whose x-extent overlaps [iv]. *)
+val iter_in_range : t -> row:int -> Mcl_geom.Interval.t -> (int -> unit) -> unit
+
+(** Check that every row is sorted and overlap-free; for tests. *)
+val well_formed : t -> bool

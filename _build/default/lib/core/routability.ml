@@ -1,0 +1,146 @@
+module Interval = Mcl_geom.Interval
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+type t = {
+  design : Design.t;
+  hrail_period : int;  (* rows; 0 = no horizontal stripes *)
+  vrail_pitch : int;   (* sites; 0 = no vertical stripes *)
+  row_ok_tbl : bool array array;  (* type -> y mod period *)
+  x_ok_tbl : bool array array;    (* type -> x mod pitch *)
+}
+
+let relation ~pin_layer ~obstacle_layer =
+  if Layer.equal pin_layer obstacle_layer then true
+  else
+    match Layer.above pin_layer with
+    | Some up -> Layer.equal up obstacle_layer
+    | None -> false
+
+(* Does any pin of [ct] placed with bottom row residue [rho] hit a
+   horizontal M2 stripe? Stripes sit at y = k * period * row_height,
+   extending hrail_halfwidth each way. *)
+let row_residue_conflict fp (ct : Cell_type.t) rho =
+  let rh = fp.Floorplan.row_height in
+  let period_dbu = fp.Floorplan.hrail_period * rh in
+  let hw = fp.Floorplan.hrail_halfwidth in
+  List.exists
+    (fun (p : Cell_type.pin) ->
+       relation ~pin_layer:p.Cell_type.layer ~obstacle_layer:Layer.M2
+       &&
+       let ylo = (rho * rh) + p.Cell_type.shape.Rect.y.Interval.lo in
+       let yhi = (rho * rh) + p.Cell_type.shape.Rect.y.Interval.hi in
+       (* candidate stripe indices around the pin span *)
+       let k_lo = (ylo - hw) / period_dbu and k_hi = ((yhi + hw) / period_dbu) + 1 in
+       let rec any k =
+         k <= k_hi
+         && ((let c = k * period_dbu in
+              ylo < c + hw && yhi > c - hw)
+             || any (k + 1))
+       in
+       any (max 0 k_lo))
+    ct.Cell_type.pins
+
+let x_residue_conflict fp (ct : Cell_type.t) rho =
+  let sw = fp.Floorplan.site_width in
+  let pitch_dbu = fp.Floorplan.vrail_pitch * sw in
+  let vw = fp.Floorplan.vrail_width in
+  let hw = vw / 2 in
+  List.exists
+    (fun (p : Cell_type.pin) ->
+       relation ~pin_layer:p.Cell_type.layer ~obstacle_layer:Layer.M3
+       &&
+       let xlo = (rho * sw) + p.Cell_type.shape.Rect.x.Interval.lo in
+       let xhi = (rho * sw) + p.Cell_type.shape.Rect.x.Interval.hi in
+       let k_lo = (xlo - vw) / pitch_dbu and k_hi = ((xhi + vw) / pitch_dbu) + 1 in
+       let rec any k =
+         k <= k_hi
+         && ((let c = k * pitch_dbu in
+              xlo < c - hw + vw && xhi > c - hw)
+             || any (k + 1))
+       in
+       any (max 0 k_lo))
+    ct.Cell_type.pins
+
+let create design =
+  let fp = design.Design.floorplan in
+  let types = design.Design.cell_types in
+  let hrail_period = fp.Floorplan.hrail_period in
+  let vrail_pitch = fp.Floorplan.vrail_pitch in
+  let row_ok_tbl =
+    Array.map
+      (fun ct ->
+         if hrail_period <= 0 then [||]
+         else Array.init hrail_period (fun rho -> not (row_residue_conflict fp ct rho)))
+      types
+  in
+  let x_ok_tbl =
+    Array.map
+      (fun ct ->
+         if vrail_pitch <= 0 then [||]
+         else Array.init vrail_pitch (fun rho -> not (x_residue_conflict fp ct rho)))
+      types
+  in
+  { design; hrail_period; vrail_pitch; row_ok_tbl; x_ok_tbl }
+
+let row_ok t ~type_id ~y =
+  t.hrail_period <= 0
+  || t.row_ok_tbl.(type_id).(((y mod t.hrail_period) + t.hrail_period) mod t.hrail_period)
+
+let x_ok t ~type_id ~x =
+  t.vrail_pitch <= 0
+  || t.x_ok_tbl.(type_id).(((x mod t.vrail_pitch) + t.vrail_pitch) mod t.vrail_pitch)
+
+let nearest_ok_x t ~type_id ~x ~lo ~hi =
+  if x_ok t ~type_id ~x && x >= lo && x <= hi then Some x
+  else begin
+    (* residues repeat with the pitch: beyond one pitch nothing new *)
+    let limit = min (max (x - lo) (hi - x)) (max 1 t.vrail_pitch) in
+    let rec search d =
+      if d > limit then None
+      else if x - d >= lo && x_ok t ~type_id ~x:(x - d) then Some (x - d)
+      else if x + d <= hi && x_ok t ~type_id ~x:(x + d) then Some (x + d)
+      else search (d + 1)
+    in
+    search 1
+  end
+
+let io_conflicts t ~type_id ~x ~y =
+  let fp = t.design.Design.floorplan in
+  let ct = t.design.Design.cell_types.(type_id) in
+  let ox = x * fp.Floorplan.site_width and oy = y * fp.Floorplan.row_height in
+  List.fold_left
+    (fun acc (p : Cell_type.pin) ->
+       let shape = Rect.shift p.Cell_type.shape ~dx:ox ~dy:oy in
+       List.fold_left
+         (fun acc (io : Floorplan.io_pin) ->
+            if relation ~pin_layer:p.Cell_type.layer
+                 ~obstacle_layer:io.Floorplan.io_layer
+               && Rect.overlaps shape io.Floorplan.io_rect
+            then acc + 1
+            else acc)
+         acc fp.Floorplan.io_pins)
+    0 ct.Cell_type.pins
+
+let position_clean t ~type_id ~x ~y =
+  x_ok t ~type_id ~x && io_conflicts t ~type_id ~x ~y = 0
+
+let feasible_x_range t ~type_id ~x ~y ~span_lo ~span_hi ~max_reach =
+  if not (position_clean t ~type_id ~x ~y) then (x, x)
+  else begin
+    let lo = ref x in
+    while
+      !lo > span_lo && x - !lo < max_reach
+      && position_clean t ~type_id ~x:(!lo - 1) ~y
+    do
+      decr lo
+    done;
+    let hi = ref x in
+    while
+      !hi < span_hi && !hi - x < max_reach
+      && position_clean t ~type_id ~x:(!hi + 1) ~y
+    do
+      incr hi
+    done;
+    (!lo, !hi)
+  end

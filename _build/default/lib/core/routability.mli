@@ -1,0 +1,39 @@
+(** Routability-aware placement queries used by MGL and the fixed-row
+    refinement (paper Sec. 3.4).
+
+    Violations against the *horizontal* M2 stripes depend only on the
+    row a cell type sits in, so they are precomputed per (type, row
+    residue); violations against the *vertical* M3 stripes depend only
+    on the x position modulo the stripe pitch, precomputed likewise.
+    IO-pin conflicts are positional and checked directly. *)
+
+open Mcl_netlist
+
+type t
+
+val create : Design.t -> t
+
+(** No pin of the type shorts or loses access to a horizontal stripe
+    when the cell's bottom row is [y]. *)
+val row_ok : t -> type_id:int -> y:int -> bool
+
+(** No pin conflicts with a vertical stripe when the cell's left edge
+    is at site [x]. *)
+val x_ok : t -> type_id:int -> x:int -> bool
+
+(** Nearest [x] in [lo, hi] (inclusive) to [x] with [x_ok]; [None] if
+    the whole range conflicts. *)
+val nearest_ok_x : t -> type_id:int -> x:int -> lo:int -> hi:int -> int option
+
+(** Number of pin short/access conflicts against IO pins at
+    position [(x, y)]. *)
+val io_conflicts : t -> type_id:int -> x:int -> y:int -> int
+
+(** Maximal sub-interval of [span] around [x] (a site for the cell's
+    left edge; the cell is [width] sites wide) where the cell is free
+    of vertical-rail and IO conflicts. Reach is capped at [max_reach]
+    sites each way. Falls back to the single point [x] when [x] itself
+    conflicts (it then cannot get worse by not moving). *)
+val feasible_x_range :
+  t -> type_id:int -> x:int -> y:int -> span_lo:int -> span_hi:int ->
+  max_reach:int -> int * int

@@ -1,0 +1,29 @@
+(** Fixed-row & fixed-order optimization (paper Sec. 3.3).
+
+    With every cell's rows and each row's cell order frozen, the
+    x-coordinates minimizing the weighted total displacement (Eq. 4/5)
+    — optionally plus [n0] times the maximum displacement (Eq. 8) —
+    are found by solving the dual min-cost-flow problem of Eq. 6/9 and
+    reading the optimal positions off the node potentials
+    ([x_i = pi(v_z) - pi(v_i)]).
+
+    The flow network has one node per movable cell plus [v_z] (and
+    [v_p] / [v_n] for the max-displacement extension): [2m] displacement
+    arcs, boundary arcs for the feasible range [l_i, r_i] of every cell
+    (the intersection of its row spans, fixed-cell gaps and — when
+    routability is on — the vertical-rail/IO-free interval around its
+    position, Sec. 3.4), and one arc per neighbouring pair. *)
+
+open Mcl_netlist
+
+type stats = {
+  cells : int;
+  arcs : int;
+  weighted_disp_before : float;  (** objective of Eq. 8, site units *)
+  weighted_disp_after : float;
+  mcf_objective : int;           (** raw min-cost-flow objective *)
+}
+
+(** Optimize in place. The placement must be legal on entry; order,
+    rows, fences and legality are preserved. *)
+val run : Config.t -> Design.t -> stats

@@ -1,0 +1,108 @@
+module Interval = Mcl_geom.Interval
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+type stats = {
+  legalized : int;
+  rounds : int;
+  window_growths : int;
+  fallbacks : int;
+}
+
+type pending = {
+  cell : int;
+  mutable window : Rect.t;
+  mutable tries : int;
+}
+
+let run ?(disp_from = `Gp) config design =
+  let segments =
+    Segment.build ~boundary_gap:(Mgl.boundary_gap config design)
+      ~respect_fences:config.Config.consider_fences design
+  in
+  let routability =
+    if config.Config.consider_routability then Some (Routability.create design)
+    else None
+  in
+  let placement = Placement.create design in
+  Array.iter
+    (fun (c : Cell.t) -> if c.Cell.is_fixed then Placement.add placement c.Cell.id)
+    design.Design.cells;
+  let ctx =
+    Insertion.make_ctx ~disp_from config design ~placement ~segments ~routability
+  in
+  let die = Floorplan.die design.Design.floorplan in
+  let waiting = Queue.create () in
+  Array.iter
+    (fun id ->
+       let c = design.Design.cells.(id) in
+       let h = Design.height design c and w = Design.width design c in
+       Queue.add
+         { cell = id; window = Mgl.initial_window config design c ~h ~w; tries = 0 }
+         waiting)
+    (Mgl.default_order design);
+  let growths = ref 0 and fallbacks = ref 0 and legalized = ref 0 and rounds = ref 0 in
+  let threads = max 1 config.Config.threads in
+  while not (Queue.is_empty waiting) do
+    incr rounds;
+    (* L_p: greedy maximal batch of non-overlapping windows, in order *)
+    let batch = ref [] and deferred = Queue.create () in
+    Queue.iter
+      (fun p ->
+         if List.exists (fun q -> Rect.overlaps q.window p.window) !batch then
+           Queue.add p deferred
+         else batch := p :: !batch)
+      waiting;
+    Queue.clear waiting;
+    Queue.transfer deferred waiting;
+    let batch = Array.of_list (List.rev !batch) in
+    (* compute best candidates read-only *)
+    let results = Array.make (Array.length batch) None in
+    let compute lo hi =
+      for i = lo to hi - 1 do
+        results.(i) <- Insertion.best ctx ~target:batch.(i).cell ~window:batch.(i).window
+      done
+    in
+    if threads = 1 || Array.length batch < 2 * threads then
+      compute 0 (Array.length batch)
+    else begin
+      let n = Array.length batch in
+      let chunk = (n + threads - 1) / threads in
+      let domains =
+        List.init threads (fun t ->
+            let lo = t * chunk and hi = min n ((t + 1) * chunk) in
+            if lo < hi then Some (Domain.spawn (fun () -> compute lo hi)) else None)
+      in
+      List.iter (function Some d -> Domain.join d | None -> ()) domains
+    end;
+    (* apply in order; windows are disjoint so candidates stay valid *)
+    Array.iteri
+      (fun i p ->
+         match results.(i) with
+         | Some cand ->
+           Insertion.apply ctx ~target:p.cell cand;
+           incr legalized
+         | None ->
+           if p.tries >= config.Config.max_window_tries || Rect.equal p.window die
+           then begin
+             incr fallbacks;
+             let ok =
+               Mgl.fallback_place ctx p.cell
+               || Mgl.fallback_place ~relax_routability:true ctx p.cell
+             in
+             if not ok then
+               failwith
+                 (Printf.sprintf "Scheduler: cell %d cannot be placed" p.cell);
+             incr legalized
+           end
+           else begin
+             incr growths;
+             p.tries <- p.tries + 1;
+             p.window <-
+               Mgl.grow_window p.window ~die ~factor:config.Config.window_growth;
+             Queue.add p waiting
+           end)
+      batch
+  done;
+  { legalized = !legalized; rounds = !rounds; window_growths = !growths;
+    fallbacks = !fallbacks }

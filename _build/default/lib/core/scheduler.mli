@@ -1,0 +1,25 @@
+(** Deterministic multi-threaded MGL (paper Sec. 3.5).
+
+    The scheduler maintains the paper's two lists: [L_p], windows under
+    processing (pairwise non-overlapping), and [L_w], cells waiting
+    (including those whose window grew after a failed insertion). Each
+    round, a maximal prefix-greedy batch of non-overlapping windows is
+    selected in cell order; their best insertion points are computed
+    read-only (optionally on multiple domains) and then applied in
+    order. Because the windows are disjoint, the computed candidates
+    touch disjoint cell sets and the result is identical to processing
+    the batch sequentially — determinism follows by construction, as
+    the paper argues. *)
+
+open Mcl_netlist
+
+type stats = {
+  legalized : int;
+  rounds : int;
+  window_growths : int;
+  fallbacks : int;
+}
+
+(** [run config design] legalizes like {!Mgl.run} but batch-scheduled;
+    [config.threads] > 1 computes each batch on that many domains. *)
+val run : ?disp_from:[ `Gp | `Current ] -> Config.t -> Design.t -> stats

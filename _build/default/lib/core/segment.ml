@@ -1,0 +1,63 @@
+module Interval = Mcl_geom.Interval
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+type t = {
+  respect_fences : bool;
+  num_regions : int;
+  (* spans.(region).(row) : sorted disjoint intervals *)
+  span_table : Interval.t list array array;
+}
+
+let shrink gap (s : Interval.t) =
+  if Interval.length s <= 2 * gap then None
+  else Some (Interval.make (s.Interval.lo + gap) (s.Interval.hi - gap))
+
+let build ?(boundary_gap = 0) ~respect_fences design =
+  let fp = design.Design.floorplan in
+  let rows = fp.Floorplan.num_rows in
+  let die_span = Interval.make 0 fp.Floorplan.num_sites in
+  let blockage_cuts row =
+    List.filter_map
+      (fun (b : Rect.t) ->
+         if Interval.contains b.Rect.y row then Some b.Rect.x else None)
+      fp.Floorplan.blockages
+  in
+  let num_regions =
+    if respect_fences then 1 + Array.length design.Design.fences else 1
+  in
+  let span_table =
+    Array.init num_regions (fun region ->
+        Array.init rows (fun row ->
+            let base =
+              if not respect_fences then [ die_span ]
+              else if region = 0 then
+                (* default region: die minus every fence *)
+                let fence_cuts =
+                  Array.to_list design.Design.fences
+                  |> List.concat_map (fun f -> Fence.row_intervals f ~row)
+                in
+                Interval.subtract die_span fence_cuts
+              else Fence.row_intervals design.Design.fences.(region - 1) ~row
+            in
+            List.concat_map (fun s -> Interval.subtract s (blockage_cuts row)) base
+            |> List.filter_map (shrink boundary_gap)
+            |> List.sort (fun a b -> compare a.Interval.lo b.Interval.lo)))
+  in
+  { respect_fences; num_regions; span_table }
+
+let num_regions t = t.num_regions
+let region_of t (c : Cell.t) = if t.respect_fences then c.region else 0
+
+let spans t ~row ~region =
+  if row < 0 || row >= Array.length t.span_table.(0) then []
+  else t.span_table.(region).(row)
+
+let span_at t ~row ~region ~x =
+  List.find_opt (fun s -> Interval.contains s x) (spans t ~row ~region)
+
+let region_area t ~region =
+  Array.fold_left
+    (fun acc spans_of_row ->
+       acc + List.fold_left (fun a s -> a + Interval.length s) 0 spans_of_row)
+    0 t.span_table.(region)

@@ -1,0 +1,32 @@
+(** Static row segments: for every (row, region) pair, the maximal
+    x-intervals a cell of that region may occupy. Region 0 is the
+    default fence (outside all fences); region [i >= 1] is fence [i].
+    Blockages are subtracted everywhere. Cells are not part of this
+    structure (see {!Placement}). *)
+
+open Mcl_netlist
+
+type t
+
+(** [build ~respect_fences design] precomputes all segments. With
+    [respect_fences = false] every row is a single region-0 segment
+    spanning the die (minus blockages) and fence queries alias to
+    region 0. [boundary_gap] (default 0) shrinks every span by that
+    many sites at each end, so cells on both sides of a fence or
+    blockage boundary keep at least twice the gap between them — the
+    pipeline uses half the largest edge-spacing rule. *)
+val build : ?boundary_gap:int -> respect_fences:bool -> Design.t -> t
+
+val num_regions : t -> int
+
+(** Effective region key of a cell (0 when fences are ignored). *)
+val region_of : t -> Cell.t -> int
+
+(** Sorted disjoint free spans of [row] for [region]. *)
+val spans : t -> row:int -> region:int -> Mcl_geom.Interval.t list
+
+(** The span of (row, region) containing site [x], if any. *)
+val span_at : t -> row:int -> region:int -> x:int -> Mcl_geom.Interval.t option
+
+(** Total placeable sites of a region. *)
+val region_area : t -> region:int -> int

@@ -1,0 +1,1 @@
+lib/eval/legality.ml: Array Cell Design Floorplan Format Hashtbl List Mcl_geom Mcl_netlist Printf String

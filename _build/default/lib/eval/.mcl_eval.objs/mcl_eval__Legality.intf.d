@@ -1,0 +1,1 @@
+lib/eval/legality.mli: Design Format Mcl_netlist

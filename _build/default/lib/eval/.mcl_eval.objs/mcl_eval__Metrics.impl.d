@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Array Cell Design Floorplan List Mcl_netlist Net

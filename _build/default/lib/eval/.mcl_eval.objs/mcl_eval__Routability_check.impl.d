@@ -1,0 +1,1 @@
+lib/eval/routability_check.ml: Array Cell Cell_type Design Floorplan Hashtbl Layer List Mcl_geom Mcl_netlist

@@ -1,0 +1,1 @@
+lib/eval/routability_check.mli: Cell Design Mcl_netlist

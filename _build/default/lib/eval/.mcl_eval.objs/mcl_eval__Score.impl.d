@@ -1,0 +1,1 @@
+lib/eval/score.ml: Design Format Mcl_netlist Metrics Routability_check

@@ -1,0 +1,1 @@
+lib/eval/score.mli: Design Format Mcl_netlist

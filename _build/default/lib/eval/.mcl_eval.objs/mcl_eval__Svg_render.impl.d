@@ -1,0 +1,1 @@
+lib/eval/svg_render.ml: Array Buffer Cell Cell_type Design Fence Floorplan List Mcl_geom Mcl_netlist Printf

@@ -1,0 +1,1 @@
+lib/eval/svg_render.mli: Design Mcl_netlist

@@ -1,0 +1,78 @@
+open Mcl_netlist
+
+let displacement design (c : Cell.t) =
+  let fp = design.Design.floorplan in
+  let dx = abs (c.x - c.gp_x) * fp.Floorplan.site_width in
+  let dy = abs (c.y - c.gp_y) * fp.Floorplan.row_height in
+  float_of_int (dx + dy) /. float_of_int fp.Floorplan.row_height
+
+let average_displacement design =
+  let h_max = Design.max_height design in
+  let sums = Array.make (h_max + 1) 0.0 in
+  let counts = Array.make (h_max + 1) 0 in
+  Array.iter
+    (fun (c : Cell.t) ->
+       if not c.is_fixed then begin
+         let h = Design.height design c in
+         sums.(h) <- sums.(h) +. displacement design c;
+         counts.(h) <- counts.(h) + 1
+       end)
+    design.Design.cells;
+  let acc = ref 0.0 and populated = ref 0 in
+  for h = 1 to h_max do
+    if counts.(h) > 0 then begin
+      acc := !acc +. (sums.(h) /. float_of_int counts.(h));
+      incr populated
+    end
+  done;
+  if !populated = 0 then 0.0 else !acc /. float_of_int !populated
+
+let max_displacement design =
+  Array.fold_left
+    (fun acc (c : Cell.t) ->
+       if c.is_fixed then acc else max acc (displacement design c))
+    0.0 design.Design.cells
+
+let total_displacement_sites design =
+  let fp = design.Design.floorplan in
+  let ratio =
+    float_of_int fp.Floorplan.row_height /. float_of_int fp.Floorplan.site_width
+  in
+  Array.fold_left
+    (fun acc (c : Cell.t) ->
+       if c.is_fixed then acc
+       else
+         acc
+         +. float_of_int (abs (c.x - c.gp_x))
+         +. (float_of_int (abs (c.y - c.gp_y)) *. ratio))
+    0.0 design.Design.cells
+
+let hpwl design =
+  let fp = design.Design.floorplan in
+  let total = ref 0 in
+  Array.iter
+    (fun (net : Net.t) ->
+       let xl = ref max_int and xh = ref min_int in
+       let yl = ref max_int and yh = ref min_int in
+       let visit px py =
+         if px < !xl then xl := px;
+         if px > !xh then xh := px;
+         if py < !yl then yl := py;
+         if py > !yh then yh := py
+       in
+       List.iter
+         (fun ep ->
+            match ep with
+            | Net.Cell_pin { cell; dx; dy } ->
+              let c = design.Design.cells.(cell) in
+              visit ((c.Cell.x * fp.Floorplan.site_width) + dx)
+                ((c.Cell.y * fp.Floorplan.row_height) + dy)
+            | Net.Fixed_pin { px; py } -> visit px py)
+         net.Net.endpoints;
+       if !xl <= !xh then total := !total + (!xh - !xl) + (!yh - !yl))
+    design.Design.nets;
+  !total
+
+let hpwl_increase_ratio ~gp_hpwl ~legal_hpwl =
+  if gp_hpwl <= 0 then 0.0
+  else float_of_int (legal_hpwl - gp_hpwl) /. float_of_int gp_hpwl

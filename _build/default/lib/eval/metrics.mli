@@ -1,0 +1,29 @@
+(** Displacement and wirelength metrics (paper Eq. 1 and 2).
+
+    Displacements are reported in multiples of the row height, as in
+    the ICCAD 2017 contest: a cell moved by [dx] sites and [dy] rows
+    has displacement [(|dx| * site_width + |dy| * row_height) /
+    row_height]. Fixed cells are excluded everywhere. *)
+
+open Mcl_netlist
+
+(** Displacement of one cell from its GP position, in row heights. *)
+val displacement : Design.t -> Cell.t -> float
+
+(** The paper's per-height-averaged displacement [S_am] (Eq. 2). *)
+val average_displacement : Design.t -> float
+
+(** Maximum displacement over all movable cells, in row heights. *)
+val max_displacement : Design.t -> float
+
+(** Total displacement in sites: [sum |dx| + |dy| * row_height /
+    site_width], the metric of the paper's Table 2. *)
+val total_displacement_sites : Design.t -> float
+
+(** Half-perimeter wirelength of all nets, in dbu. *)
+val hpwl : Design.t -> int
+
+(** [hpwl_increase_ratio ~gp ~legal] is the paper's [S_hpwl]: the
+    relative HPWL increase of the legalized placement over the GP
+    HPWL values (0 when the design has no nets). *)
+val hpwl_increase_ratio : gp_hpwl:int -> legal_hpwl:int -> float

@@ -1,0 +1,101 @@
+module Interval = Mcl_geom.Interval
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+(* Geometry is emitted in dbu; a viewBox lets any viewer scale it. *)
+
+let height_fill = function
+  | 1 -> "#9ecae1"
+  | 2 -> "#fdd0a2"
+  | 3 -> "#a1d99b"
+  | _ -> "#bcbddc"
+
+let render ?(displacement_lines = true) ?highlight_type design =
+  let fp = design.Design.floorplan in
+  let sw = fp.Floorplan.site_width and rh = fp.Floorplan.row_height in
+  let w_dbu = fp.Floorplan.num_sites * sw and h_dbu = fp.Floorplan.num_rows * rh in
+  let buf = Buffer.create 65536 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 %d %d\" \
+     width=\"1000\">\n"
+    w_dbu h_dbu;
+  (* flip y so row 0 is at the bottom, as in placement plots *)
+  pf "<g transform=\"translate(0 %d) scale(1 -1)\">\n" h_dbu;
+  pf "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"#fcfcfc\" \
+      stroke=\"#444\" stroke-width=\"2\"/>\n"
+    w_dbu h_dbu;
+  (* row grid *)
+  for r = 1 to fp.Floorplan.num_rows - 1 do
+    pf "<line x1=\"0\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#eee\" \
+        stroke-width=\"1\"/>\n"
+      (r * rh) w_dbu (r * rh)
+  done;
+  (* fences *)
+  Array.iter
+    (fun (f : Fence.t) ->
+       List.iter
+         (fun (r : Rect.t) ->
+            pf
+              "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+               fill=\"#fff3b0\" fill-opacity=\"0.6\" stroke=\"#c8a415\" \
+               stroke-width=\"2\"/>\n"
+              (r.Rect.x.Interval.lo * sw) (r.Rect.y.Interval.lo * rh)
+              (Rect.width r * sw) (Rect.height r * rh))
+         f.Fence.rects)
+    design.Design.fences;
+  (* blockages *)
+  List.iter
+    (fun (r : Rect.t) ->
+       pf
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#999\" \
+          fill-opacity=\"0.7\"/>\n"
+         (r.Rect.x.Interval.lo * sw) (r.Rect.y.Interval.lo * rh)
+         (Rect.width r * sw) (Rect.height r * rh))
+    fp.Floorplan.blockages;
+  (* cells *)
+  Array.iter
+    (fun (c : Cell.t) ->
+       let ct = Design.cell_type design c in
+       let fill =
+         if c.Cell.is_fixed then "#555"
+         else
+           match highlight_type with
+           | Some t when t = c.Cell.type_id -> "#e05252"
+           | Some _ | None -> height_fill ct.Cell_type.height
+       in
+       pf
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" \
+          stroke=\"#666\" stroke-width=\"0.5\"/>\n"
+         (c.Cell.x * sw) (c.Cell.y * rh) (ct.Cell_type.width * sw)
+         (ct.Cell_type.height * rh) fill)
+    design.Design.cells;
+  (* displacement lines, centre to GP centre *)
+  if displacement_lines then
+    Array.iter
+      (fun (c : Cell.t) ->
+         if not c.Cell.is_fixed then begin
+           let ct = Design.cell_type design c in
+           let dx_dbu = abs (c.Cell.x - c.Cell.gp_x) * sw in
+           let dy_dbu = abs (c.Cell.y - c.Cell.gp_y) * rh in
+           if dx_dbu + dy_dbu >= rh then begin
+             let cx x y =
+               (((2 * x) + ct.Cell_type.width) * sw / 2,
+                (((2 * y) + ct.Cell_type.height) * rh / 2))
+             in
+             let x1, y1 = cx c.Cell.x c.Cell.y in
+             let x2, y2 = cx c.Cell.gp_x c.Cell.gp_y in
+             pf
+               "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#d62728\" \
+                stroke-width=\"1.5\" stroke-opacity=\"0.8\"/>\n"
+               x1 y1 x2 y2
+           end
+         end)
+      design.Design.cells;
+  pf "</g>\n</svg>\n";
+  Buffer.contents buf
+
+let write_file ?displacement_lines ?highlight_type path design =
+  let oc = open_out path in
+  output_string oc (render ?displacement_lines ?highlight_type design);
+  close_out oc

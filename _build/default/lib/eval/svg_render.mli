@@ -1,0 +1,19 @@
+(** SVG rendering of placements, in the style of the paper's Fig. 6:
+    cells colored by height, fences and fixed macros shaded, and
+    optional red displacement lines from each cell to its GP position.
+
+    Intended for debugging and for reproducing the Fig. 6 panels:
+    render once after MGL and once after the post-processing stages to
+    see the maximum-displacement optimization at work. *)
+
+open Mcl_netlist
+
+(** [render ?displacement_lines ?highlight_type design] builds a
+    standalone SVG document. [displacement_lines] (default true) draws
+    cell-to-GP segments for every cell displaced by at least one row
+    height; [highlight_type] fills cells of that type in red like the
+    paper's figure. *)
+val render : ?displacement_lines:bool -> ?highlight_type:int -> Design.t -> string
+
+val write_file :
+  ?displacement_lines:bool -> ?highlight_type:int -> string -> Design.t -> unit

@@ -1,0 +1,1 @@
+lib/flow/mcf.ml: Network_simplex Ssp

@@ -1,0 +1,19 @@
+(** Min-cost perfect bipartite matching, solved as a min-cost flow
+    (paper Sec. 3.2 uses this for the maximum-displacement
+    optimization).
+
+    Both sides have [n] vertices; only the supplied candidate edges may
+    be used. The caller must ensure a perfect matching exists among the
+    candidates (the legalizer guarantees this by always including each
+    cell's identity edge to its own position). *)
+
+type edge = { left : int; right : int; edge_cost : int }
+
+(** [solve ~n ~edges] returns [mate] where [mate.(l)] is the right
+    vertex matched to left vertex [l], or [Error _] if no perfect
+    matching exists within the candidate edges. *)
+val solve : n:int -> edges:edge list -> (int array, string) Result.t
+
+(** Total cost of an assignment under the given edges; [None] if the
+    assignment uses a non-edge. For tests. *)
+val assignment_cost : n:int -> edges:edge list -> int array -> int option

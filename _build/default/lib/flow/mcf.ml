@@ -1,0 +1,32 @@
+type solver = Network_simplex_block | Network_simplex_first | Ssp
+
+type result = {
+  status : [ `Optimal | `Infeasible ];
+  flow : int array;
+  potential : int array option;
+  total_cost : int;
+}
+
+let solve ?(solver = Network_simplex_block) g =
+  match solver with
+  | Network_simplex_block | Network_simplex_first ->
+    let pivot =
+      match solver with
+      | Network_simplex_first -> Network_simplex.First_eligible
+      | Network_simplex_block | Ssp -> Network_simplex.Block_search
+    in
+    let r = Network_simplex.solve ~pivot g in
+    { status = (match r.Network_simplex.status with
+        | Network_simplex.Optimal -> `Optimal
+        | Network_simplex.Infeasible -> `Infeasible);
+      flow = r.Network_simplex.flow;
+      potential = Some r.Network_simplex.potential;
+      total_cost = r.Network_simplex.total_cost }
+  | Ssp ->
+    let r = Ssp.solve g in
+    { status = (match r.Ssp.status with
+        | Ssp.Optimal -> `Optimal
+        | Ssp.Infeasible -> `Infeasible);
+      flow = r.Ssp.flow;
+      potential = None;
+      total_cost = r.Ssp.total_cost }

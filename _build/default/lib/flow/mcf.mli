@@ -1,0 +1,15 @@
+(** Facade over the two min-cost-flow solvers. *)
+
+type solver =
+  | Network_simplex_block   (** network simplex, block-search pivots (default) *)
+  | Network_simplex_first   (** the paper's first-eligible pivot rule *)
+  | Ssp                     (** successive shortest paths *)
+
+type result = {
+  status : [ `Optimal | `Infeasible ];
+  flow : int array;
+  potential : int array option;  (** [None] for the SSP solver *)
+  total_cost : int;
+}
+
+val solve : ?solver:solver -> Graph.t -> result

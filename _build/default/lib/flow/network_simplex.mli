@@ -1,0 +1,30 @@
+(** Primal network simplex for min-cost flow.
+
+    This is our stand-in for the LEMON solver used by the paper. It
+    maintains a strongly feasible spanning-tree basis (Cunningham's
+    leaving-arc rule), so it terminates on degenerate instances, and it
+    supports the paper's first-eligible pivot rule as well as the
+    faster block-search rule.
+
+    Numeric limits: |cost| * (num_nodes + 2) and the optimal objective
+    must fit in an OCaml [int]; [solve] raises [Invalid_argument] when
+    the cost magnitudes make the big-M construction unsafe. *)
+
+type pivot_rule = First_eligible | Block_search
+
+type status = Optimal | Infeasible
+
+type result = {
+  status : status;
+  flow : int array;       (** per arc, same order as the builder *)
+  potential : int array;  (** per node; reduced cost of arc [a] is
+                              [cost a + potential (src a) - potential (dst a)] *)
+  total_cost : int;       (** cost of the returned flow *)
+}
+
+val solve : ?pivot:pivot_rule -> Graph.t -> result
+
+(** [check_optimality g r] verifies flow conservation, capacity bounds
+    and complementary slackness of a result; returns an error message
+    on the first violated condition. Intended for tests. *)
+val check_optimality : Graph.t -> result -> (unit, string) Result.t

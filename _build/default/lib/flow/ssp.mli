@@ -1,0 +1,17 @@
+(** Successive-shortest-path min-cost-flow solver.
+
+    Independent of {!Network_simplex} (different algorithm family), so
+    agreement of the two objective values is strong evidence of
+    correctness; the test suite exploits this. Negative-cost arcs are
+    handled by pre-saturation, so min-cost circulations (the paper's
+    Eq. 6/9 duals) are supported. *)
+
+type status = Optimal | Infeasible
+
+type result = {
+  status : status;
+  flow : int array;   (** per arc *)
+  total_cost : int;
+}
+
+val solve : Graph.t -> result

@@ -1,0 +1,1 @@
+lib/gen/generator.ml: Array Cell Cell_type Design Fence Float Floorplan Hashtbl Layer List Mcl_geom Mcl_netlist Net Printf Spec

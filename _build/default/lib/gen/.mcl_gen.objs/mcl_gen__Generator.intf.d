@@ -1,0 +1,1 @@
+lib/gen/generator.mli: Mcl_netlist Spec

@@ -1,0 +1,1 @@
+lib/gen/suites.ml: Float List Spec

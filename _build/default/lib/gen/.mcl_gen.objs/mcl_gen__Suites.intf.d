@@ -1,0 +1,1 @@
+lib/gen/suites.mli: Spec

@@ -1,0 +1,360 @@
+module Prng = Mcl_geom.Prng
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+let site_width = 2
+let row_height = 20
+
+(* ----- cell library ----- *)
+
+let make_pins rng ~width ~height ~index =
+  (* a couple of small signal pins; offsets leave room at the cell
+     borders so not every type conflicts with every rail *)
+  let w_dbu = width * site_width and h_dbu = height * row_height in
+  let num = 1 + (index mod 3) in
+  List.init num (fun k ->
+      let layer = if Prng.int rng 4 = 0 then Layer.M2 else Layer.M1 in
+      let px = Prng.int_in rng 0 (max 0 (w_dbu - 3)) in
+      let py = Prng.int_in rng 1 (max 1 (h_dbu - 4)) in
+      { Cell_type.pin_name = Printf.sprintf "p%d" k;
+        layer;
+        shape = Rect.make ~xl:px ~yl:py ~xh:(px + 2) ~yh:(py + 3) })
+
+let make_library rng ~heights ~num_edge_types =
+  let types = ref [] in
+  let id = ref 0 in
+  List.iter
+    (fun h ->
+       let variants = if h = 1 then 8 else 5 in
+       for v = 0 to variants - 1 do
+         let width =
+           if h = 1 then 2 + Prng.int rng 12
+           else max 2 (2 + Prng.int rng 16)
+         in
+         let edge_type = Prng.int rng (max 1 num_edge_types) in
+         let pins = make_pins rng ~width ~height:h ~index:v in
+         types :=
+           Cell_type.make ~type_id:!id
+             ~name:(Printf.sprintf "t%dx%d_%d" h width v)
+             ~width ~height:h ~edge_type ~pins ()
+           :: !types;
+         incr id
+       done)
+    heights;
+  Array.of_list (List.rev !types)
+
+(* ----- die sizing ----- *)
+
+let size_die ~total_area ~density =
+  (* square die in dbu: num_sites * site_width = num_rows * row_height *)
+  let sites_per_row_height = row_height / site_width in
+  let placeable = float_of_int total_area /. density in
+  let rows = int_of_float (ceil (sqrt (placeable /. float_of_int sites_per_row_height))) in
+  let rows = max 8 (if rows mod 2 = 0 then rows else rows + 1) in
+  let sites = int_of_float (ceil (placeable /. float_of_int rows)) in
+  (max 40 sites, rows)
+
+(* ----- fences ----- *)
+
+let place_fences rng ~num_sites ~num_rows ~num_fences ~fence_area_each =
+  let fences = ref [] in
+  let attempts = ref 0 in
+  let placed = ref 0 in
+  while !placed < num_fences && !attempts < 500 do
+    incr attempts;
+    let h = 4 + (2 * Prng.int rng 4) in
+    let w = max 24 (fence_area_each / h) in
+    if w < num_sites - 2 && h < num_rows - 2 then begin
+      let x = Prng.int rng (num_sites - w) in
+      let y = 2 * Prng.int rng ((num_rows - h) / 2) in
+      let r = Rect.make ~xl:x ~yl:y ~xh:(x + w) ~yh:(y + h) in
+      (* keep fences pairwise disjoint with a one-row/site margin *)
+      let grown = Rect.make ~xl:(x - 2) ~yl:(y - 2) ~xh:(x + w + 2) ~yh:(y + h + 2) in
+      if not (List.exists (fun (_, other) -> Rect.overlaps grown other) !fences) then begin
+        incr placed;
+        fences := (!placed, r) :: !fences
+      end
+    end
+  done;
+  List.rev_map
+    (fun (i, r) -> Fence.make ~fence_id:i ~name:(Printf.sprintf "fence%d" i) ~rects:[ r ])
+    !fences
+  |> Array.of_list
+
+(* ----- GP positions ----- *)
+
+type hotspot = { hx : float; hy : float; spread : float }
+
+let gp_position rng ~spec ~num_sites ~num_rows ~hotspots ~w ~h =
+  let open Spec in
+  let x_max = float_of_int (num_sites - w) and y_max = float_of_int (num_rows - h) in
+  (* congestion hot-spots thin out as density rises: a nearly-full die
+     cannot absorb strong clustering without huge displacements *)
+  let hotspot_frac = Float.min 0.45 (0.9 *. (1.0 -. spec.density)) in
+  let raw_x, raw_y =
+    if spec.hotspots > 0 && Prng.float rng 1.0 < hotspot_frac && Array.length hotspots > 0 then begin
+      let hs = Prng.choose rng hotspots in
+      (Prng.gaussian rng ~mu:hs.hx ~sigma:(hs.spread *. 10.0),
+       Prng.gaussian rng ~mu:hs.hy ~sigma:hs.spread)
+    end
+    else (Prng.float rng x_max, Prng.float rng y_max)
+  in
+  let noise = spec.gp_noise_rows in
+  let x = raw_x +. Prng.gaussian rng ~mu:0.0 ~sigma:(noise *. 10.0) in
+  let y = raw_y +. Prng.gaussian rng ~mu:0.0 ~sigma:noise in
+  let clamp v vmax = int_of_float (Float.max 0.0 (Float.min vmax v)) in
+  (clamp x x_max, clamp y y_max)
+
+(* ----- nets ----- *)
+
+let make_nets rng ~spec ~design_cells ~types ~num_sites ~num_rows ~num_io =
+  let open Spec in
+  let n = Array.length design_cells in
+  if n = 0 then [||]
+  else begin
+    let num_nets = int_of_float (spec.nets_per_cell *. float_of_int n) in
+    (* bucket cells on a coarse grid for locality *)
+    let gx = 8 and gy = 8 in
+    let buckets = Array.make (gx * gy) [] in
+    Array.iter
+      (fun (c : Cell.t) ->
+         let bx = min (gx - 1) (c.gp_x * gx / max 1 num_sites) in
+         let by = min (gy - 1) (c.gp_y * gy / max 1 num_rows) in
+         buckets.((by * gx) + bx) <- c.id :: buckets.((by * gx) + bx))
+    design_cells;
+    Array.init num_nets (fun net_id ->
+        let seed_cell = Prng.int rng n in
+        let c = design_cells.(seed_cell) in
+        let bx = min (gx - 1) (c.gp_x * gx / max 1 num_sites) in
+        let by = min (gy - 1) (c.gp_y * gy / max 1 num_rows) in
+        let pool = buckets.((by * gx) + bx) in
+        let pool = if List.length pool < 2 then List.init n (fun i -> i) else pool in
+        let pool = Array.of_list pool in
+        let degree = 2 + Prng.int rng 4 in
+        let endpoints = ref [] in
+        let pin_of cell_id =
+          let ct : Cell_type.t = types.(design_cells.(cell_id).Cell.type_id) in
+          Net.Cell_pin
+            { cell = cell_id;
+              dx = Prng.int rng (max 1 (ct.Cell_type.width * site_width));
+              dy = Prng.int rng (max 1 (ct.Cell_type.height * row_height)) }
+        in
+        endpoints := [ pin_of seed_cell ];
+        for _ = 2 to degree do
+          endpoints := pin_of (Prng.choose rng pool) :: !endpoints
+        done;
+        if num_io > 0 && Prng.int rng 20 = 0 then
+          endpoints :=
+            Net.Fixed_pin
+              { px = Prng.int rng (num_sites * site_width);
+                py = Prng.int rng (num_rows * row_height) }
+            :: !endpoints;
+        Net.make ~net_id ~endpoints:!endpoints)
+  end
+
+(* ----- main ----- *)
+
+let generate (spec : Spec.t) =
+  let rng = Prng.create spec.Spec.seed in
+  let heights = List.map fst spec.Spec.height_mix in
+  let types = make_library (Prng.split rng) ~heights ~num_edge_types:spec.Spec.num_edge_types in
+  (* draw each cell's type according to the height mix *)
+  let types_by_height = Hashtbl.create 8 in
+  Array.iter
+    (fun (ct : Cell_type.t) ->
+       let cur = try Hashtbl.find types_by_height ct.Cell_type.height with Not_found -> [] in
+       Hashtbl.replace types_by_height ct.Cell_type.height (ct :: cur))
+    types;
+  let pick_height r =
+    let rec go acc = function
+      | [] -> (match heights with [] -> 1 | h :: _ -> h)
+      | (h, f) :: rest -> if r < acc +. f then h else go (acc +. f) rest
+    in
+    go 0.0 spec.Spec.height_mix
+  in
+  let cell_type_ids =
+    Array.init spec.Spec.num_cells (fun _ ->
+        let h = pick_height (Prng.float rng 1.0) in
+        let cands = Array.of_list (Hashtbl.find types_by_height h) in
+        (Prng.choose rng cands).Cell_type.type_id)
+  in
+  let total_area =
+    Array.fold_left
+      (fun acc tid ->
+         let ct = types.(tid) in
+         acc + (ct.Cell_type.width * ct.Cell_type.height))
+      0 cell_type_ids
+  in
+  (* Edge-spacing rules consume roughly one or two extra sites between
+     neighbours; size the die for the inflated footprint so the target
+     density stays achievable. *)
+  let sizing_area =
+    if spec.Spec.routability then
+      Array.fold_left
+        (fun acc tid ->
+           let ct = types.(tid) in
+           acc + ((ct.Cell_type.width + 1) * ct.Cell_type.height))
+        0 cell_type_ids
+    else total_area
+  in
+  let num_sites, num_rows = size_die ~total_area:sizing_area ~density:spec.Spec.density in
+  (* fences sized for the cells they will hold, with 45% slack *)
+  let fences =
+    if spec.Spec.num_fences = 0 || spec.Spec.fence_cell_frac <= 0.0 then [||]
+    else begin
+      let fenced_area =
+        int_of_float (spec.Spec.fence_cell_frac *. float_of_int total_area)
+      in
+      let per_fence = fenced_area * 175 / 100 / max 1 spec.Spec.num_fences in
+      place_fences rng ~num_sites ~num_rows ~num_fences:spec.Spec.num_fences
+        ~fence_area_each:per_fence
+    end
+  in
+  let num_fences = Array.length fences in
+  (* fixed macro blocks: large immovable cells dropped on the die
+     before GP; everything else must legalize around them *)
+  let macro_type_id = Array.length types in
+  let types, macro_cells =
+    if spec.Spec.num_macros = 0 then (types, [])
+    else begin
+      let mw = max 8 (num_sites / 10) and mh = 4 in
+      let macro_type =
+        Cell_type.make ~type_id:macro_type_id ~name:"macro" ~width:mw ~height:mh ()
+      in
+      let placed = ref [] in
+      let attempts = ref 0 in
+      while List.length !placed < spec.Spec.num_macros && !attempts < 400 do
+        incr attempts;
+        let x = Prng.int rng (max 1 (num_sites - mw)) in
+        let y = 2 * Prng.int rng (max 1 ((num_rows - mh) / 2)) in
+        let r = Rect.make ~xl:(x - 2) ~yl:(y - 1) ~xh:(x + mw + 2) ~yh:(y + mh + 1) in
+        let clear =
+          (not (List.exists (fun other -> Rect.overlaps r other) !placed))
+          && not
+               (Array.exists
+                  (fun (f : Fence.t) ->
+                     List.exists (Rect.overlaps r) f.Fence.rects)
+                  fences)
+        in
+        if clear then placed := r :: !placed
+      done;
+      let macros =
+        List.map
+          (fun (r : Rect.t) ->
+             (r.Rect.x.Mcl_geom.Interval.lo + 2, r.Rect.y.Mcl_geom.Interval.lo + 1))
+          !placed
+      in
+      (Array.append types [| macro_type |], macros)
+    end
+  in
+  (* fence capacities in cell area *)
+  let fence_capacity =
+    Array.map
+      (fun (f : Fence.t) ->
+         List.fold_left (fun acc r -> acc + Rect.area r) 0 f.Fence.rects * 100 / 175)
+      fences
+  in
+  let fence_used = Array.make num_fences 0 in
+  let hotspots =
+    Array.init spec.Spec.hotspots (fun _ ->
+        { hx = Prng.float rng (float_of_int num_sites);
+          hy = Prng.float rng (float_of_int num_rows);
+          spread = 1.5 +. Prng.float rng (float_of_int num_rows /. 6.0) })
+  in
+  (* assign regions: greedily fill fences up to capacity *)
+  let order = Array.init spec.Spec.num_cells (fun i -> i) in
+  Prng.shuffle rng order;
+  let regions = Array.make spec.Spec.num_cells 0 in
+  let want_fenced =
+    int_of_float (spec.Spec.fence_cell_frac *. float_of_int spec.Spec.num_cells)
+  in
+  let assigned = ref 0 in
+  Array.iter
+    (fun i ->
+       if !assigned < want_fenced && num_fences > 0 then begin
+         let f = Prng.int rng num_fences in
+         let ct = types.(cell_type_ids.(i)) in
+         let area = ct.Cell_type.width * ct.Cell_type.height in
+         let fits =
+           (* the cell must fit inside some fence rect with generous
+              slack, in both dimensions: fences are small, so a greedy
+              (non-shifting) legalizer must still find room. Cells of
+              height >= 3 stay in the default region: in real contest
+              designs the tall macros are rarely fenced, and small
+              fences cannot host them without over-constraining. *)
+           ct.Cell_type.height <= 2
+           && List.exists
+                (fun (r : Rect.t) ->
+                   Rect.width r >= (2 * ct.Cell_type.width) + 8
+                   && Rect.height r >= 2 * ct.Cell_type.height)
+                fences.(f).Fence.rects
+         in
+         if fits && fence_used.(f) + area <= fence_capacity.(f) then begin
+           regions.(i) <- f + 1;
+           fence_used.(f) <- fence_used.(f) + area;
+           incr assigned
+         end
+       end)
+    order;
+  (* GP positions *)
+  let movable_cells =
+    Array.init spec.Spec.num_cells (fun i ->
+        let ct = types.(cell_type_ids.(i)) in
+        let w = ct.Cell_type.width and h = ct.Cell_type.height in
+        let gp_x, gp_y =
+          if regions.(i) > 0 then begin
+            (* inside (or near) the fence, with noise that sometimes
+               leaks outside: the legalizer must pull those back *)
+            match fences.(regions.(i) - 1).Fence.rects with
+            | [] -> gp_position rng ~spec ~num_sites ~num_rows ~hotspots ~w ~h
+            | r :: _ ->
+              let fx = Prng.int_in rng r.Rect.x.lo (max r.Rect.x.lo (r.Rect.x.hi - w)) in
+              let fy = Prng.int_in rng r.Rect.y.lo (max r.Rect.y.lo (r.Rect.y.hi - h)) in
+              let fx = fx + int_of_float (Prng.gaussian rng ~mu:0.0 ~sigma:3.0) in
+              let fy = fy + int_of_float (Prng.gaussian rng ~mu:0.0 ~sigma:0.8) in
+              (max 0 (min (num_sites - w) fx), max 0 (min (num_rows - h) fy))
+          end
+          else gp_position rng ~spec ~num_sites ~num_rows ~hotspots ~w ~h
+        in
+        Cell.make ~id:i ~type_id:ct.Cell_type.type_id ~region:regions.(i) ~gp_x ~gp_y ())
+  in
+  let cells =
+    Array.append movable_cells
+      (Array.of_list
+         (List.mapi
+            (fun k (mx, my) ->
+               Cell.make ~id:(spec.Spec.num_cells + k) ~type_id:macro_type_id
+                 ~is_fixed:true ~gp_x:mx ~gp_y:my ())
+            macro_cells))
+  in
+  (* floorplan: rails, IO pins, spacing table *)
+  (* Spacing applies only between the "special" edge types, as in the
+     contest rules: most abutments are free. *)
+  let edge_spacing =
+    Array.init spec.Spec.num_edge_types (fun l ->
+        Array.init spec.Spec.num_edge_types (fun r ->
+            if l = 2 && r = 2 then 2 else if l + r >= 3 then 1 else 0))
+  in
+  let io_pins =
+    if not spec.Spec.routability then []
+    else
+      List.init spec.Spec.num_io_pins (fun _ ->
+          let w = 2 + Prng.int rng 5 and h = 2 + Prng.int rng 5 in
+          let x = Prng.int rng (max 1 ((num_sites * site_width) - w)) in
+          let y = Prng.int rng (max 1 ((num_rows * row_height) - h)) in
+          { Floorplan.io_layer = (if Prng.bool rng then Layer.M2 else Layer.M3);
+            io_rect = Rect.make ~xl:x ~yl:y ~xh:(x + w) ~yh:(y + h) })
+  in
+  let floorplan =
+    Floorplan.make ~num_sites ~num_rows ~site_width ~row_height
+      ~hrail_period:(if spec.Spec.routability then 8 else 0)
+      ~hrail_halfwidth:3
+      ~vrail_pitch:(if spec.Spec.routability then 32 else 0)
+      ~vrail_width:2 ~io_pins ~edge_spacing ()
+  in
+  let nets =
+    make_nets rng ~spec ~design_cells:cells ~types ~num_sites ~num_rows
+      ~num_io:spec.Spec.num_io_pins
+  in
+  Design.make ~name:spec.Spec.name ~floorplan ~cell_types:types ~cells ~nets
+    ~fences ()

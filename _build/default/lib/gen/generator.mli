@@ -1,0 +1,10 @@
+(** Synthetic benchmark construction.
+
+    [generate spec] builds a design whose global placement exhibits the
+    features the paper's legalizer must cope with: overlapping cells in
+    density hot-spots, mixed cell heights, fence regions (with some
+    fenced cells starting outside their fence and vice versa), a P/G
+    rail grid, IO pins and edge-spacing rules. Deterministic in
+    [spec.seed]. *)
+
+val generate : Spec.t -> Mcl_netlist.Design.t

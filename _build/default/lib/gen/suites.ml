@@ -1,0 +1,90 @@
+(* Benchmark rosters. Densities come from the paper's tables; cell
+   counts are the contest counts divided by ~25 (Table 1) and ~45
+   (Table 2) to keep a full sweep fast. Height mixes follow the md1 /
+   md2 / md3 naming: md1 adds double-height cells, md2 adds
+   triple-height, md3 adds quadruple-height. *)
+
+let mix_md0 = [ (1, 1.0) ]
+let mix_md1 = [ (1, 0.86); (2, 0.14) ]
+let mix_md2 = [ (1, 0.82); (2, 0.12); (3, 0.06) ]
+let mix_md3 = [ (1, 0.80); (2, 0.10); (3, 0.06); (4, 0.04) ]
+
+let clamp_density d = Float.min 0.88 d
+
+let scaled scale n = max 200 (int_of_float (float_of_int n *. scale))
+
+let iccad_spec ~scale ~seed ~name ~cells ~density ~mix =
+  { Spec.name;
+    seed;
+    num_cells = scaled scale cells;
+    density = clamp_density density;
+    height_mix = mix;
+    num_fences = 3;
+    fence_cell_frac = 0.12;
+    hotspots = 4;
+    gp_noise_rows = 1.8;
+    nets_per_cell = 0.7;
+    num_io_pins = 30;
+    routability = true;
+    num_edge_types = 3;
+    num_macros = 0 }
+
+let iccad2017 ?(scale = 1.0) () =
+  [ iccad_spec ~scale ~seed:101 ~name:"des_perf_1" ~cells:4500 ~density:0.906 ~mix:mix_md0;
+    iccad_spec ~scale ~seed:102 ~name:"des_perf_a_md1" ~cells:4150 ~density:0.551 ~mix:mix_md1;
+    iccad_spec ~scale ~seed:103 ~name:"des_perf_a_md2" ~cells:4200 ~density:0.559 ~mix:mix_md2;
+    iccad_spec ~scale ~seed:104 ~name:"des_perf_b_md1" ~cells:4270 ~density:0.550 ~mix:mix_md1;
+    iccad_spec ~scale ~seed:105 ~name:"des_perf_b_md2" ~cells:4080 ~density:0.647 ~mix:mix_md2;
+    iccad_spec ~scale ~seed:106 ~name:"edit_dist_1_md1" ~cells:4720 ~density:0.674 ~mix:mix_md1;
+    iccad_spec ~scale ~seed:107 ~name:"edit_dist_a_md2" ~cells:4600 ~density:0.594 ~mix:mix_md2;
+    iccad_spec ~scale ~seed:108 ~name:"edit_dist_a_md3" ~cells:4780 ~density:0.572 ~mix:mix_md3;
+    iccad_spec ~scale ~seed:109 ~name:"fft_2_md2" ~cells:1160 ~density:0.827 ~mix:mix_md2;
+    iccad_spec ~scale ~seed:110 ~name:"fft_a_md2" ~cells:1100 ~density:0.323 ~mix:mix_md2;
+    iccad_spec ~scale ~seed:111 ~name:"fft_a_md3" ~cells:1140 ~density:0.312 ~mix:mix_md3;
+    iccad_spec ~scale ~seed:112 ~name:"pci_bridge32_a_md1" ~cells:1070 ~density:0.495 ~mix:mix_md1;
+    iccad_spec ~scale ~seed:113 ~name:"pci_bridge32_a_md2" ~cells:1010 ~density:0.577 ~mix:mix_md2;
+    iccad_spec ~scale ~seed:114 ~name:"pci_bridge32_b_md1" ~cells:1050 ~density:0.266 ~mix:mix_md1;
+    iccad_spec ~scale ~seed:115 ~name:"pci_bridge32_b_md2" ~cells:1120 ~density:0.183 ~mix:mix_md2;
+    iccad_spec ~scale ~seed:116 ~name:"pci_bridge32_b_md3" ~cells:1100 ~density:0.222 ~mix:mix_md3 ]
+
+let ispd_spec ~scale ~seed ~name ~cells ~density =
+  { Spec.name;
+    seed;
+    num_cells = scaled scale cells;
+    density = clamp_density density;
+    height_mix = [ (1, 0.9); (2, 0.1) ];  (* 10% double height *)
+    num_fences = 0;
+    fence_cell_frac = 0.0;
+    hotspots = 4;
+    gp_noise_rows = 1.5;
+    nets_per_cell = 0.0;  (* Table 2 reports displacement only *)
+    num_io_pins = 0;
+    routability = false;
+    num_edge_types = 1;
+    num_macros = 0 }
+
+let ispd2015 ?(scale = 1.0) () =
+  [ ispd_spec ~scale ~seed:201 ~name:"des_perf_1" ~cells:2500 ~density:0.906;
+    ispd_spec ~scale ~seed:202 ~name:"des_perf_a" ~cells:2400 ~density:0.429;
+    ispd_spec ~scale ~seed:203 ~name:"des_perf_b" ~cells:2500 ~density:0.497;
+    ispd_spec ~scale ~seed:204 ~name:"edit_dist_a" ~cells:2830 ~density:0.455;
+    ispd_spec ~scale ~seed:205 ~name:"fft_1" ~cells:720 ~density:0.836;
+    ispd_spec ~scale ~seed:206 ~name:"fft_2" ~cells:720 ~density:0.500;
+    ispd_spec ~scale ~seed:207 ~name:"fft_a" ~cells:680 ~density:0.251;
+    ispd_spec ~scale ~seed:208 ~name:"fft_b" ~cells:680 ~density:0.282;
+    ispd_spec ~scale ~seed:209 ~name:"matrix_mult_1" ~cells:3450 ~density:0.802;
+    ispd_spec ~scale ~seed:210 ~name:"matrix_mult_2" ~cells:3450 ~density:0.790;
+    ispd_spec ~scale ~seed:211 ~name:"matrix_mult_a" ~cells:3330 ~density:0.420;
+    ispd_spec ~scale ~seed:212 ~name:"matrix_mult_b" ~cells:3250 ~density:0.309;
+    ispd_spec ~scale ~seed:213 ~name:"matrix_mult_c" ~cells:3250 ~density:0.308;
+    ispd_spec ~scale ~seed:214 ~name:"pci_bridge32_a" ~cells:660 ~density:0.384;
+    ispd_spec ~scale ~seed:215 ~name:"pci_bridge32_b" ~cells:640 ~density:0.143;
+    ispd_spec ~scale ~seed:216 ~name:"superblue11_a" ~cells:9270 ~density:0.429;
+    ispd_spec ~scale ~seed:217 ~name:"superblue12" ~cells:12870 ~density:0.447;
+    ispd_spec ~scale ~seed:218 ~name:"superblue14" ~cells:6130 ~density:0.558;
+    ispd_spec ~scale ~seed:219 ~name:"superblue16_a" ~cells:6810 ~density:0.479;
+    ispd_spec ~scale ~seed:220 ~name:"superblue19" ~cells:5060 ~density:0.523 ]
+
+let find ?(scale = 1.0) name =
+  let all = iccad2017 ~scale () @ ispd2015 ~scale () in
+  List.find_opt (fun s -> s.Spec.name = name) all

@@ -1,0 +1,18 @@
+(** Benchmark suites mirroring the paper's experiment tables.
+
+    Cell counts are scaled down from the contest originals (factor
+    noted per suite) so the whole evaluation reruns in minutes; the
+    per-benchmark densities and height mixes follow the paper's
+    Tables 1 and 2. [scale] multiplies every cell count (1.0 =
+    default reduced size). *)
+
+(** The 16 ICCAD-2017-like benchmarks of Table 1 (fences + routability
+    constraints on). *)
+val iccad2017 : ?scale:float -> unit -> Spec.t list
+
+(** The 20 ISPD-2015-like benchmarks of Table 2 (10% of cells double
+    height and half width; fences and routability off). *)
+val ispd2015 : ?scale:float -> unit -> Spec.t list
+
+(** Look a spec up by name in both suites. *)
+val find : ?scale:float -> string -> Spec.t option

@@ -1,0 +1,1 @@
+lib/geom/prng.ml: Array Int64

@@ -1,0 +1,42 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if hi < lo then invalid_arg "Interval.make: hi < lo";
+  { lo; hi }
+
+let empty = { lo = 0; hi = 0 }
+let is_empty t = t.hi <= t.lo
+let length t = if is_empty t then 0 else t.hi - t.lo
+let contains t x = x >= t.lo && x < t.hi
+let overlaps a b = min a.hi b.hi > max a.lo b.lo
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if hi < lo then empty else { lo; hi }
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let shift a dx = { lo = a.lo + dx; hi = a.hi + dx }
+
+let subtract a cuts =
+  let cuts =
+    List.filter (fun c -> overlaps a c) cuts
+    |> List.sort (fun c d -> compare c.lo d.lo)
+  in
+  let rec go lo acc = function
+    | [] -> if lo < a.hi then { lo; hi = a.hi } :: acc else acc
+    | c :: rest ->
+      let acc = if c.lo > lo then { lo; hi = c.lo } :: acc else acc in
+      go (max lo c.hi) acc rest
+  in
+  List.rev (go a.lo [] cuts)
+
+let clamp a x =
+  if is_empty a then invalid_arg "Interval.clamp: empty interval";
+  if x < a.lo then a.lo else if x > a.hi - 1 then a.hi - 1 else x
+
+let equal a b = (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)
+let pp ppf t = Format.fprintf ppf "[%d,%d)" t.lo t.hi

@@ -1,0 +1,38 @@
+(** Closed-open integer intervals [lo, hi). Used for site spans, rail
+    stripes and pin extents throughout the legalizer. *)
+
+type t = { lo : int; hi : int }
+
+(** [make lo hi] builds the interval [lo, hi). Raises [Invalid_argument]
+    if [hi < lo]; [lo = hi] denotes the empty interval at [lo]. *)
+val make : int -> int -> t
+
+val empty : t
+val is_empty : t -> bool
+val length : t -> int
+val contains : t -> int -> bool
+
+(** [overlaps a b] is true when the open overlap of [a] and [b] has
+    positive length. *)
+val overlaps : t -> t -> bool
+
+(** [inter a b] is the (possibly empty) intersection. *)
+val inter : t -> t -> t
+
+(** [hull a b] is the smallest interval covering both arguments. *)
+val hull : t -> t -> t
+
+(** [shift a dx] translates the interval by [dx]. *)
+val shift : t -> int -> t
+
+(** [subtract a cuts] removes every interval of [cuts] from [a] and
+    returns the remaining sub-intervals, sorted by [lo]. [cuts] need not
+    be sorted or disjoint. *)
+val subtract : t -> t list -> t list
+
+(** [clamp a x] is the point of [a] closest to [x]. Raises
+    [Invalid_argument] on an empty interval. *)
+val clamp : t -> int -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    All randomness in the benchmark generator flows through explicit
+    [Prng.t] states, so every experiment is reproducible from its seed
+    and independent of [Stdlib.Random] global state. *)
+
+type t
+
+val create : int -> t
+
+(** [int t bound] draws uniformly from [0, bound). Raises
+    [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] draws uniformly from [0, bound). *)
+val float : t -> float -> float
+
+(** [gaussian t ~mu ~sigma] draws from a normal distribution
+    (Box-Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+val bool : t -> bool
+
+(** [choose t arr] picks a uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [shuffle t arr] shuffles [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives an independent generator; the parent advances. *)
+val split : t -> t

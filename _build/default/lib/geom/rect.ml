@@ -1,0 +1,27 @@
+type t = { x : Interval.t; y : Interval.t }
+
+let make ~xl ~yl ~xh ~yh =
+  { x = Interval.make xl xh; y = Interval.make yl yh }
+
+let of_intervals x y = { x; y }
+let is_empty t = Interval.is_empty t.x || Interval.is_empty t.y
+let width t = Interval.length t.x
+let height t = Interval.length t.y
+let area t = width t * height t
+let overlaps a b = Interval.overlaps a.x b.x && Interval.overlaps a.y b.y
+let inter a b = { x = Interval.inter a.x b.x; y = Interval.inter a.y b.y }
+
+let contains_rect outer inner =
+  Interval.is_empty inner.x || Interval.is_empty inner.y
+  || (inner.x.Interval.lo >= outer.x.Interval.lo
+      && inner.x.Interval.hi <= outer.x.Interval.hi
+      && inner.y.Interval.lo >= outer.y.Interval.lo
+      && inner.y.Interval.hi <= outer.y.Interval.hi)
+
+let contains_point t (px, py) = Interval.contains t.x px && Interval.contains t.y py
+let shift t ~dx ~dy = { x = Interval.shift t.x dx; y = Interval.shift t.y dy }
+
+let equal a b =
+  (is_empty a && is_empty b) || (Interval.equal a.x b.x && Interval.equal a.y b.y)
+
+let pp ppf t = Format.fprintf ppf "%ax%a" Interval.pp t.x Interval.pp t.y

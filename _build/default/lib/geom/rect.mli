@@ -1,0 +1,17 @@
+(** Axis-aligned integer rectangles, closed-open on both axes. *)
+
+type t = { x : Interval.t; y : Interval.t }
+
+val make : xl:int -> yl:int -> xh:int -> yh:int -> t
+val of_intervals : Interval.t -> Interval.t -> t
+val is_empty : t -> bool
+val area : t -> int
+val width : t -> int
+val height : t -> int
+val overlaps : t -> t -> bool
+val inter : t -> t -> t
+val contains_rect : t -> t -> bool
+val contains_point : t -> int * int -> bool
+val shift : t -> dx:int -> dy:int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

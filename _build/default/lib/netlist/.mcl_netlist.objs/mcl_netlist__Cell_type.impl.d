@@ -1,0 +1,1 @@
+lib/netlist/cell_type.ml: Format Layer List Mcl_geom

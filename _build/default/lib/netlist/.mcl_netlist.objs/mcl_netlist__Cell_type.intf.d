@@ -1,0 +1,1 @@
+lib/netlist/cell_type.mli: Format Layer Mcl_geom

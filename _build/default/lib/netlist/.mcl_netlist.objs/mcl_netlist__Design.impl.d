@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Cell Cell_type Fence Floorplan Mcl_geom Net

@@ -1,0 +1,1 @@
+lib/netlist/design.mli: Cell Cell_type Fence Floorplan Mcl_geom Net

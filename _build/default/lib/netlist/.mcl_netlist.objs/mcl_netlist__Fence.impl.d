@@ -1,0 +1,1 @@
+lib/netlist/fence.ml: Format List Mcl_geom

@@ -1,0 +1,1 @@
+lib/netlist/fence.mli: Format Mcl_geom

@@ -1,0 +1,1 @@
+lib/netlist/floorplan.ml: Array Layer List Mcl_geom

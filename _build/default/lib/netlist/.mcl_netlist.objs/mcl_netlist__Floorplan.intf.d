@@ -1,0 +1,1 @@
+lib/netlist/floorplan.mli: Layer Mcl_geom

@@ -1,0 +1,1 @@
+lib/netlist/layer.ml: Format

@@ -1,0 +1,1 @@
+lib/netlist/layer.mli: Format

@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  type_id : int;
+  region : int;
+  is_fixed : bool;
+  mutable gp_x : int;
+  mutable gp_y : int;
+  mutable x : int;
+  mutable y : int;
+}
+
+let make ~id ~type_id ?(region = 0) ?(is_fixed = false) ~gp_x ~gp_y () =
+  { id; type_id; region; is_fixed; gp_x; gp_y; x = gp_x; y = gp_y }
+
+let reset_to_gp c =
+  c.x <- c.gp_x;
+  c.y <- c.gp_y
+
+let pp ppf c =
+  Format.fprintf ppf "c%d(t%d r%d @(%d,%d) gp(%d,%d)%s)" c.id c.type_id c.region
+    c.x c.y c.gp_x c.gp_y
+    (if c.is_fixed then " fixed" else "")

@@ -1,0 +1,24 @@
+(** Cell instances. Positions are the lower-left corner: [x] in sites,
+    [y] in rows. [gp_x]/[gp_y] hold the global-placement target the
+    legalizer minimizes displacement from; [x]/[y] are the current
+    (mutable) placement. *)
+
+type t = {
+  id : int;
+  type_id : int;
+  region : int;  (** 0 = default fence region, >= 1 = fence id *)
+  is_fixed : bool;
+  mutable gp_x : int;
+  mutable gp_y : int;
+  mutable x : int;
+  mutable y : int;
+}
+
+val make :
+  id:int -> type_id:int -> ?region:int -> ?is_fixed:bool ->
+  gp_x:int -> gp_y:int -> unit -> t
+
+(** [reset_to_gp c] moves the cell back to its GP position. *)
+val reset_to_gp : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type pin = { pin_name : string; layer : Layer.t; shape : Mcl_geom.Rect.t }
+
+type t = {
+  type_id : int;
+  name : string;
+  width : int;
+  height : int;
+  edge_type : int;
+  pins : pin list;
+}
+
+let make ~type_id ~name ~width ~height ?(edge_type = 0) ?(pins = []) () =
+  if width <= 0 || height <= 0 then invalid_arg "Cell_type.make: non-positive size";
+  { type_id; name; width; height; edge_type; pins }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(#%d %dx%d edge=%d pins=%d)" t.name t.type_id t.width
+    t.height t.edge_type (List.length t.pins)

@@ -1,0 +1,26 @@
+(** Standard-cell master definitions.
+
+    Width is in sites, height in rows. Signal-pin shapes are rectangles
+    in database units relative to the cell origin (lower-left corner);
+    the edge type indexes the edge-spacing rule table. *)
+
+type pin = {
+  pin_name : string;
+  layer : Layer.t;
+  shape : Mcl_geom.Rect.t;  (** offset rect in dbu, relative to origin *)
+}
+
+type t = {
+  type_id : int;
+  name : string;
+  width : int;      (** in sites *)
+  height : int;     (** in rows *)
+  edge_type : int;  (** index into the edge-spacing table *)
+  pins : pin list;
+}
+
+val make :
+  type_id:int -> name:string -> width:int -> height:int ->
+  ?edge_type:int -> ?pins:pin list -> unit -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+module Rect = Mcl_geom.Rect
+
+type t = {
+  name : string;
+  floorplan : Floorplan.t;
+  cell_types : Cell_type.t array;
+  cells : Cell.t array;
+  nets : Net.t array;
+  fences : Fence.t array;
+}
+
+let make ~name ~floorplan ~cell_types ~cells ?(nets = [||]) ?(fences = [||]) () =
+  Array.iteri
+    (fun i (ct : Cell_type.t) ->
+       if ct.type_id <> i then invalid_arg "Design.make: cell_types must be indexed by type_id")
+    cell_types;
+  Array.iteri
+    (fun i (c : Cell.t) ->
+       if c.id <> i then invalid_arg "Design.make: cells must be indexed by id")
+    cells;
+  Array.iteri
+    (fun i (f : Fence.t) ->
+       if f.fence_id <> i + 1 then invalid_arg "Design.make: fences must be indexed by fence_id - 1")
+    fences;
+  { name; floorplan; cell_types; cells; nets; fences }
+
+let num_cells t = Array.length t.cells
+let cell_type t (c : Cell.t) = t.cell_types.(c.type_id)
+let width t c = (cell_type t c).Cell_type.width
+let height t c = (cell_type t c).Cell_type.height
+
+let rect_at t c ~x ~y =
+  Rect.make ~xl:x ~yl:y ~xh:(x + width t c) ~yh:(y + height t c)
+
+let cell_rect t (c : Cell.t) = rect_at t c ~x:c.x ~y:c.y
+
+let max_height t =
+  Array.fold_left (fun acc (ct : Cell_type.t) -> max acc ct.height) 1 t.cell_types
+
+let cells_of_height t h =
+  Array.fold_left
+    (fun acc c -> if (not c.Cell.is_fixed) && height t c = h then acc + 1 else acc)
+    0 t.cells
+
+let region_covers t ~region ~x ~y =
+  if region = 0 then
+    not (Array.exists (fun f -> Fence.covers f ~x ~y) t.fences)
+  else
+    Fence.covers t.fences.(region - 1) ~x ~y
+
+let snapshot t = Array.map (fun (c : Cell.t) -> (c.x, c.y)) t.cells
+
+let restore t positions =
+  if Array.length positions <> Array.length t.cells then
+    invalid_arg "Design.restore: size mismatch";
+  Array.iteri
+    (fun i (x, y) ->
+       t.cells.(i).Cell.x <- x;
+       t.cells.(i).Cell.y <- y)
+    positions
+
+let reset_to_gp t =
+  Array.iter (fun c -> if not c.Cell.is_fixed then Cell.reset_to_gp c) t.cells

@@ -1,0 +1,53 @@
+(** A complete design: floorplan, cell library, cell instances, nets
+    and fence regions. This is the value every legalizer and evaluator
+    operates on. *)
+
+type t = {
+  name : string;
+  floorplan : Floorplan.t;
+  cell_types : Cell_type.t array;  (** indexed by [type_id] *)
+  cells : Cell.t array;            (** indexed by [id] *)
+  nets : Net.t array;
+  fences : Fence.t array;          (** [fences.(i)] has [fence_id = i+1] *)
+}
+
+val make :
+  name:string -> floorplan:Floorplan.t -> cell_types:Cell_type.t array ->
+  cells:Cell.t array -> ?nets:Net.t array -> ?fences:Fence.t array ->
+  unit -> t
+
+val num_cells : t -> int
+val cell_type : t -> Cell.t -> Cell_type.t
+
+(** Cell width in sites. *)
+val width : t -> Cell.t -> int
+
+(** Cell height in rows. *)
+val height : t -> Cell.t -> int
+
+(** Current footprint of a cell, in site/row coordinates. *)
+val cell_rect : t -> Cell.t -> Mcl_geom.Rect.t
+
+(** Footprint the cell would have at position [(x, y)]. *)
+val rect_at : t -> Cell.t -> x:int -> y:int -> Mcl_geom.Rect.t
+
+(** Number of distinct cell heights present, i.e. the paper's [H]. *)
+val max_height : t -> int
+
+(** [cells_of_height t h] counts movable cells of height [h]
+    (the paper's [|C_h|]). *)
+val cells_of_height : t -> int -> int
+
+(** [region_covers t ~region ~x ~y] tests whether the site [(x, y)]
+    belongs to the given region: inside the fence for [region >= 1],
+    outside every fence for region 0. *)
+val region_covers : t -> region:int -> x:int -> y:int -> bool
+
+(** Save and restore all cell positions (for before/after comparisons
+    and for baselines sharing one design value). *)
+val snapshot : t -> (int * int) array
+
+val restore : t -> (int * int) array -> unit
+
+(** Move every movable cell back to its GP position. *)
+val reset_to_gp : t -> unit

@@ -1,0 +1,35 @@
+module Interval = Mcl_geom.Interval
+module Rect = Mcl_geom.Rect
+
+type t = { fence_id : int; name : string; rects : Rect.t list }
+
+let make ~fence_id ~name ~rects =
+  if fence_id < 1 then invalid_arg "Fence.make: fence_id must be >= 1";
+  { fence_id; name; rects }
+
+let covers t ~x ~y = List.exists (fun r -> Rect.contains_point r (x, y)) t.rects
+
+let merge_intervals ivs =
+  let sorted = List.sort (fun a b -> compare a.Interval.lo b.Interval.lo) ivs in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | iv :: rest ->
+      (match acc with
+       | prev :: tl when iv.Interval.lo <= prev.Interval.hi ->
+         go (Interval.hull prev iv :: tl) rest
+       | _ -> go (iv :: acc) rest)
+  in
+  go [] sorted
+
+let row_intervals t ~row =
+  List.filter_map
+    (fun r ->
+       if Interval.contains r.Rect.y row && not (Interval.is_empty r.Rect.x) then
+         Some r.Rect.x
+       else None)
+    t.rects
+  |> merge_intervals
+
+let pp ppf t =
+  Format.fprintf ppf "fence%d(%s,%d rects)" t.fence_id t.name
+    (List.length t.rects)

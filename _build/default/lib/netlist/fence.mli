@@ -1,0 +1,22 @@
+(** Fence regions (paper Sec. 2): a named union of rectangles in
+    site/row coordinates. Cells assigned to a fence must be placed
+    inside its boundary; all other cells live in the default region
+    (region id 0), the area outside every fence. *)
+
+type t = {
+  fence_id : int;  (** >= 1; region 0 is the implicit default region *)
+  name : string;
+  rects : Mcl_geom.Rect.t list;  (** x in sites, y in rows *)
+}
+
+val make : fence_id:int -> name:string -> rects:Mcl_geom.Rect.t list -> t
+
+(** [covers t ~x ~y] tests whether site column [x] of row [y] lies in
+    the fence. *)
+val covers : t -> x:int -> y:int -> bool
+
+(** [row_intervals t ~row] is the sites of [row] covered by the fence,
+    as a sorted list of disjoint merged intervals. *)
+val row_intervals : t -> row:int -> Mcl_geom.Interval.t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type t = M1 | M2 | M3
+
+let above = function M1 -> Some M2 | M2 -> Some M3 | M3 -> None
+let equal a b = a = b
+let to_string = function M1 -> "M1" | M2 -> "M2" | M3 -> "M3"
+
+let of_string = function
+  | "M1" -> Some M1
+  | "M2" -> Some M2
+  | "M3" -> Some M3
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

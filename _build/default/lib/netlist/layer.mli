@@ -1,0 +1,13 @@
+(** Metal layers used by the pin-access model. The P/G grid runs
+    horizontally on M2 and vertically on M3; signal pins sit on M1/M2. *)
+
+type t = M1 | M2 | M3
+
+(** [above t] is the next upper routing layer, if any. A signal pin on
+    layer [k] is inaccessible when covered on [above k] (paper Sec. 2). *)
+val above : t -> t option
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type endpoint =
+  | Cell_pin of { cell : int; dx : int; dy : int }
+  | Fixed_pin of { px : int; py : int }
+
+type t = { net_id : int; endpoints : endpoint list }
+
+let make ~net_id ~endpoints = { net_id; endpoints }
+
+let pp_endpoint ppf = function
+  | Cell_pin { cell; dx; dy } -> Format.fprintf ppf "c%d+(%d,%d)" cell dx dy
+  | Fixed_pin { px; py } -> Format.fprintf ppf "io(%d,%d)" px py
+
+let pp ppf t =
+  Format.fprintf ppf "n%d[%a]" t.net_id
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_endpoint)
+    t.endpoints

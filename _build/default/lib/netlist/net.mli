@@ -1,0 +1,13 @@
+(** Signal nets, used for HPWL accounting (paper Eq. 10's [S_hpwl]).
+
+    A net endpoint is either a pin of a cell (dbu offset from the cell
+    origin) or a fixed location such as an IO pad. *)
+
+type endpoint =
+  | Cell_pin of { cell : int; dx : int; dy : int }  (** offsets in dbu *)
+  | Fixed_pin of { px : int; py : int }             (** absolute dbu *)
+
+type t = { net_id : int; endpoints : endpoint list }
+
+val make : net_id:int -> endpoints:endpoint list -> t
+val pp : Format.formatter -> t -> unit

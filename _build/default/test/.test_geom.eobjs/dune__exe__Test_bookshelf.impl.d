@@ -1,0 +1,1 @@
+test/test_bookshelf.ml: Alcotest Array Cell Design Fence List Mcl_bookshelf Mcl_gen Mcl_netlist Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Cell Cell_type Design Fence Floorplan Fmt Layer List Mcl Mcl_geom Mcl_netlist QCheck QCheck_alcotest

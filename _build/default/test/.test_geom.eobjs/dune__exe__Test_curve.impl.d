@@ -1,0 +1,1 @@
+test/test_curve.ml: Alcotest List Mcl Mcl_geom QCheck QCheck_alcotest

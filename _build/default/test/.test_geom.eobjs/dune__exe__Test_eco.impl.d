@@ -1,0 +1,1 @@
+test/test_eco.ml: Alcotest Array Cell Design Floorplan List Mcl Mcl_eval Mcl_gen Mcl_netlist Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Cell Cell_type Design Floorplan Layer List Mcl_eval Mcl_geom Mcl_netlist Net

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Array Cell Cell_type Design Floorplan List Mcl Mcl_eval Mcl_flow Mcl_geom Mcl_netlist Printf

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array List Mcl_flow QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array List Mcl_geom QCheck QCheck_alcotest

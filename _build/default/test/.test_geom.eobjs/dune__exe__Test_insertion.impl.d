@@ -1,0 +1,1 @@
+test/test_insertion.ml: Alcotest Array Cell Cell_type Design Floorplan List Mcl Mcl_eval Mcl_geom Mcl_netlist Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mgl.ml: Alcotest Array Cell Cell_type Design Fence Floorplan Format List Mcl Mcl_eval Mcl_gen Mcl_geom Mcl_netlist Printf QCheck QCheck_alcotest String

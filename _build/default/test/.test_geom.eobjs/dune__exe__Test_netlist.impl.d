@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Cell Cell_type Design Fence Floorplan Layer List Mcl_geom Mcl_netlist Net

@@ -1,0 +1,1 @@
+test/test_postprocess.ml: Alcotest Array Cell Design Floorplan Format List Mcl Mcl_eval Mcl_gen Mcl_netlist Printf QCheck QCheck_alcotest String

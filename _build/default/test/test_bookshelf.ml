@@ -1,0 +1,90 @@
+open Mcl_netlist
+
+let designs_equal (a : Design.t) (b : Design.t) =
+  a.Design.name = b.Design.name
+  && a.Design.floorplan = b.Design.floorplan
+  && a.Design.cell_types = b.Design.cell_types
+  && Array.for_all2
+       (fun (x : Cell.t) (y : Cell.t) ->
+          x.Cell.id = y.Cell.id && x.Cell.type_id = y.Cell.type_id
+          && x.Cell.region = y.Cell.region && x.Cell.is_fixed = y.Cell.is_fixed
+          && x.Cell.gp_x = y.Cell.gp_x && x.Cell.gp_y = y.Cell.gp_y
+          && x.Cell.x = y.Cell.x && x.Cell.y = y.Cell.y)
+       a.Design.cells b.Design.cells
+  && a.Design.nets = b.Design.nets
+  && Array.for_all2
+       (fun (f : Fence.t) (g : Fence.t) ->
+          f.Fence.fence_id = g.Fence.fence_id && f.Fence.name = g.Fence.name
+          && f.Fence.rects = g.Fence.rects)
+       a.Design.fences b.Design.fences
+
+let test_roundtrip_generated () =
+  let spec =
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.name = "roundtrip";
+      num_cells = 200;
+      num_fences = 2;
+      fence_cell_frac = 0.1;
+      routability = true }
+  in
+  let d = Mcl_gen.Generator.generate spec in
+  (* move some cells so current <> gp *)
+  d.Design.cells.(0).Cell.x <- d.Design.cells.(0).Cell.x + 3;
+  d.Design.cells.(1).Cell.y <- max 0 (d.Design.cells.(1).Cell.y - 1);
+  let text = Mcl_bookshelf.Writer.write d in
+  match Mcl_bookshelf.Parser.parse text with
+  | Error msg -> Alcotest.fail msg
+  | Ok d2 -> Alcotest.(check bool) "roundtrip equal" true (designs_equal d d2)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"write/parse roundtrip" ~count:15
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+       let spec =
+         { Mcl_gen.Spec.default with
+           Mcl_gen.Spec.name = Printf.sprintf "rt%d" seed;
+           seed;
+           num_cells = 120;
+           num_fences = seed mod 3;
+           fence_cell_frac = (if seed mod 3 > 0 then 0.1 else 0.0);
+           routability = seed mod 2 = 0 }
+       in
+       let d = Mcl_gen.Generator.generate spec in
+       match Mcl_bookshelf.Parser.parse (Mcl_bookshelf.Writer.write d) with
+       | Error _ -> false
+       | Ok d2 -> designs_equal d d2)
+
+let test_parse_errors () =
+  let check_err text =
+    match Mcl_bookshelf.Parser.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected parse error"
+  in
+  check_err "";
+  check_err "GARBAGE 1 x\n";
+  check_err "MCLBENCH 1 d\nfloorplan 10 10\n";
+  check_err
+    "MCLBENCH 1 d\nfloorplan 10 10 1 10 0 0 0 0\nedge_spacing 0\nio_pins 0\n\
+     blockages 0\ncell_types 1\nfoo bar baz\n"
+
+let test_comments_and_blank_lines () =
+  let d =
+    Mcl_gen.Generator.generate
+      { Mcl_gen.Spec.default with Mcl_gen.Spec.num_cells = 50; name = "c" }
+  in
+  let text = Mcl_bookshelf.Writer.write d in
+  let noisy = "# header comment\n\n" ^ String.concat "\n# mid comment\n"
+                (String.split_on_char '\n' text |> fun l -> [ List.hd l ])
+              ^ "\n" ^ String.concat "\n" (List.tl (String.split_on_char '\n' text))
+  in
+  match Mcl_bookshelf.Parser.parse noisy with
+  | Error msg -> Alcotest.fail msg
+  | Ok d2 -> Alcotest.(check bool) "parsed with comments" true (designs_equal d d2)
+
+let () =
+  Alcotest.run "bookshelf"
+    [ ("roundtrip",
+       [ Alcotest.test_case "generated design" `Quick test_roundtrip_generated;
+         QCheck_alcotest.to_alcotest prop_roundtrip;
+         Alcotest.test_case "comments/blank lines" `Quick test_comments_and_blank_lines ]);
+      ("errors", [ Alcotest.test_case "malformed inputs" `Quick test_parse_errors ]) ]

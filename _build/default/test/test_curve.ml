@@ -1,0 +1,135 @@
+module Curve = Mcl.Curve
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_target_vee () =
+  let c = Curve.create () in
+  Curve.add_target c ~weight:2.0 ~gp:10;
+  feq "at gp" 0.0 (Curve.eval c 10);
+  feq "left" 6.0 (Curve.eval c 7);
+  feq "right" 8.0 (Curve.eval c 14);
+  let x, v = Curve.minimize c ~lo:0 ~hi:20 in
+  Alcotest.(check int) "min at gp" 10 x;
+  feq "min value" 0.0 v
+
+let test_left_piece_shapes () =
+  (* f(x) = |min(cur, x - d) - gp| *)
+  let mk ~cur ~gp ~dist =
+    let c = Curve.create () in
+    Curve.add_left c ~weight:1.0 ~cur ~gp ~dist;
+    c
+  in
+  (* type D: gp < cur — V then flat *)
+  let c = mk ~cur:14 ~gp:6 ~dist:2 in
+  feq "D at v-bottom (x=gp+d)" 0.0 (Curve.eval c 8);
+  feq "D left of bottom" 3.0 (Curve.eval c 5);
+  feq "D saturated" 8.0 (Curve.eval c 16);
+  feq "D saturation boundary" 8.0 (Curve.eval c 100);
+  (* type B-like: gp >= cur — decreasing then flat *)
+  let c = mk ~cur:10 ~gp:10 ~dist:2 in
+  feq "B pushed" 5.0 (Curve.eval c 7);
+  feq "B unsaturated zero" 0.0 (Curve.eval c 12);
+  feq "B flat" 0.0 (Curve.eval c 15)
+
+let test_right_piece_shapes () =
+  let mk ~cur ~gp ~dist =
+    let c = Curve.create () in
+    Curve.add_right c ~weight:1.0 ~cur ~gp ~dist;
+    c
+  in
+  (* type C: gp > cur *)
+  let c = mk ~cur:6 ~gp:12 ~dist:2 in
+  feq "C flat" 6.0 (Curve.eval c 0);
+  feq "C v-bottom" 0.0 (Curve.eval c 10);
+  feq "C rising" 4.0 (Curve.eval c 14);
+  (* type A: gp <= cur; p = max(cur, x + dist) *)
+  let c = mk ~cur:10 ~gp:8 ~dist:2 in
+  feq "A flat" 2.0 (Curve.eval c 0);
+  feq "A rising" 8.0 (Curve.eval c 14)
+
+let test_minimize_equals_grid_scan () =
+  (* sweep-based minimize must equal the naive scan over all ints *)
+  let c = Curve.create () in
+  Curve.add_target c ~weight:1.5 ~gp:12;
+  Curve.add_left c ~weight:1.0 ~cur:9 ~gp:4 ~dist:3;
+  Curve.add_right c ~weight:2.0 ~cur:15 ~gp:20 ~dist:4;
+  Curve.add_const c 1.25;
+  let lo = -5 and hi = 40 in
+  let best = ref infinity in
+  for x = lo to hi do
+    let v = Curve.eval c x in
+    if v < !best then best := v
+  done;
+  let _, v = Curve.minimize c ~lo ~hi in
+  feq "sweep == scan" !best v
+
+let prop_minimize_matches_scan =
+  QCheck.Test.make ~name:"minimize == pointwise scan on random curves" ~count:300
+    QCheck.(pair (int_range 0 12) (int_range 0 12))
+    (fun (n_left, n_right) ->
+       let rng = Mcl_geom.Prng.create ((n_left * 131) + n_right + 7) in
+       let c = Curve.create () in
+       Curve.add_target c ~weight:(1.0 +. Mcl_geom.Prng.float rng 2.0)
+         ~gp:(Mcl_geom.Prng.int rng 60);
+       for _ = 1 to n_left do
+         Curve.add_left c
+           ~weight:(0.5 +. Mcl_geom.Prng.float rng 2.0)
+           ~cur:(Mcl_geom.Prng.int rng 60)
+           ~gp:(Mcl_geom.Prng.int rng 60)
+           ~dist:(Mcl_geom.Prng.int rng 20)
+       done;
+       for _ = 1 to n_right do
+         Curve.add_right c
+           ~weight:(0.5 +. Mcl_geom.Prng.float rng 2.0)
+           ~cur:(Mcl_geom.Prng.int rng 60)
+           ~gp:(Mcl_geom.Prng.int rng 60)
+           ~dist:(Mcl_geom.Prng.int rng 20)
+       done;
+       let lo = -10 and hi = 90 in
+       let best = ref infinity in
+       for x = lo to hi do
+         let v = Curve.eval c x in
+         if v < !best then best := v
+       done;
+       let _, v = Curve.minimize c ~lo ~hi in
+       abs_float (v -. !best) < 1e-6)
+
+(* Theorem 1: if local cells start at optimal positions w.r.t. their GP
+   (here: exactly at GP, unsaturated), the summed curve is convex. *)
+let test_theorem1_convexity () =
+  let c = Curve.create () in
+  Curve.add_target c ~weight:1.0 ~gp:30;
+  (* cells at their GP positions: cur = gp *)
+  List.iter
+    (fun (cur, dist) -> Curve.add_left c ~weight:1.0 ~cur ~gp:cur ~dist)
+    [ (20, 4); (14, 9); (8, 14) ];
+  List.iter
+    (fun (cur, dist) -> Curve.add_right c ~weight:1.0 ~cur ~gp:cur ~dist)
+    [ (36, 4); (44, 9) ];
+  (* convexity: second differences non-negative *)
+  let ok = ref true in
+  for x = 1 to 58 do
+    let a = Curve.eval c (x - 1) and b = Curve.eval c x and d = Curve.eval c (x + 1) in
+    if a +. d -. (2.0 *. b) < -1e-9 then ok := false
+  done;
+  Alcotest.(check bool) "convex" true !ok
+
+let test_breakpoints_in_range () =
+  let c = Curve.create () in
+  Curve.add_left c ~weight:1.0 ~cur:10 ~gp:5 ~dist:2;
+  let bps = Curve.breakpoints c ~lo:0 ~hi:20 in
+  (* kinks at gp+d=7 and cur+d=12 *)
+  Alcotest.(check (list int)) "breakpoints" [ 7; 12 ] bps;
+  Alcotest.(check (list int)) "clipped" [ 12 ] (Curve.breakpoints c ~lo:8 ~hi:20)
+
+let () =
+  Alcotest.run "curve"
+    [ ("shapes",
+       [ Alcotest.test_case "target vee" `Quick test_target_vee;
+         Alcotest.test_case "left pieces (B/D)" `Quick test_left_piece_shapes;
+         Alcotest.test_case "right pieces (A/C)" `Quick test_right_piece_shapes;
+         Alcotest.test_case "breakpoints" `Quick test_breakpoints_in_range ]);
+      ("minimize",
+       [ Alcotest.test_case "matches grid scan" `Quick test_minimize_equals_grid_scan;
+         QCheck_alcotest.to_alcotest prop_minimize_matches_scan;
+         Alcotest.test_case "theorem 1 convexity" `Quick test_theorem1_convexity ]) ]

@@ -1,0 +1,112 @@
+(* Incremental re-legalization (Eco) and the SVG renderer. *)
+
+open Mcl_netlist
+
+let base_design seed =
+  Mcl_gen.Generator.generate
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.seed;
+      num_cells = 300;
+      density = 0.55;
+      height_mix = [ (1, 0.8); (2, 0.2) ];
+      name = Printf.sprintf "eco%d" seed }
+
+let test_eco_restores_legality () =
+  let d = base_design 5 in
+  let cfg = Mcl.Config.default in
+  ignore (Mcl.Pipeline.run cfg d);
+  (* rip three cells out and drop them on top of others *)
+  let victims = [ 10; 77; 150 ] in
+  List.iter
+    (fun id ->
+       let c = d.Design.cells.(id) in
+       c.Cell.x <- d.Design.cells.(0).Cell.x;
+       c.Cell.y <- d.Design.cells.(0).Cell.y)
+    victims;
+  Alcotest.(check bool) "broken before" false (Mcl_eval.Legality.is_legal d);
+  let s = Mcl.Eco.relegalize cfg d ~cells:victims in
+  Alcotest.(check int) "all reinserted" 3 s.Mcl.Eco.relegalized;
+  Alcotest.(check bool) "legal after" true (Mcl_eval.Legality.is_legal d)
+
+let test_eco_targets_move_cell () =
+  let d = base_design 6 in
+  let cfg = Mcl.Config.default in
+  ignore (Mcl.Pipeline.run cfg d);
+  let id = 42 in
+  let c = d.Design.cells.(id) in
+  let fp = d.Design.floorplan in
+  (* ask for the far corner *)
+  let tx = fp.Floorplan.num_sites - 20 and ty = fp.Floorplan.num_rows - 2 in
+  ignore (Mcl.Eco.relegalize ~targets:[ (id, (tx, ty)) ] cfg d ~cells:[]);
+  Alcotest.(check bool) "legal" true (Mcl_eval.Legality.is_legal d);
+  let dist = abs (c.Cell.x - tx) + abs (c.Cell.y - ty) in
+  Alcotest.(check bool)
+    (Printf.sprintf "landed near the target (%d,%d vs %d,%d)" c.Cell.x c.Cell.y tx ty)
+    true (dist < 20)
+
+let test_eco_rejects_fixed () =
+  let d =
+    Mcl_gen.Generator.generate
+      { Mcl_gen.Spec.default with
+        Mcl_gen.Spec.num_cells = 100;
+        num_macros = 1;
+        name = "eco_fixed" }
+  in
+  let macro =
+    Array.to_list d.Design.cells
+    |> List.find (fun (c : Cell.t) -> c.Cell.is_fixed)
+  in
+  Alcotest.check_raises "fixed rejected"
+    (Invalid_argument "Eco.relegalize: cell is fixed")
+    (fun () ->
+       ignore (Mcl.Eco.relegalize Mcl.Config.default d ~cells:[ macro.Cell.id ]))
+
+let prop_eco_preserves_rest =
+  QCheck.Test.make ~name:"eco leaves distant cells untouched" ~count:6
+    QCheck.(int_range 1 500)
+    (fun seed ->
+       let d = base_design seed in
+       let cfg = Mcl.Config.default in
+       ignore (Mcl.Pipeline.run cfg d);
+       let snap = Design.snapshot d in
+       let victim = seed mod 200 in
+       if d.Design.cells.(victim).Cell.is_fixed then true
+       else begin
+         ignore (Mcl.Eco.relegalize cfg d ~cells:[ victim ]);
+         (* cells further than the largest window from the victim's GP
+            cannot have moved *)
+         let v = d.Design.cells.(victim) in
+         let moved_far =
+           Array.exists
+             (fun (c : Cell.t) ->
+                let ox, oy = snap.(c.Cell.id) in
+                (c.Cell.x <> ox || c.Cell.y <> oy)
+                && c.Cell.id <> victim
+                && (abs (ox - v.Cell.gp_x) > 400 || abs (oy - v.Cell.gp_y) > 40))
+             d.Design.cells
+         in
+         Mcl_eval.Legality.is_legal d && not moved_far
+       end)
+
+let test_svg_renders () =
+  let d = base_design 7 in
+  ignore (Mcl.Pipeline.run Mcl.Config.default d);
+  let svg = Mcl_eval.Svg_render.render d in
+  Alcotest.(check bool) "is svg" true
+    (String.length svg > 200
+     && String.sub svg 0 4 = "<svg"
+     && String.length svg - 7 = String.index_from svg (String.length svg - 8) '<');
+  (* one rect per cell at least *)
+  let rects = ref 0 in
+  String.iteri (fun i ch -> if ch = 'r' && i + 4 < String.length svg
+                  && String.sub svg i 5 = "rect " then incr rects) svg;
+  Alcotest.(check bool) "cells drawn" true (!rects >= Design.num_cells d)
+
+let () =
+  Alcotest.run "eco"
+    [ ("eco",
+       [ Alcotest.test_case "restores legality" `Quick test_eco_restores_legality;
+         Alcotest.test_case "target override" `Quick test_eco_targets_move_cell;
+         Alcotest.test_case "rejects fixed" `Quick test_eco_rejects_fixed;
+         QCheck_alcotest.to_alcotest prop_eco_preserves_rest ]);
+      ("svg", [ Alcotest.test_case "renders" `Quick test_svg_renders ]) ]

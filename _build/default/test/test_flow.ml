@@ -1,0 +1,299 @@
+module Graph = Mcl_flow.Graph
+module Ns = Mcl_flow.Network_simplex
+module Ssp = Mcl_flow.Ssp
+module Mcf = Mcl_flow.Mcf
+module Matching = Mcl_flow.Matching
+
+(* ---------- hand-built instances ---------- *)
+
+(* Classic transportation: 2 sources, 2 sinks. *)
+let test_transport () =
+  let g = Graph.create () in
+  let s1 = Graph.add_node g ~supply:4 in
+  let s2 = Graph.add_node g ~supply:3 in
+  let t1 = Graph.add_node g ~supply:(-5) in
+  let t2 = Graph.add_node g ~supply:(-2) in
+  ignore (Graph.add_arc g ~src:s1 ~dst:t1 ~cap:10 ~cost:2);
+  ignore (Graph.add_arc g ~src:s1 ~dst:t2 ~cap:10 ~cost:5);
+  ignore (Graph.add_arc g ~src:s2 ~dst:t1 ~cap:10 ~cost:1);
+  ignore (Graph.add_arc g ~src:s2 ~dst:t2 ~cap:10 ~cost:2);
+  (* optimum: s2->t2 2 (cost 4), s2->t1 1 (1), s1->t1 4 (8) => 13 *)
+  let r = Ns.solve g in
+  Alcotest.(check bool) "optimal" true (r.Ns.status = Ns.Optimal);
+  Alcotest.(check int) "cost" 13 r.Ns.total_cost;
+  (match Ns.check_optimality g r with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  let r2 = Ssp.solve g in
+  Alcotest.(check int) "ssp agrees" 13 r2.Ssp.total_cost
+
+(* Negative-cost circulation: profitable cycle must be saturated. *)
+let test_negative_circulation () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~supply:0 in
+  let b = Graph.add_node g ~supply:0 in
+  let c = Graph.add_node g ~supply:0 in
+  ignore (Graph.add_arc g ~src:a ~dst:b ~cap:5 ~cost:(-4));
+  ignore (Graph.add_arc g ~src:b ~dst:c ~cap:3 ~cost:1);
+  ignore (Graph.add_arc g ~src:c ~dst:a ~cap:7 ~cost:1);
+  (* cycle cost -2, bottleneck 3 -> total -6 *)
+  let r = Ns.solve g in
+  Alcotest.(check int) "cost" (-6) r.Ns.total_cost;
+  (match Ns.check_optimality g r with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  let r2 = Ssp.solve g in
+  Alcotest.(check int) "ssp agrees" (-6) r2.Ssp.total_cost
+
+let test_infeasible () =
+  let g = Graph.create () in
+  let s = Graph.add_node g ~supply:5 in
+  let t = Graph.add_node g ~supply:(-5) in
+  ignore (Graph.add_arc g ~src:s ~dst:t ~cap:3 ~cost:1);
+  let r = Ns.solve g in
+  Alcotest.(check bool) "infeasible" true (r.Ns.status = Ns.Infeasible);
+  let r2 = Ssp.solve g in
+  Alcotest.(check bool) "ssp infeasible" true (r2.Ssp.status = Ssp.Infeasible)
+
+let test_first_eligible_agrees () =
+  let g = Graph.create () in
+  let s = Graph.add_node g ~supply:6 in
+  let a = Graph.add_node g ~supply:0 in
+  let b = Graph.add_node g ~supply:0 in
+  let t = Graph.add_node g ~supply:(-6) in
+  ignore (Graph.add_arc g ~src:s ~dst:a ~cap:4 ~cost:1);
+  ignore (Graph.add_arc g ~src:s ~dst:b ~cap:4 ~cost:2);
+  ignore (Graph.add_arc g ~src:a ~dst:b ~cap:2 ~cost:0);
+  ignore (Graph.add_arc g ~src:a ~dst:t ~cap:3 ~cost:3);
+  ignore (Graph.add_arc g ~src:b ~dst:t ~cap:4 ~cost:1);
+  let r1 = Ns.solve ~pivot:Ns.Block_search g in
+  let r2 = Ns.solve ~pivot:Ns.First_eligible g in
+  Alcotest.(check int) "pivot rules agree" r1.Ns.total_cost r2.Ns.total_cost;
+  (match Ns.check_optimality g r2 with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m)
+
+let test_zero_capacity_arcs () =
+  let g = Graph.create () in
+  let s = Graph.add_node g ~supply:2 in
+  let t = Graph.add_node g ~supply:(-2) in
+  ignore (Graph.add_arc g ~src:s ~dst:t ~cap:0 ~cost:(-100));
+  ignore (Graph.add_arc g ~src:s ~dst:t ~cap:2 ~cost:3);
+  let r = Ns.solve g in
+  Alcotest.(check int) "zero-cap ignored" 6 r.Ns.total_cost;
+  Alcotest.(check int) "zero-cap carries nothing" 0 r.Ns.flow.(0)
+
+(* ---------- brute force cross-check ---------- *)
+
+(* Exhaustively enumerate integer flows for tiny instances. *)
+let brute_force g =
+  let m = Graph.num_arcs g in
+  let n = Graph.num_nodes g in
+  let best = ref None in
+  let flow = Array.make m 0 in
+  let rec go a =
+    if a = m then begin
+      let excess = Array.make n 0 in
+      for i = 0 to m - 1 do
+        excess.(Graph.src g i) <- excess.(Graph.src g i) - flow.(i);
+        excess.(Graph.dst g i) <- excess.(Graph.dst g i) + flow.(i)
+      done;
+      let feasible = ref true in
+      for v = 0 to n - 1 do
+        if excess.(v) + Graph.supply g v <> 0 then feasible := false
+      done;
+      if !feasible then begin
+        let cost = ref 0 in
+        for i = 0 to m - 1 do
+          cost := !cost + (flow.(i) * Graph.cost g i)
+        done;
+        match !best with
+        | Some b when b <= !cost -> ()
+        | _ -> best := Some !cost
+      end
+    end
+    else
+      for f = 0 to Graph.cap g a do
+        flow.(a) <- f;
+        go (a + 1)
+      done
+  in
+  go 0;
+  !best
+
+let random_small_instance rand =
+  let open QCheck.Gen in
+  let n = 2 + int_bound 3 rand in
+  let m = 1 + int_bound 5 rand in
+  let g = Graph.create () in
+  (* random supplies that sum to zero *)
+  let supplies = Array.init n (fun _ -> int_bound 4 rand - 2) in
+  let total = Array.fold_left ( + ) 0 supplies in
+  supplies.(0) <- supplies.(0) - total;
+  Array.iter (fun s -> ignore (Graph.add_node g ~supply:s)) supplies;
+  for _ = 1 to m do
+    let s = int_bound (n - 1) rand and d = int_bound (n - 1) rand in
+    if s <> d then
+      ignore
+        (Graph.add_arc g ~src:s ~dst:d ~cap:(int_bound 3 rand)
+           ~cost:(int_bound 20 rand - 10))
+  done;
+  g
+
+let prop_ns_matches_brute_force =
+  QCheck.Test.make ~name:"network simplex == brute force (tiny instances)"
+    ~count:300
+    (QCheck.make random_small_instance)
+    (fun g ->
+       let brute = brute_force g in
+       let r = Ns.solve g in
+       match brute, r.Ns.status with
+       | None, Ns.Infeasible -> true
+       | None, Ns.Optimal -> false
+       | Some _, Ns.Infeasible -> false
+       | Some b, Ns.Optimal ->
+         b = r.Ns.total_cost
+         && (match Ns.check_optimality g r with Ok () -> true | Error _ -> false))
+
+let prop_ns_matches_ssp =
+  QCheck.Test.make ~name:"network simplex == SSP (medium random instances)"
+    ~count:120
+    (QCheck.make (fun rand ->
+         let open QCheck.Gen in
+         let n = 4 + int_bound 12 rand in
+         let g = Graph.create () in
+         let supplies = Array.init n (fun _ -> int_bound 10 rand - 5) in
+         let total = Array.fold_left ( + ) 0 supplies in
+         supplies.(0) <- supplies.(0) - total;
+         Array.iter (fun s -> ignore (Graph.add_node g ~supply:s)) supplies;
+         let m = n * 3 in
+         for _ = 1 to m do
+           let s = int_bound (n - 1) rand and d = int_bound (n - 1) rand in
+           if s <> d then
+             ignore
+               (Graph.add_arc g ~src:s ~dst:d ~cap:(int_bound 8 rand)
+                  ~cost:(int_bound 40 rand - 20))
+         done;
+         g))
+    (fun g ->
+       let r1 = Ns.solve g in
+       let r2 = Ssp.solve g in
+       let st1 = r1.Ns.status = Ns.Optimal and st2 = r2.Ssp.status = Ssp.Optimal in
+       if st1 <> st2 then false
+       else if not st1 then true
+       else
+         r1.Ns.total_cost = r2.Ssp.total_cost
+         && (match Ns.check_optimality g r1 with Ok () -> true | Error _ -> false))
+
+let prop_pivot_rules_agree =
+  QCheck.Test.make ~name:"block-search == first-eligible pivots"
+    ~count:100
+    (QCheck.make random_small_instance)
+    (fun g ->
+       let r1 = Ns.solve ~pivot:Ns.Block_search g in
+       let r2 = Ns.solve ~pivot:Ns.First_eligible g in
+       r1.Ns.status = r2.Ns.status
+       && (r1.Ns.status = Ns.Infeasible || r1.Ns.total_cost = r2.Ns.total_cost))
+
+(* ---------- matching ---------- *)
+
+let test_matching_identity () =
+  let edges =
+    List.init 4 (fun i -> Matching.{ left = i; right = i; edge_cost = 0 })
+  in
+  match Matching.solve ~n:4 ~edges with
+  | Error m -> Alcotest.fail m
+  | Ok mate -> Alcotest.(check (array int)) "identity" [| 0; 1; 2; 3 |] mate
+
+let test_matching_swap_beneficial () =
+  (* two cells, swapping is cheaper *)
+  let edges =
+    [ Matching.{ left = 0; right = 0; edge_cost = 10 };
+      Matching.{ left = 0; right = 1; edge_cost = 1 };
+      Matching.{ left = 1; right = 1; edge_cost = 10 };
+      Matching.{ left = 1; right = 0; edge_cost = 1 } ]
+  in
+  match Matching.solve ~n:2 ~edges with
+  | Error m -> Alcotest.fail m
+  | Ok mate -> Alcotest.(check (array int)) "swapped" [| 1; 0 |] mate
+
+let test_matching_infeasible () =
+  let edges = [ Matching.{ left = 0; right = 0; edge_cost = 0 } ] in
+  match Matching.solve ~n:2 ~edges with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let brute_force_matching ~n ~edges =
+  (* all permutations of 0..n-1 *)
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+        l
+  in
+  let all = perms (List.init n (fun i -> i)) in
+  List.filter_map
+    (fun p ->
+       let mate = Array.of_list p in
+       Matching.assignment_cost ~n ~edges mate)
+    all
+  |> function
+  | [] -> None
+  | costs -> Some (List.fold_left min max_int costs)
+
+let prop_matching_optimal =
+  QCheck.Test.make ~name:"matching == brute force over permutations"
+    ~count:200
+    (QCheck.make (fun rand ->
+         let open QCheck.Gen in
+         let n = 1 + int_bound 4 rand in
+         let edges = ref [] in
+         (* identity edges guarantee feasibility *)
+         for i = 0 to n - 1 do
+           edges := Matching.{ left = i; right = i; edge_cost = int_bound 50 rand } :: !edges
+         done;
+         for _ = 1 to n * 2 do
+           let l = int_bound (n - 1) rand and r = int_bound (n - 1) rand in
+           edges := Matching.{ left = l; right = r; edge_cost = int_bound 50 rand } :: !edges
+         done;
+         (n, !edges)))
+    (fun (n, edges) ->
+       match Matching.solve ~n ~edges, brute_force_matching ~n ~edges with
+       | Ok mate, Some best ->
+         (match Matching.assignment_cost ~n ~edges mate with
+          | Some c -> c = best
+          | None -> false)
+       | Error _, None -> true
+       | _ -> false)
+
+let test_mcf_facade () =
+  let g = Graph.create () in
+  let s = Graph.add_node g ~supply:1 in
+  let t = Graph.add_node g ~supply:(-1) in
+  ignore (Graph.add_arc g ~src:s ~dst:t ~cap:1 ~cost:7);
+  List.iter
+    (fun solver ->
+       let r = Mcf.solve ~solver g in
+       Alcotest.(check bool) "optimal" true (r.Mcf.status = `Optimal);
+       Alcotest.(check int) "cost" 7 r.Mcf.total_cost)
+    [ Mcf.Network_simplex_block; Mcf.Network_simplex_first; Mcf.Ssp ]
+
+let () =
+  Alcotest.run "flow"
+    [ ("mcf-hand",
+       [ Alcotest.test_case "transportation" `Quick test_transport;
+         Alcotest.test_case "negative circulation" `Quick test_negative_circulation;
+         Alcotest.test_case "infeasible" `Quick test_infeasible;
+         Alcotest.test_case "pivot rules agree" `Quick test_first_eligible_agrees;
+         Alcotest.test_case "zero capacity" `Quick test_zero_capacity_arcs;
+         Alcotest.test_case "facade" `Quick test_mcf_facade ]);
+      ("mcf-props",
+       [ QCheck_alcotest.to_alcotest prop_ns_matches_brute_force;
+         QCheck_alcotest.to_alcotest prop_ns_matches_ssp;
+         QCheck_alcotest.to_alcotest prop_pivot_rules_agree ]);
+      ("matching",
+       [ Alcotest.test_case "identity" `Quick test_matching_identity;
+         Alcotest.test_case "beneficial swap" `Quick test_matching_swap_beneficial;
+         Alcotest.test_case "infeasible" `Quick test_matching_infeasible;
+         QCheck_alcotest.to_alcotest prop_matching_optimal ]) ]

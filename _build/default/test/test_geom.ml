@@ -1,0 +1,141 @@
+module Interval = Mcl_geom.Interval
+module Rect = Mcl_geom.Rect
+module Prng = Mcl_geom.Prng
+
+let iv lo hi = Interval.make lo hi
+
+let test_interval_basics () =
+  Alcotest.(check int) "length" 5 (Interval.length (iv 2 7));
+  Alcotest.(check bool) "empty" true (Interval.is_empty (iv 3 3));
+  Alcotest.(check bool) "contains lo" true (Interval.contains (iv 2 7) 2);
+  Alcotest.(check bool) "excludes hi" false (Interval.contains (iv 2 7) 7);
+  Alcotest.(check bool) "overlap" true (Interval.overlaps (iv 0 5) (iv 4 9));
+  Alcotest.(check bool) "touch no overlap" false (Interval.overlaps (iv 0 5) (iv 5 9));
+  Alcotest.(check bool) "inter" true (Interval.equal (iv 4 5) (Interval.inter (iv 0 5) (iv 4 9)));
+  Alcotest.(check bool) "inter empty" true (Interval.is_empty (Interval.inter (iv 0 2) (iv 5 9)));
+  Alcotest.(check bool) "hull" true (Interval.equal (iv 0 9) (Interval.hull (iv 0 5) (iv 4 9)))
+
+let test_interval_subtract () =
+  let got = Interval.subtract (iv 0 10) [ iv 2 4; iv 6 7 ] in
+  let expected = [ iv 0 2; iv 4 6; iv 7 10 ] in
+  Alcotest.(check int) "pieces" (List.length expected) (List.length got);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "piece equal" true (Interval.equal a b))
+    expected got;
+  (* unsorted, overlapping cuts *)
+  let got = Interval.subtract (iv 0 10) [ iv 8 12; iv (-3) 1; iv 7 9 ] in
+  let expected = [ iv 1 7 ] in
+  Alcotest.(check int) "pieces2" 1 (List.length got);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "piece equal2" true (Interval.equal a b))
+    expected got;
+  Alcotest.(check int) "full cut" 0
+    (List.length (Interval.subtract (iv 0 10) [ iv 0 10 ]))
+
+let test_interval_clamp () =
+  Alcotest.(check int) "below" 2 (Interval.clamp (iv 2 7) 0);
+  Alcotest.(check int) "above" 6 (Interval.clamp (iv 2 7) 100);
+  Alcotest.(check int) "inside" 4 (Interval.clamp (iv 2 7) 4)
+
+let test_rect_basics () =
+  let r = Rect.make ~xl:0 ~yl:0 ~xh:4 ~yh:2 in
+  Alcotest.(check int) "area" 8 (Rect.area r);
+  Alcotest.(check bool) "overlap" true
+    (Rect.overlaps r (Rect.make ~xl:3 ~yl:1 ~xh:5 ~yh:3));
+  Alcotest.(check bool) "no overlap (abut)" false
+    (Rect.overlaps r (Rect.make ~xl:4 ~yl:0 ~xh:6 ~yh:2));
+  Alcotest.(check bool) "contains" true
+    (Rect.contains_rect r (Rect.make ~xl:1 ~yl:0 ~xh:3 ~yh:1));
+  Alcotest.(check bool) "contains point" true (Rect.contains_point r (0, 0));
+  Alcotest.(check bool) "excl corner" false (Rect.contains_point r (4, 2));
+  let s = Rect.shift r ~dx:2 ~dy:5 in
+  Alcotest.(check bool) "shift" true
+    (Rect.equal s (Rect.make ~xl:2 ~yl:5 ~xh:6 ~yh:7))
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let test_prng_ranges () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let y = Prng.int_in t (-5) 5 in
+    Alcotest.(check bool) "int_in range" true (y >= -5 && y <= 5);
+    let f = Prng.float t 2.0 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_prng_gaussian_moments () =
+  let t = Prng.create 11 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.gaussian t ~mu:3.0 ~sigma:2.0 in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean close" true (abs_float (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "var close" true (abs_float (var -. 4.0) < 0.3)
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create 5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let prop_subtract_disjoint_and_covers =
+  QCheck.Test.make ~name:"interval subtract: result disjoint, inside, disjoint from cuts"
+    ~count:500
+    QCheck.(triple (pair small_int small_int) (list (pair small_int small_int)) unit)
+    (fun ((a, b), cuts, ()) ->
+       let lo = min a b and hi = max a b in
+       let base = iv lo hi in
+       let cuts = List.map (fun (c, d) -> iv (min c d) (max c d)) cuts in
+       let pieces = Interval.subtract base cuts in
+       (* each piece inside base, no overlap with any cut, sorted *)
+       List.for_all
+         (fun p ->
+            p.Interval.lo >= lo && p.Interval.hi <= hi
+            && (not (Interval.is_empty p))
+            && not (List.exists (Interval.overlaps p) cuts))
+         pieces
+       &&
+       (* every base point not in cuts is in exactly one piece *)
+       let ok = ref true in
+       for x = lo to hi - 1 do
+         let in_cut = List.exists (fun c -> Interval.contains c x) cuts in
+         let count =
+           List.length (List.filter (fun p -> Interval.contains p x) pieces)
+         in
+         if in_cut && count <> 0 then ok := false;
+         if (not in_cut) && count <> 1 then ok := false
+       done;
+       !ok)
+
+let () =
+  Alcotest.run "geom"
+    [ ("interval",
+       [ Alcotest.test_case "basics" `Quick test_interval_basics;
+         Alcotest.test_case "subtract" `Quick test_interval_subtract;
+         Alcotest.test_case "clamp" `Quick test_interval_clamp;
+         QCheck_alcotest.to_alcotest prop_subtract_disjoint_and_covers ]);
+      ("rect", [ Alcotest.test_case "basics" `Quick test_rect_basics ]);
+      ("prng",
+       [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
+         Alcotest.test_case "ranges" `Quick test_prng_ranges;
+         Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+         Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes ]) ]

@@ -1,0 +1,178 @@
+(* Exhaustive cross-check of the insertion-point machinery: on tiny
+   single-row instances, Insertion.best must find the same optimal cost
+   as brute-force enumeration over every combination of target position
+   and push-only shifts of the local cells. *)
+
+open Mcl_netlist
+
+let sites = 16
+
+let make_design ~widths ~gps ~curs ~target_w ~target_gp =
+  let n = Array.length widths in
+  let types =
+    Array.init (n + 1) (fun i ->
+        let w = if i < n then widths.(i) else target_w in
+        Cell_type.make ~type_id:i ~name:(Printf.sprintf "t%d" i) ~width:w
+          ~height:1 ())
+  in
+  let cells =
+    Array.init (n + 1) (fun i ->
+        if i < n then begin
+          let c = Cell.make ~id:i ~type_id:i ~gp_x:gps.(i) ~gp_y:0 () in
+          c.Cell.x <- curs.(i);
+          c
+        end
+        else Cell.make ~id:i ~type_id:i ~gp_x:target_gp ~gp_y:0 ())
+  in
+  let fp = Floorplan.make ~num_sites:sites ~num_rows:1 () in
+  Design.make ~name:"tiny" ~floorplan:fp ~cell_types:types ~cells ()
+
+(* Brute force over MGL's move model: locals keep their relative order,
+   the target is inserted at some order slot k and position x_t (both
+   enumerated exhaustively); locals are then pushed minimally — left
+   cells right-to-left to p = min(cur, limit - w), right cells
+   left-to-right to p = max(cur, limit) — exactly the saturating-shift
+   semantics the displacement curves encode. *)
+let brute_force design ~target =
+  let cells = design.Design.cells in
+  let n = Array.length cells - 1 in
+  let w i = Design.width design cells.(i) in
+  let order =
+    List.init n (fun i -> i)
+    |> List.sort (fun a b -> compare cells.(a).Cell.x cells.(b).Cell.x)
+    |> Array.of_list
+  in
+  let tw = Design.width design cells.(target) in
+  let best = ref infinity in
+  for k = 0 to n do
+    for x_t = 0 to sites - tw do
+      (* push left cells (order slots k-1 .. 0) right-to-left *)
+      let feasible = ref true in
+      let cost = ref (float_of_int (abs (x_t - cells.(target).Cell.gp_x))) in
+      let limit = ref x_t in
+      for s = k - 1 downto 0 do
+        let id = order.(s) in
+        let p = min cells.(id).Cell.x (!limit - w id) in
+        if p < 0 then feasible := false;
+        cost :=
+          !cost
+          +. float_of_int
+               (abs (p - cells.(id).Cell.gp_x)
+                - abs (cells.(id).Cell.x - cells.(id).Cell.gp_x));
+        limit := p
+      done;
+      let limit = ref (x_t + tw) in
+      for s = k to n - 1 do
+        let id = order.(s) in
+        let p = max cells.(id).Cell.x !limit in
+        if p + w id > sites then feasible := false;
+        cost :=
+          !cost
+          +. float_of_int
+               (abs (p - cells.(id).Cell.gp_x)
+                - abs (cells.(id).Cell.x - cells.(id).Cell.gp_x));
+        limit := p + w id
+      done;
+      if !feasible && !cost < !best then best := !cost
+    done
+  done;
+  if !best = infinity then None else Some !best
+
+let run_insertion design ~target =
+  let cfg = Mcl.Config.total_displacement in
+  let segments = Mcl.Segment.build ~respect_fences:false design in
+  let placement = Mcl.Placement.create design in
+  Array.iter
+    (fun (c : Cell.t) -> if c.Cell.id <> target then Mcl.Placement.add placement c.Cell.id)
+    design.Design.cells;
+  let ctx =
+    Mcl.Insertion.make_ctx cfg design ~placement ~segments ~routability:None
+  in
+  let window = Mcl_geom.Rect.make ~xl:0 ~yl:0 ~xh:sites ~yh:1 in
+  Mcl.Insertion.best ctx ~target ~window
+
+let gen_instance seed =
+  let rng = Mcl_geom.Prng.create seed in
+  let n = 1 + Mcl_geom.Prng.int rng 3 in
+  let widths = Array.init n (fun _ -> 1 + Mcl_geom.Prng.int rng 3) in
+  (* non-overlapping current positions *)
+  let curs = Array.make n 0 in
+  let ok = ref true in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    let slack = Mcl_geom.Prng.int rng 3 in
+    curs.(i) <- !pos + slack;
+    pos := curs.(i) + widths.(i)
+  done;
+  if !pos > sites then ok := false;
+  let gps = Array.init n (fun _ -> Mcl_geom.Prng.int rng (sites - 1)) in
+  let target_w = 1 + Mcl_geom.Prng.int rng 3 in
+  let target_gp = Mcl_geom.Prng.int rng (sites - target_w) in
+  if !ok then Some (make_design ~widths ~gps ~curs ~target_w ~target_gp)
+  else None
+
+let prop_insertion_matches_brute_force =
+  QCheck.Test.make ~name:"Insertion.best == brute force on tiny rows" ~count:150
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+       match gen_instance seed with
+       | None -> true
+       | Some design ->
+         let target = Array.length design.Design.cells - 1 in
+         let brute = brute_force design ~target in
+         (match run_insertion design ~target, brute with
+          | None, None -> true
+          | Some cand, Some b ->
+            (* MGL's enumeration may be restricted (cuts around GP), so
+               it can be >= the brute optimum but never better; on these
+               tiny instances it must match exactly *)
+            abs_float (cand.Mcl.Insertion.cost -. b) < 1e-6
+          | Some _, None -> false
+          | None, Some _ -> false))
+
+(* applying the best candidate must produce a legal row with exactly
+   the predicted cost *)
+let prop_apply_consistent =
+  QCheck.Test.make ~name:"apply realizes the predicted cost" ~count:150
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+       match gen_instance seed with
+       | None -> true
+       | Some design ->
+         let target = Array.length design.Design.cells - 1 in
+         let before =
+           Array.to_list design.Design.cells
+           |> List.filter (fun (c : Cell.t) -> c.Cell.id <> target)
+           |> List.map (fun (c : Cell.t) ->
+               float_of_int (abs (c.Cell.x - c.Cell.gp_x)))
+           |> List.fold_left ( +. ) 0.0
+         in
+         let cfg = Mcl.Config.total_displacement in
+         let segments = Mcl.Segment.build ~respect_fences:false design in
+         let placement = Mcl.Placement.create design in
+         Array.iter
+           (fun (c : Cell.t) ->
+              if c.Cell.id <> target then Mcl.Placement.add placement c.Cell.id)
+           design.Design.cells;
+         let ctx =
+           Mcl.Insertion.make_ctx cfg design ~placement ~segments ~routability:None
+         in
+         let window = Mcl_geom.Rect.make ~xl:0 ~yl:0 ~xh:sites ~yh:1 in
+         (match Mcl.Insertion.best ctx ~target ~window with
+          | None -> true
+          | Some cand ->
+            Mcl.Insertion.apply ctx ~target cand;
+            let after =
+              Array.to_list design.Design.cells
+              |> List.map (fun (c : Cell.t) ->
+                  float_of_int (abs (c.Cell.x - c.Cell.gp_x)))
+              |> List.fold_left ( +. ) 0.0
+            in
+            Mcl_eval.Legality.is_legal design
+            && abs_float (after -. before -. cand.Mcl.Insertion.cost) < 1e-6))
+
+let () =
+  Alcotest.run "insertion"
+    [ ("brute-force",
+       [ QCheck_alcotest.to_alcotest prop_insertion_matches_brute_force;
+         QCheck_alcotest.to_alcotest prop_apply_consistent ]) ]

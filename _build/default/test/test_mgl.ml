@@ -1,0 +1,201 @@
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+let ct ?(edge_type = 0) ?(pins = []) id name w h =
+  Cell_type.make ~type_id:id ~name ~width:w ~height:h ~edge_type ~pins ()
+
+let check_legal design =
+  match Mcl_eval.Legality.check design with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "illegal result: %s"
+      (String.concat ", "
+         (List.map (Format.asprintf "%a" Mcl_eval.Legality.pp_violation)
+            (List.filteri (fun i _ -> i < 8) vs)))
+
+(* -- tiny hand designs -- *)
+
+let simple_design () =
+  let fp = Floorplan.make ~num_sites:60 ~num_rows:8 ~site_width:2 ~row_height:20 () in
+  let types = [| ct 0 "a" 6 1; ct 1 "b" 8 2 |] in
+  let cells =
+    [| Cell.make ~id:0 ~type_id:0 ~gp_x:10 ~gp_y:3 ();
+       Cell.make ~id:1 ~type_id:0 ~gp_x:12 ~gp_y:3 ();  (* overlaps 0 *)
+       Cell.make ~id:2 ~type_id:1 ~gp_x:11 ~gp_y:3 ();  (* double height on odd row *)
+       Cell.make ~id:3 ~type_id:0 ~gp_x:50 ~gp_y:7 () |]
+  in
+  Design.make ~name:"simple" ~floorplan:fp ~cell_types:types ~cells ()
+
+let test_simple_legalize () =
+  let d = simple_design () in
+  let cfg = { Mcl.Config.default with Mcl.Config.consider_routability = false } in
+  let stats = Mcl.Mgl.run cfg d in
+  Alcotest.(check int) "all legalized" 4 stats.Mcl.Mgl.legalized;
+  check_legal d;
+  (* double-height cell must be on even row *)
+  Alcotest.(check int) "parity" 0 (d.Design.cells.(2).Cell.y mod 2);
+  (* displacements should be small on this easy case *)
+  Alcotest.(check bool) "avg disp small" true
+    (Mcl_eval.Metrics.average_displacement d < 3.0)
+
+let test_already_legal_stays () =
+  (* non-overlapping cells at legal positions should barely move *)
+  let fp = Floorplan.make ~num_sites:60 ~num_rows:8 ~site_width:2 ~row_height:20 () in
+  let types = [| ct 0 "a" 6 1 |] in
+  let cells =
+    Array.init 5 (fun i -> Cell.make ~id:i ~type_id:0 ~gp_x:(i * 10) ~gp_y:2 ())
+  in
+  let d = Design.make ~name:"legal" ~floorplan:fp ~cell_types:types ~cells () in
+  let cfg = { Mcl.Config.default with Mcl.Config.consider_routability = false } in
+  ignore (Mcl.Mgl.run cfg d);
+  check_legal d;
+  Alcotest.(check (float 1e-9)) "no displacement" 0.0
+    (Mcl_eval.Metrics.average_displacement d)
+
+let test_fence_respected () =
+  let fp = Floorplan.make ~num_sites:80 ~num_rows:8 ~site_width:2 ~row_height:20 () in
+  let types = [| ct 0 "a" 6 1 |] in
+  let fence =
+    Fence.make ~fence_id:1 ~name:"f" ~rects:[ Rect.make ~xl:50 ~yl:0 ~xh:80 ~yh:8 ]
+  in
+  let cells =
+    [| (* fenced cell starting OUTSIDE its fence *)
+       Cell.make ~id:0 ~type_id:0 ~region:1 ~gp_x:10 ~gp_y:2 ();
+       (* default cell starting INSIDE the fence *)
+       Cell.make ~id:1 ~type_id:0 ~region:0 ~gp_x:60 ~gp_y:2 () |]
+  in
+  let d =
+    Design.make ~name:"fence" ~floorplan:fp ~cell_types:types ~cells
+      ~fences:[| fence |] ()
+  in
+  let cfg = { Mcl.Config.default with Mcl.Config.consider_routability = false } in
+  ignore (Mcl.Mgl.run cfg d);
+  check_legal d;
+  Alcotest.(check bool) "cell 0 pulled into fence" true (d.Design.cells.(0).Cell.x >= 50);
+  Alcotest.(check bool) "cell 1 pushed out of fence" true
+    (d.Design.cells.(1).Cell.x + 6 <= 50)
+
+let test_fixed_cells_are_obstacles () =
+  let fp = Floorplan.make ~num_sites:40 ~num_rows:4 ~site_width:2 ~row_height:20 () in
+  let types = [| ct 0 "a" 10 1 |] in
+  let cells =
+    [| Cell.make ~id:0 ~type_id:0 ~is_fixed:true ~gp_x:10 ~gp_y:1 ();
+       Cell.make ~id:1 ~type_id:0 ~gp_x:12 ~gp_y:1 () |]
+  in
+  let d = Design.make ~name:"fixed" ~floorplan:fp ~cell_types:types ~cells () in
+  let cfg = { Mcl.Config.default with Mcl.Config.consider_routability = false } in
+  ignore (Mcl.Mgl.run cfg d);
+  check_legal d;
+  Alcotest.(check int) "fixed did not move" 10 d.Design.cells.(0).Cell.x
+
+(* -- generated designs: qcheck legality property -- *)
+
+let legal_after_mgl ~routability ~fences seed =
+  let spec =
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.seed;
+      num_cells = 120 + (seed mod 7 * 30);
+      density = 0.4 +. float_of_int (seed mod 5) /. 10.0;
+      height_mix = [ (1, 0.7); (2, 0.2); (3, 0.1) ];
+      num_fences = (if fences then 2 else 0);
+      fence_cell_frac = (if fences then 0.15 else 0.0);
+      routability;
+      name = Printf.sprintf "prop%d" seed }
+  in
+  let d = Mcl_gen.Generator.generate spec in
+  let cfg =
+    { Mcl.Config.default with
+      Mcl.Config.consider_routability = routability;
+      consider_fences = fences }
+  in
+  ignore (Mcl.Mgl.run cfg d);
+  Mcl_eval.Legality.check d = []
+
+let prop_mgl_legal_plain =
+  QCheck.Test.make ~name:"MGL output legal (no fences/routability)" ~count:12
+    QCheck.(int_range 1 1000)
+    (fun seed -> legal_after_mgl ~routability:false ~fences:false seed)
+
+let prop_mgl_legal_full =
+  QCheck.Test.make ~name:"MGL output legal (fences + routability)" ~count:12
+    QCheck.(int_range 1 1000)
+    (fun seed -> legal_after_mgl ~routability:true ~fences:true seed)
+
+let prop_mll_legal =
+  QCheck.Test.make ~name:"MLL baseline output legal" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+       let spec =
+         { Mcl_gen.Spec.default with
+           Mcl_gen.Spec.seed;
+           num_cells = 150;
+           density = 0.6;
+           name = "mll" }
+       in
+       let d = Mcl_gen.Generator.generate spec in
+       let cfg = { Mcl.Config.default with Mcl.Config.consider_routability = false } in
+       ignore (Mcl.Mgl.run ~disp_from:`Current cfg d);
+       Mcl_eval.Legality.check d = [])
+
+let test_mgl_beats_mll_on_displacement () =
+  (* the whole point of MGL: displacement from GP should not be worse *)
+  let spec =
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.seed = 42;
+      num_cells = 400;
+      density = 0.7;
+      name = "gp_vs_cur" }
+  in
+  let cfg = Mcl.Config.total_displacement in
+  let d1 = Mcl_gen.Generator.generate spec in
+  ignore (Mcl.Mgl.run ~disp_from:`Gp cfg d1);
+  let mgl_disp = Mcl_eval.Metrics.total_displacement_sites d1 in
+  let d2 = Mcl_gen.Generator.generate spec in
+  ignore (Mcl.Mgl.run ~disp_from:`Current cfg d2);
+  let mll_disp = Mcl_eval.Metrics.total_displacement_sites d2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mgl (%.0f) <= mll (%.0f) * 1.05" mgl_disp mll_disp)
+    true
+    (mgl_disp <= mll_disp *. 1.05)
+
+let prop_mgl_legal_with_macros =
+  QCheck.Test.make ~name:"MGL output legal (fixed macros)" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+       let spec =
+         { Mcl_gen.Spec.default with
+           Mcl_gen.Spec.seed;
+           num_cells = 250;
+           density = 0.5;
+           height_mix = [ (1, 0.8); (2, 0.2) ];
+           num_macros = 3;
+           name = Printf.sprintf "macros%d" seed }
+       in
+       let d = Mcl_gen.Generator.generate spec in
+       let macro_positions =
+         Array.to_list d.Design.cells
+         |> List.filter_map (fun (c : Cell.t) ->
+             if c.Cell.is_fixed then Some (c.Cell.id, c.Cell.x, c.Cell.y) else None)
+       in
+       ignore (Mcl.Pipeline.run Mcl.Config.default d);
+       Mcl_eval.Legality.check d = []
+       && List.length macro_positions >= 1
+       && List.for_all
+            (fun (id, x, y) ->
+               d.Design.cells.(id).Cell.x = x && d.Design.cells.(id).Cell.y = y)
+            macro_positions)
+
+
+let () =
+  Alcotest.run "mgl"
+    [ ("hand",
+       [ Alcotest.test_case "simple overlap" `Quick test_simple_legalize;
+         Alcotest.test_case "already legal" `Quick test_already_legal_stays;
+         Alcotest.test_case "fence respected" `Quick test_fence_respected;
+         Alcotest.test_case "fixed obstacle" `Quick test_fixed_cells_are_obstacles;
+         Alcotest.test_case "mgl beats mll" `Slow test_mgl_beats_mll_on_displacement ]);
+      ("props",
+       [ QCheck_alcotest.to_alcotest prop_mgl_legal_plain;
+         QCheck_alcotest.to_alcotest prop_mgl_legal_full;
+         QCheck_alcotest.to_alcotest prop_mll_legal;
+         QCheck_alcotest.to_alcotest prop_mgl_legal_with_macros ]) ]

@@ -1,0 +1,141 @@
+module Rect = Mcl_geom.Rect
+module Interval = Mcl_geom.Interval
+open Mcl_netlist
+
+let ct ?(edge_type = 0) ?(pins = []) id name w h =
+  Cell_type.make ~type_id:id ~name ~width:w ~height:h ~edge_type ~pins ()
+
+let small_design () =
+  let fp =
+    Floorplan.make ~num_sites:100 ~num_rows:20 ~site_width:1 ~row_height:10
+      ~hrail_period:4 ~hrail_halfwidth:2 ~vrail_pitch:25 ~vrail_width:2
+      ~edge_spacing:[| [| 0; 1 |]; [| 1; 2 |] |] ()
+  in
+  let types = [| ct 0 "inv" 4 1; ct 1 "dff2" 8 2 ~edge_type:1 |] in
+  let fence =
+    Fence.make ~fence_id:1 ~name:"f1"
+      ~rects:[ Rect.make ~xl:60 ~yl:0 ~xh:100 ~yh:10 ]
+  in
+  let cells =
+    [| Cell.make ~id:0 ~type_id:0 ~gp_x:10 ~gp_y:3 ();
+       Cell.make ~id:1 ~type_id:1 ~gp_x:20 ~gp_y:4 ();
+       Cell.make ~id:2 ~type_id:0 ~region:1 ~gp_x:70 ~gp_y:2 () |]
+  in
+  let nets =
+    [| Net.make ~net_id:0
+         ~endpoints:
+           [ Net.Cell_pin { cell = 0; dx = 1; dy = 2 };
+             Net.Cell_pin { cell = 1; dx = 0; dy = 0 };
+             Net.Fixed_pin { px = 50; py = 100 } ] |]
+  in
+  Design.make ~name:"tiny" ~floorplan:fp ~cell_types:types ~cells ~nets
+    ~fences:[| fence |] ()
+
+let test_design_accessors () =
+  let d = small_design () in
+  Alcotest.(check int) "cells" 3 (Design.num_cells d);
+  Alcotest.(check int) "width" 8 (Design.width d d.Design.cells.(1));
+  Alcotest.(check int) "height" 2 (Design.height d d.Design.cells.(1));
+  Alcotest.(check int) "max height" 2 (Design.max_height d);
+  Alcotest.(check int) "|C_1|" 2 (Design.cells_of_height d 1);
+  Alcotest.(check int) "|C_2|" 1 (Design.cells_of_height d 2);
+  let r = Design.cell_rect d d.Design.cells.(1) in
+  Alcotest.(check bool) "rect" true
+    (Rect.equal r (Rect.make ~xl:20 ~yl:4 ~xh:28 ~yh:6))
+
+let test_region_covers () =
+  let d = small_design () in
+  Alcotest.(check bool) "fence covers" true (Design.region_covers d ~region:1 ~x:70 ~y:5);
+  Alcotest.(check bool) "fence excludes" false (Design.region_covers d ~region:1 ~x:10 ~y:5);
+  Alcotest.(check bool) "default excludes fence area" false
+    (Design.region_covers d ~region:0 ~x:70 ~y:5);
+  Alcotest.(check bool) "default covers outside" true
+    (Design.region_covers d ~region:0 ~x:10 ~y:5);
+  (* fence only spans rows 0..9 *)
+  Alcotest.(check bool) "fence rows bounded" false
+    (Design.region_covers d ~region:1 ~x:70 ~y:15)
+
+let test_snapshot_restore () =
+  let d = small_design () in
+  let snap = Design.snapshot d in
+  d.Design.cells.(0).Cell.x <- 55;
+  d.Design.cells.(0).Cell.y <- 7;
+  Design.restore d snap;
+  Alcotest.(check int) "x restored" 10 d.Design.cells.(0).Cell.x;
+  Alcotest.(check int) "y restored" 3 d.Design.cells.(0).Cell.y;
+  d.Design.cells.(1).Cell.x <- 1;
+  Design.reset_to_gp d;
+  Alcotest.(check int) "reset to gp" 20 d.Design.cells.(1).Cell.x
+
+let test_floorplan_rails () =
+  let d = small_design () in
+  let fp = d.Design.floorplan in
+  let h = Floorplan.hrail_stripes fp in
+  (* rows 0,4,8,12,16,20 -> 6 stripes *)
+  Alcotest.(check int) "hrail count" 6 (List.length h);
+  (match h with
+   | first :: _ ->
+     Alcotest.(check bool) "first stripe at 0" true
+       (Interval.equal first (Interval.make (-2) 2))
+   | [] -> Alcotest.fail "no stripes");
+  let v = Floorplan.vrail_stripes fp in
+  (* sites 0,25,50,75,100 -> 5 stripes *)
+  Alcotest.(check int) "vrail count" 5 (List.length v)
+
+let test_spacing_table () =
+  let d = small_design () in
+  let fp = d.Design.floorplan in
+  Alcotest.(check int) "0-0" 0 (Floorplan.spacing fp ~l:0 ~r:0);
+  Alcotest.(check int) "0-1" 1 (Floorplan.spacing fp ~l:0 ~r:1);
+  Alcotest.(check int) "1-1" 2 (Floorplan.spacing fp ~l:1 ~r:1);
+  Alcotest.(check int) "out of range" 0 (Floorplan.spacing fp ~l:5 ~r:0)
+
+let test_fence_row_intervals () =
+  let f =
+    Fence.make ~fence_id:1 ~name:"f"
+      ~rects:
+        [ Rect.make ~xl:0 ~yl:0 ~xh:10 ~yh:5;
+          Rect.make ~xl:8 ~yl:0 ~xh:20 ~yh:3;
+          Rect.make ~xl:30 ~yl:0 ~xh:40 ~yh:5 ]
+  in
+  (match Fence.row_intervals f ~row:1 with
+   | [ a; b ] ->
+     Alcotest.(check bool) "merged" true (Interval.equal a (Interval.make 0 20));
+     Alcotest.(check bool) "second" true (Interval.equal b (Interval.make 30 40))
+   | l -> Alcotest.failf "expected 2 intervals, got %d" (List.length l));
+  (match Fence.row_intervals f ~row:4 with
+   | [ a; b ] ->
+     Alcotest.(check bool) "row4 first" true (Interval.equal a (Interval.make 0 10));
+     Alcotest.(check bool) "row4 second" true (Interval.equal b (Interval.make 30 40))
+   | l -> Alcotest.failf "expected 2 intervals, got %d" (List.length l));
+  Alcotest.(check int) "row above" 0 (List.length (Fence.row_intervals f ~row:7))
+
+let test_validation () =
+  let fp = Floorplan.make ~num_sites:10 ~num_rows:4 () in
+  let types = [| ct 0 "a" 2 1 |] in
+  let bad_cells = [| Cell.make ~id:5 ~type_id:0 ~gp_x:0 ~gp_y:0 () |] in
+  Alcotest.check_raises "bad id"
+    (Invalid_argument "Design.make: cells must be indexed by id")
+    (fun () ->
+       ignore (Design.make ~name:"x" ~floorplan:fp ~cell_types:types ~cells:bad_cells ()))
+
+let test_layers () =
+  Alcotest.(check bool) "above M1" true (Layer.above Layer.M1 = Some Layer.M2);
+  Alcotest.(check bool) "above M3" true (Layer.above Layer.M3 = None);
+  Alcotest.(check bool) "roundtrip" true
+    (List.for_all
+       (fun l -> Layer.of_string (Layer.to_string l) = Some l)
+       [ Layer.M1; Layer.M2; Layer.M3 ])
+
+let () =
+  Alcotest.run "netlist"
+    [ ("design",
+       [ Alcotest.test_case "accessors" `Quick test_design_accessors;
+         Alcotest.test_case "region covers" `Quick test_region_covers;
+         Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+         Alcotest.test_case "validation" `Quick test_validation ]);
+      ("floorplan",
+       [ Alcotest.test_case "rails" `Quick test_floorplan_rails;
+         Alcotest.test_case "spacing" `Quick test_spacing_table ]);
+      ("fence", [ Alcotest.test_case "row intervals" `Quick test_fence_row_intervals ]);
+      ("layer", [ Alcotest.test_case "layers" `Quick test_layers ]) ]
