@@ -1,8 +1,13 @@
 (* Command-line front end: legalize a design from a benchmark file or a
    generated suite entry, with any of the implemented legalizers, and
-   report the paper's quality metrics. *)
+   report the paper's quality metrics. Also the entry point of the
+   static analysis layer: [--lint] runs the pre-flight design linter,
+   [--audit] collects the cross-stage invariant audit. *)
 
 open Cmdliner
+module Diagnostic = Mcl_analysis.Diagnostic
+module Lint = Mcl_analysis.Lint
+module Audit = Mcl_analysis.Audit
 
 type algo = Pipeline | Mgl_only | Greedy | Abacus | Mll
 
@@ -11,21 +16,62 @@ let algo_conv =
     [ ("pipeline", Pipeline); ("mgl", Mgl_only); ("greedy", Greedy);
       ("abacus", Abacus); ("mll", Mll) ]
 
+let report_format_conv = Arg.enum [ ("pretty", `Pretty); ("json", `Json) ]
+
+let usage_error msg =
+  Printf.eprintf "mcl-legalize: %s\n" msg;
+  exit 2
+
 let load ~input ~suite ~scale =
   match input, suite with
   | Some path, _ ->
     (match Mcl_bookshelf.Parser.parse_file path with
      | Ok d -> d
-     | Error msg -> failwith (Printf.sprintf "%s: %s" path msg))
+     | Error msg -> usage_error (Printf.sprintf "%s: %s" path msg)
+     | exception Sys_error msg -> usage_error msg)
   | None, Some name ->
     (match Mcl_gen.Suites.find ~scale name with
      | Some spec -> Mcl_gen.Generator.generate spec
-     | None -> failwith (Printf.sprintf "unknown suite benchmark %S" name))
+     | None -> usage_error (Printf.sprintf "unknown suite benchmark %S" name))
   | None, None -> Mcl_gen.Generator.generate Mcl_gen.Spec.default
 
+let print_report fmt report =
+  match fmt with
+  | `Pretty -> Format.printf "%a@." Diagnostic.pp_report report
+  | `Json -> print_endline (Diagnostic.to_json report)
+
+(* Lint every generated suite benchmark; the CI gate. Exits nonzero on
+   any error-severity finding in any suite. *)
+let run_lint_all ~scale =
+  let clean = ref true in
+  List.iter
+    (fun spec ->
+       let design = Mcl_gen.Generator.generate spec in
+       let report = Lint.run design in
+       Format.printf "%-22s %d error(s), %d warning(s), %d info@."
+         spec.Mcl_gen.Spec.name
+         (Diagnostic.count report Diagnostic.Error)
+         (Diagnostic.count report Diagnostic.Warning)
+         (Diagnostic.count report Diagnostic.Info);
+       if Diagnostic.has_errors report then begin
+         clean := false;
+         Format.printf "%a@." Diagnostic.pp_report report
+       end)
+    (Mcl_gen.Suites.all ~scale ());
+  exit (if !clean then 0 else 1)
+
 let run input suite scale algo threads no_fences no_routability objective_total
-    output verbose =
+    output verbose lint lint_all audit =
+  if lint_all then run_lint_all ~scale;
   let design = load ~input ~suite ~scale in
+  (match lint with
+   | Some fmt ->
+     let report = Lint.run design in
+     print_report fmt report;
+     exit (if Diagnostic.has_errors report then 1 else 0)
+   | None -> ());
+  (* json audit output must stay machine-readable: keep stdout clean *)
+  let quiet = audit = Some `Json in
   let config =
     { (if objective_total then Mcl.Config.total_displacement else Mcl.Config.default)
       with
@@ -37,39 +83,77 @@ let run input suite scale algo threads no_fences no_routability objective_total
         (not no_routability)
         && (if objective_total then false else not no_routability) }
   in
+  let auditor = Audit.create design in
   let gp_hpwl = Mcl_eval.Metrics.hpwl design in
   let t0 = Unix.gettimeofday () in
-  (match algo with
-   | Pipeline ->
-     let report = Mcl.Pipeline.run config design in
-     if verbose then Format.printf "%a@." Mcl.Pipeline.pp_report report
-   | Mgl_only -> ignore (Mcl.Scheduler.run config design)
-   | Greedy -> ignore (Mcl.Baseline_greedy.run config design)
-   | Abacus -> ignore (Mcl.Baseline_abacus.run config design)
-   | Mll -> ignore (Mcl.Scheduler.run ~disp_from:`Current config design));
+  let stage_failure =
+    (* with an auditor attached, stage failures become findings instead
+       of a crash, so the report below still renders *)
+    try
+      (match algo with
+       | Pipeline ->
+         let on_stage stage =
+           if audit <> None then
+             Audit.record_stage auditor ~stage:(Mcl.Pipeline.stage_name stage)
+         in
+         let report = Mcl.Pipeline.run ~on_stage config design in
+         if verbose && not quiet then
+           Format.printf "%a@." Mcl.Pipeline.pp_report report
+       | Mgl_only -> ignore (Mcl.Scheduler.run config design)
+       | Greedy -> ignore (Mcl.Baseline_greedy.run config design)
+       | Abacus -> ignore (Mcl.Baseline_abacus.run config design)
+       | Mll -> ignore (Mcl.Scheduler.run ~disp_from:`Current config design));
+      (* non-pipeline algos have no stage hooks: audit the end state *)
+      (match audit, algo with
+       | Some _, (Mgl_only | Greedy | Abacus | Mll) ->
+         Audit.record_stage auditor ~stage:"final"
+       | _ -> ());
+      false
+    with
+    | Diagnostic.Failed diags when audit <> None ->
+      Audit.record auditor diags;
+      true
+    | Diagnostic.Failed diags ->
+      (* no audit requested: still report the typed findings cleanly
+         rather than letting the exception escape as a crash *)
+      Format.eprintf "mcl-legalize: legalization failed:@.";
+      List.iter (fun d -> Format.eprintf "  %a@." Diagnostic.pp d) diags;
+      exit 1
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   let violations = Mcl_eval.Legality.check design in
-  let score = Mcl_eval.Score.evaluate ~gp_hpwl design in
-  Format.printf "design     : %s (%d cells)@." design.Mcl_netlist.Design.name
-    (Mcl_netlist.Design.num_cells design);
-  Format.printf "legal      : %s@."
-    (if violations = [] then "yes"
-     else Printf.sprintf "NO (%d violations)" (List.length violations));
-  Format.printf "avg disp   : %.4f rows@." score.Mcl_eval.Score.avg_disp;
-  Format.printf "max disp   : %.1f rows@." score.Mcl_eval.Score.max_disp;
-  Format.printf "total disp : %.0f sites@."
-    (Mcl_eval.Metrics.total_displacement_sites design);
-  Format.printf "hpwl delta : %+.4f@." score.Mcl_eval.Score.s_hpwl;
-  Format.printf "pin viol   : %d@." score.Mcl_eval.Score.pin_violations;
-  Format.printf "edge viol  : %d@." score.Mcl_eval.Score.edge_violations;
-  Format.printf "score S    : %.4f@." score.Mcl_eval.Score.score;
-  Format.printf "runtime    : %.2fs@." elapsed;
+  if not quiet then begin
+    let score = Mcl_eval.Score.evaluate ~gp_hpwl design in
+    Format.printf "design     : %s (%d cells)@." design.Mcl_netlist.Design.name
+      (Mcl_netlist.Design.num_cells design);
+    Format.printf "legal      : %s@."
+      (if stage_failure then "NO (stage failed)"
+       else if violations = [] then "yes"
+       else Printf.sprintf "NO (%d violations)" (List.length violations));
+    Format.printf "avg disp   : %.4f rows@." score.Mcl_eval.Score.avg_disp;
+    Format.printf "max disp   : %.1f rows@." score.Mcl_eval.Score.max_disp;
+    Format.printf "total disp : %.0f sites@."
+      (Mcl_eval.Metrics.total_displacement_sites design);
+    Format.printf "hpwl delta : %+.4f@." score.Mcl_eval.Score.s_hpwl;
+    Format.printf "pin viol   : %d@." score.Mcl_eval.Score.pin_violations;
+    Format.printf "edge viol  : %d@." score.Mcl_eval.Score.edge_violations;
+    Format.printf "score S    : %.4f@." score.Mcl_eval.Score.score;
+    Format.printf "runtime    : %.2fs@." elapsed
+  end;
+  let audit_errors =
+    match audit with
+    | None -> false
+    | Some fmt ->
+      let report = Audit.report auditor in
+      print_report fmt report;
+      Diagnostic.has_errors report
+  in
   (match output with
    | Some path ->
      Mcl_bookshelf.Writer.write_file path design;
-     Format.printf "wrote      : %s@." path
+     if not quiet then Format.printf "wrote      : %s@." path
    | None -> ());
-  if violations <> [] then exit 1
+  if stage_failure || violations <> [] || audit_errors then exit 1
 
 let cmd =
   let input =
@@ -107,9 +191,32 @@ let cmd =
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the legalized design.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Stage stats.") in
+  let lint =
+    Arg.(value
+         & opt ~vopt:(Some `Pretty) (some report_format_conv) None
+         & info [ "lint" ] ~docv:"FORMAT"
+             ~doc:"Run the pre-flight design linter instead of legalizing and \
+                   exit nonzero on any error-severity finding; FORMAT is \
+                   pretty (default) or json.")
+  in
+  let lint_all =
+    Arg.(value & flag
+         & info [ "lint-all" ]
+             ~doc:"Lint every generated suite benchmark (at --scale) and exit \
+                   nonzero if any has an error-severity finding; the CI gate.")
+  in
+  let audit =
+    Arg.(value
+         & opt ~vopt:(Some `Pretty) (some report_format_conv) None
+         & info [ "audit" ] ~docv:"FORMAT"
+             ~doc:"Audit legality, routability and flow invariants after every \
+                   stage and print the diagnostic report; FORMAT is pretty \
+                   (default) or json (json prints only the report). Exits \
+                   nonzero on error-severity findings.")
+  in
   Cmd.v
     (Cmd.info "mcl-legalize" ~doc:"Mixed-cell-height legalization (DAC'18 reproduction)")
     Term.(const run $ input $ suite $ scale $ algo $ threads $ no_fences
-          $ no_rout $ total $ output $ verbose)
+          $ no_rout $ total $ output $ verbose $ lint $ lint_all $ audit)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,90 @@
+module Legality = Mcl_eval.Legality
+module Routability_check = Mcl_eval.Routability_check
+module Graph = Mcl_flow.Graph
+open Mcl_netlist
+open Diagnostic
+
+let of_violation ?stage = function
+  | Legality.Overlap (a, b) ->
+    error ~code:"L001-overlap" ?stage ~loc:(Cell_pair (a, b)) "cells overlap"
+  | Legality.Out_of_die c ->
+    error ~code:"L002-out-of-die" ?stage ~loc:(Cell c) "cell leaves the die"
+  | Legality.On_blockage c ->
+    error ~code:"L003-on-blockage" ?stage ~loc:(Cell c) "cell sits on a blockage"
+  | Legality.Outside_region c ->
+    error ~code:"L004-outside-region" ?stage ~loc:(Cell c)
+      "cell is not fully inside its fence region"
+  | Legality.Bad_parity c ->
+    error ~code:"L005-bad-parity" ?stage ~loc:(Cell c)
+      "even-height cell starts on an odd row (P/G rails misaligned)"
+  | Legality.Fixed_moved c ->
+    error ~code:"L006-fixed-moved" ?stage ~loc:(Cell c) "fixed cell was moved"
+
+let legality ?stage design =
+  List.map (of_violation ?stage) (Legality.check design)
+
+let routability ?stage design =
+  let pins =
+    List.map
+      (fun (v : Routability_check.pin_violation) ->
+         match v.Routability_check.kind with
+         | `Short ->
+           warning ~code:"R201-pin-short" ?stage ~loc:(Cell v.Routability_check.cell)
+             (Printf.sprintf "pin %s shorts a same-layer P/G shape"
+                v.Routability_check.pin_name)
+         | `Access ->
+           warning ~code:"R202-pin-access" ?stage
+             ~loc:(Cell v.Routability_check.cell)
+             (Printf.sprintf "pin %s is covered on the layer above"
+                v.Routability_check.pin_name))
+      (Routability_check.pin_violations design)
+  in
+  let edges =
+    List.map
+      (fun (v : Routability_check.edge_violation) ->
+         warning ~code:"R203-edge-spacing" ?stage
+           ~loc:
+             (Cell_pair (v.Routability_check.left_cell, v.Routability_check.right_cell))
+           (Printf.sprintf "adjacent cells %d sites apart, rule requires %d"
+              v.Routability_check.got v.Routability_check.need))
+      (Routability_check.edge_violations design)
+  in
+  pins @ edges
+
+let network ?stage g =
+  let out = ref [] in
+  let balance = ref 0 in
+  for v = 0 to Graph.num_nodes g - 1 do
+    balance := !balance + Graph.supply g v
+  done;
+  if !balance <> 0 then
+    out :=
+      error ~code:"N201-flow-imbalance" ?stage
+        (Printf.sprintf "node supplies sum to %d, not 0; no feasible flow exists"
+           !balance)
+      :: !out;
+  for a = 0 to Graph.num_arcs g - 1 do
+    if Graph.cap g a < 0 then
+      out :=
+        error ~code:"N202-negative-capacity" ?stage ~loc:(Node (Graph.src g a))
+          (Printf.sprintf "arc %d (%d -> %d) has capacity %d" a (Graph.src g a)
+             (Graph.dst g a) (Graph.cap g a))
+        :: !out
+  done;
+  List.rev !out
+
+type t = {
+  design : Design.t;
+  mutable items : Diagnostic.t list;  (* reversed *)
+}
+
+let create design = { design; items = [] }
+
+let record t diags = t.items <- List.rev_append diags t.items
+
+let record_stage t ~stage =
+  record t (legality ~stage t.design);
+  record t (routability ~stage t.design)
+
+let report t =
+  Diagnostic.report ~design:t.design.Design.name (List.rev t.items)

@@ -1,0 +1,42 @@
+(** Cross-stage invariant auditor: folds the existing evaluators
+    ({!Mcl_eval.Legality}, {!Mcl_eval.Routability_check}) and
+    flow-network preconditions into one {!Diagnostic} stream, so a flow
+    driver can collect per-stage findings instead of catching ad-hoc
+    exceptions.
+
+    Intended wiring: create an accumulator with {!create}, pass
+    [fun stage -> Audit.record_stage t ~stage] as the pipeline's
+    [on_stage] hook, then render {!report}. *)
+
+open Mcl_netlist
+
+(** Hard legality violations of the current placement as diagnostics
+    ([L001]..[L006], all error severity). *)
+val legality : ?stage:string -> Design.t -> Diagnostic.t list
+
+(** Routability soft-constraint findings ([R201-pin-short],
+    [R202-pin-access], [R203-edge-spacing]); warnings, because the flow
+    minimizes but cannot always zero them (paper Sec. 2). *)
+val routability : ?stage:string -> Design.t -> Diagnostic.t list
+
+(** Structural preconditions of a min-cost-flow instance:
+    [N201-flow-imbalance] when node supplies do not sum to zero (no
+    feasible flow can exist) and [N202-negative-capacity] (defensive;
+    the builder rejects these). Used by {!Mcl.Row_order_opt} as a
+    barrier before solving. *)
+val network : ?stage:string -> Mcl_flow.Graph.t -> Diagnostic.t list
+
+(** Mutable per-run accumulator of stage findings. *)
+type t
+
+val create : Design.t -> t
+
+(** [record_stage t ~stage] audits the design's current placement
+    (legality + routability) and files the findings under [stage]. *)
+val record_stage : t -> stage:string -> unit
+
+(** Append arbitrary findings (e.g. pre-flight lint results or
+    diagnostics recovered from a {!Diagnostic.Failed}). *)
+val record : t -> Diagnostic.t list -> unit
+
+val report : t -> Diagnostic.report

@@ -1,0 +1,139 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Cell of int
+  | Cell_pair of int * int
+  | Region of int
+  | Row of int
+  | Blockage of int
+  | Node of int
+  | Design_wide
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location;
+  stage : string option;
+  message : string;
+}
+
+let make ~code ~severity ?stage ?(loc = Design_wide) message =
+  { code; severity; location = loc; stage; message }
+
+let error ~code ?stage ?loc message = make ~code ~severity:Error ?stage ?loc message
+let warning ~code ?stage ?loc message = make ~code ~severity:Warning ?stage ?loc message
+let info ~code ?stage ?loc message = make ~code ~severity:Info ?stage ?loc message
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let pp_location ppf = function
+  | Cell c -> Format.fprintf ppf "cell %d" c
+  | Cell_pair (a, b) -> Format.fprintf ppf "cells %d/%d" a b
+  | Region 0 -> Format.fprintf ppf "default region"
+  | Region f -> Format.fprintf ppf "fence %d" f
+  | Row r -> Format.fprintf ppf "row %d" r
+  | Blockage i -> Format.fprintf ppf "blockage %d" i
+  | Node n -> Format.fprintf ppf "node %d" n
+  | Design_wide -> Format.fprintf ppf "design"
+
+let location_rank = function
+  | Design_wide -> (0, 0, 0)
+  | Region f -> (1, f, 0)
+  | Row r -> (2, r, 0)
+  | Blockage i -> (3, i, 0)
+  | Cell c -> (4, c, 0)
+  | Cell_pair (a, b) -> (5, a, b)
+  | Node n -> (6, n, 0)
+
+let pp ppf d =
+  Format.fprintf ppf "%-7s %s @@ %a: %s" (severity_string d.severity) d.code
+    pp_location d.location d.message;
+  match d.stage with
+  | Some s -> Format.fprintf ppf " [%s]" s
+  | None -> ()
+
+let sort diags =
+  List.sort
+    (fun a b ->
+       compare
+         (severity_rank a.severity, a.code, location_rank a.location, a.stage)
+         (severity_rank b.severity, b.code, location_rank b.location, b.stage))
+    diags
+
+type report = {
+  design : string;
+  items : t list;
+}
+
+let report ~design items = { design; items = sort items }
+
+let count r sev = List.length (List.filter (fun d -> d.severity = sev) r.items)
+
+let has_errors r = List.exists (fun d -> d.severity = Error) r.items
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>diagnostics for %s:@," r.design;
+  List.iter (fun d -> Format.fprintf ppf "  %a@," pp d) r.items;
+  Format.fprintf ppf "  %d error(s), %d warning(s), %d info@]" (count r Error)
+    (count r Warning) (count r Info)
+
+(* Minimal JSON emitter: the report schema only needs strings, ints and
+   null, so we avoid a JSON library dependency. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_location = function
+  | Cell c -> Printf.sprintf {|{"kind":"cell","id":%d}|} c
+  | Cell_pair (a, b) -> Printf.sprintf {|{"kind":"cell-pair","a":%d,"b":%d}|} a b
+  | Region f -> Printf.sprintf {|{"kind":"region","id":%d}|} f
+  | Row r -> Printf.sprintf {|{"kind":"row","id":%d}|} r
+  | Blockage i -> Printf.sprintf {|{"kind":"blockage","index":%d}|} i
+  | Node n -> Printf.sprintf {|{"kind":"node","id":%d}|} n
+  | Design_wide -> {|{"kind":"design"}|}
+
+let json_diag d =
+  Printf.sprintf
+    {|{"code":"%s","severity":"%s","stage":%s,"location":%s,"message":"%s"}|}
+    (json_escape d.code)
+    (severity_string d.severity)
+    (match d.stage with
+     | Some s -> Printf.sprintf {|"%s"|} (json_escape s)
+     | None -> "null")
+    (json_location d.location)
+    (json_escape d.message)
+
+let to_json r =
+  Printf.sprintf
+    {|{"design":"%s","summary":{"error":%d,"warning":%d,"info":%d},"diagnostics":[%s]}|}
+    (json_escape r.design) (count r Error) (count r Warning) (count r Info)
+    (String.concat "," (List.map json_diag r.items))
+
+exception Failed of t list
+
+let fail diags = raise (Failed diags)
+
+let () =
+  Printexc.register_printer (function
+      | Failed diags ->
+        Some
+          (Format.asprintf "@[<v>Diagnostic.Failed:@,%a@]"
+             (Format.pp_print_list pp) diags)
+      | _ -> None)

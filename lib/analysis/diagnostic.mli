@@ -1,0 +1,84 @@
+(** Typed findings shared by the pre-flight linter ({!Lint}) and the
+    cross-stage invariant auditor ({!Audit}).
+
+    Every finding carries a {e stable} error code (documented in
+    README.md §Diagnostics), a severity, and a structured location, so
+    tools can filter and diff reports across runs. Codes are grouped by
+    family:
+
+    - [D1xx] design-wide library/geometry lint
+    - [F1xx] fence-region lint
+    - [B1xx] blockage lint
+    - [X1xx] fixed-cell lint
+    - [G1xx] global-placement input lint
+    - [L0xx] hard legality violations (audit; mirrors
+      {!Mcl_eval.Legality.violation})
+    - [R2xx] routability soft-constraint findings (audit)
+    - [N2xx] flow-network invariants (audit)
+    - [S3xx] stage/scheduler failures (audit) *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Cell of int              (** cell id *)
+  | Cell_pair of int * int   (** unordered cell-id pair *)
+  | Region of int            (** fence id; 0 = default region *)
+  | Row of int
+  | Blockage of int          (** index into [floorplan.blockages] *)
+  | Node of int              (** flow-network node id *)
+  | Design_wide
+
+type t = {
+  code : string;          (** stable, e.g. ["F101-fence-undercapacity"] *)
+  severity : severity;
+  location : location;
+  stage : string option;  (** [None] for pre-flight lint findings *)
+  message : string;
+}
+
+(** [make ~code ~severity ?stage ?loc msg]; [loc] defaults to
+    [Design_wide]. *)
+val make :
+  code:string -> severity:severity -> ?stage:string -> ?loc:location ->
+  string -> t
+
+val error : code:string -> ?stage:string -> ?loc:location -> string -> t
+val warning : code:string -> ?stage:string -> ?loc:location -> string -> t
+val info : code:string -> ?stage:string -> ?loc:location -> string -> t
+
+val severity_string : severity -> string
+val pp_location : Format.formatter -> location -> unit
+
+(** One-line rendering: [severity code @ location: message [stage]]. *)
+val pp : Format.formatter -> t -> unit
+
+(** Errors first, then warnings, then infos; ties broken by code then
+    location — a deterministic order for reports and tests. *)
+val sort : t list -> t list
+
+(** A rendered collection of findings for one design. *)
+type report = {
+  design : string;
+  items : t list;  (** sorted as per {!sort} *)
+}
+
+val report : design:string -> t list -> report
+val count : report -> severity -> int
+val has_errors : report -> bool
+
+(** Pretty, human-readable multi-line rendering with a summary line. *)
+val pp_report : Format.formatter -> report -> unit
+
+(** Machine-readable rendering. Schema (README.md §Diagnostics):
+    [{"design", "summary": {"error","warning","info"},
+      "diagnostics": [{"code","severity","stage","location": {"kind",...},
+                       "message"}]}]. *)
+val to_json : report -> string
+
+(** Raised by flow stages on unrecoverable invariant breakage, instead
+    of a stringly-typed [Failure]. A printer is registered, so uncaught
+    it still renders each finding. *)
+exception Failed of t list
+
+(** [fail diags] raises {!Failed}. *)
+val fail : t list -> 'a

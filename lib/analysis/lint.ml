@@ -1,0 +1,262 @@
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+open Diagnostic
+
+(* Site-granularity raster of the die, classifying every site by fence
+   region and whether a blockage or fixed cell covers it. All capacity
+   and reachability lint is computed from this one pass; die sizes in
+   this code base are at most a few hundred thousand sites. *)
+type raster = {
+  cols : int;
+  rows : int;
+  region : int array;   (* fence id, 0 = default region *)
+  usable : bool array;  (* not blocked, not under a fixed cell *)
+}
+
+let rasterize design =
+  let fp = design.Design.floorplan in
+  let cols = fp.Floorplan.num_sites and rows = fp.Floorplan.num_rows in
+  let region = Array.make (cols * rows) 0 in
+  let usable = Array.make (cols * rows) true in
+  let fill r f =
+    let xl = max 0 r.Rect.x.lo and xh = min cols r.Rect.x.hi in
+    let yl = max 0 r.Rect.y.lo and yh = min rows r.Rect.y.hi in
+    for y = yl to yh - 1 do
+      for x = xl to xh - 1 do
+        f ((y * cols) + x)
+      done
+    done
+  in
+  Array.iter
+    (fun (fence : Fence.t) ->
+       List.iter (fun r -> fill r (fun i -> region.(i) <- fence.Fence.fence_id))
+         fence.Fence.rects)
+    design.Design.fences;
+  List.iter (fun r -> fill r (fun i -> usable.(i) <- false))
+    fp.Floorplan.blockages;
+  Array.iter
+    (fun (c : Cell.t) ->
+       if c.Cell.is_fixed then
+         fill (Design.cell_rect design c) (fun i -> usable.(i) <- false))
+    design.Design.cells;
+  { cols; rows; region; usable }
+
+let num_regions design = Array.length design.Design.fences + 1
+
+let valid_region design r = r >= 0 && r < num_regions design
+
+(* --- cell library and region-id sanity --- *)
+
+let check_cells design add =
+  let fp = design.Design.floorplan in
+  Array.iter
+    (fun (c : Cell.t) ->
+       let w = Design.width design c and h = Design.height design c in
+       if (not c.Cell.is_fixed)
+          && (w > fp.Floorplan.num_sites || h > fp.Floorplan.num_rows)
+       then
+         add
+           (error ~code:"D101-cell-exceeds-die" ~loc:(Cell c.Cell.id)
+              (Printf.sprintf "cell is %dx%d but the die is only %dx%d" w h
+                 fp.Floorplan.num_sites fp.Floorplan.num_rows));
+       if not (valid_region design c.Cell.region) then
+         add
+           (error ~code:"D102-bad-region" ~loc:(Cell c.Cell.id)
+              (Printf.sprintf "cell references fence %d but only %d fence(s) exist"
+                 c.Cell.region
+                 (Array.length design.Design.fences))))
+    design.Design.cells
+
+(* --- blockages --- *)
+
+let check_blockages design add =
+  let fp = design.Design.floorplan in
+  let die = Floorplan.die fp in
+  let blockages = Array.of_list fp.Floorplan.blockages in
+  Array.iteri
+    (fun i r ->
+       if Rect.is_empty r then
+         add
+           (warning ~code:"B101-degenerate-blockage" ~loc:(Blockage i)
+              (Format.asprintf "blockage %a has zero area" Rect.pp r))
+       else if not (Rect.contains_rect die r) then
+         add
+           (warning ~code:"B103-blockage-outside-die" ~loc:(Blockage i)
+              (Format.asprintf "blockage %a is not contained in the die %a"
+                 Rect.pp r Rect.pp die)))
+    blockages;
+  Array.iteri
+    (fun i r ->
+       if not (Rect.is_empty r) then
+         for j = i + 1 to Array.length blockages - 1 do
+           if (not (Rect.is_empty blockages.(j))) && Rect.overlaps r blockages.(j)
+           then
+             add
+               (warning ~code:"B102-overlapping-blockages" ~loc:(Blockage i)
+                  (Printf.sprintf "blockages %d and %d overlap" i j))
+         done)
+    blockages
+
+(* --- fixed cells --- *)
+
+let check_fixed design add =
+  let die = Floorplan.die design.Design.floorplan in
+  let fixed =
+    Array.to_list design.Design.cells
+    |> List.filter (fun (c : Cell.t) -> c.Cell.is_fixed)
+    |> Array.of_list
+  in
+  Array.iter
+    (fun (c : Cell.t) ->
+       if not (Rect.contains_rect die (Design.cell_rect design c)) then
+         add
+           (warning ~code:"X102-fixed-out-of-die" ~loc:(Cell c.Cell.id)
+              "fixed cell sticks out of the die"))
+    fixed;
+  (* fixed cells are few (macros); the quadratic pass is fine *)
+  Array.iteri
+    (fun i (a : Cell.t) ->
+       let ra = Design.cell_rect design a in
+       for j = i + 1 to Array.length fixed - 1 do
+         let b = fixed.(j) in
+         if Rect.overlaps ra (Design.cell_rect design b) then
+           add
+             (error ~code:"X101-fixed-overlap"
+                ~loc:(Cell_pair (a.Cell.id, b.Cell.id))
+                "two fixed cells overlap")
+       done)
+    fixed
+
+(* --- GP input sanity --- *)
+
+let check_gp design add =
+  let fp = design.Design.floorplan in
+  let die = Floorplan.die fp in
+  let far_x = fp.Floorplan.num_sites and far_y = fp.Floorplan.num_rows in
+  Array.iter
+    (fun (c : Cell.t) ->
+       if not c.Cell.is_fixed then begin
+         let r =
+           Design.rect_at design c ~x:c.Cell.gp_x ~y:c.Cell.gp_y
+         in
+         if
+           r.Rect.x.hi < -far_x || r.Rect.x.lo > 2 * far_x
+           || r.Rect.y.hi < -far_y || r.Rect.y.lo > 2 * far_y
+         then
+           add
+             (error ~code:"G101-gp-far-outside-die" ~loc:(Cell c.Cell.id)
+                (Printf.sprintf
+                   "GP position (%d, %d) is more than a die width/height away"
+                   c.Cell.gp_x c.Cell.gp_y))
+         else if not (Rect.contains_rect die r) then
+           add
+             (warning ~code:"G102-gp-outside-die" ~loc:(Cell c.Cell.id)
+                (Printf.sprintf "GP footprint at (%d, %d) leaves the die"
+                   c.Cell.gp_x c.Cell.gp_y))
+       end)
+    design.Design.cells
+
+(* --- per-region capacity, parity reachability and span width --- *)
+
+let check_regions design raster add =
+  let nr = num_regions design in
+  let capacity = Array.make nr 0 in
+  let demand = Array.make nr 0 in
+  let max_run = Array.make nr 0 in
+  for y = 0 to raster.rows - 1 do
+    let run = Array.make nr 0 in
+    for x = 0 to raster.cols - 1 do
+      let i = (y * raster.cols) + x in
+      for r = 0 to nr - 1 do
+        if raster.usable.(i) && raster.region.(i) = r then begin
+          capacity.(r) <- capacity.(r) + 1;
+          run.(r) <- run.(r) + 1;
+          if run.(r) > max_run.(r) then max_run.(r) <- run.(r)
+        end
+        else run.(r) <- 0
+      done
+    done
+  done;
+  (* demand and the per-region height census *)
+  let heights = Array.make nr [] in
+  Array.iter
+    (fun (c : Cell.t) ->
+       if (not c.Cell.is_fixed) && valid_region design c.Cell.region then begin
+         let r = c.Cell.region in
+         let w = Design.width design c and h = Design.height design c in
+         demand.(r) <- demand.(r) + (w * h);
+         if not (List.mem h heights.(r)) then heights.(r) <- h :: heights.(r)
+       end)
+    design.Design.cells;
+  for r = 0 to nr - 1 do
+    if demand.(r) > capacity.(r) then
+      add
+        (error
+           ~code:
+             (if r = 0 then "F104-default-region-undercapacity"
+              else "F101-fence-undercapacity")
+           ~loc:(Region r)
+           (Printf.sprintf "cells demand %d sites but only %d are usable"
+              demand.(r) capacity.(r)))
+  done;
+  (* a usable position for height h at (x, y): column x usable and in
+     region r for all rows y .. y+h-1, with y even when h is even *)
+  let position_exists r h =
+    let ok = ref false in
+    let y = ref 0 in
+    while (not !ok) && !y + h <= raster.rows do
+      if h mod 2 = 1 || !y mod 2 = 0 then begin
+        let x = ref 0 in
+        while (not !ok) && !x < raster.cols do
+          let column_ok = ref true in
+          for dy = 0 to h - 1 do
+            let i = ((!y + dy) * raster.cols) + !x in
+            if not (raster.usable.(i) && raster.region.(i) = r) then
+              column_ok := false
+          done;
+          if !column_ok then ok := true;
+          incr x
+        done
+      end;
+      incr y
+    done;
+    !ok
+  in
+  for r = 0 to nr - 1 do
+    List.iter
+      (fun h ->
+         if h mod 2 = 0 && not (position_exists r h) then
+           add
+             (error ~code:"F102-fence-parity-starvation" ~loc:(Region r)
+                (Printf.sprintf
+                   "region has height-%d cells but no usable even-row start \
+                    position"
+                   h)))
+      heights.(r)
+  done;
+  Array.iter
+    (fun (c : Cell.t) ->
+       if (not c.Cell.is_fixed) && valid_region design c.Cell.region then begin
+         let w = Design.width design c in
+         if w > max_run.(c.Cell.region) then
+           add
+             (error ~code:"F103-cell-wider-than-fence" ~loc:(Cell c.Cell.id)
+                (Printf.sprintf
+                   "cell is %d sites wide but the widest usable run of its \
+                    region is %d"
+                   w
+                   max_run.(c.Cell.region)))
+       end)
+    design.Design.cells
+
+let check design =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  check_cells design add;
+  check_blockages design add;
+  check_fixed design add;
+  check_gp design add;
+  check_regions design (rasterize design) add;
+  List.rev !out
+
+let run design = Diagnostic.report ~design:design.Design.name (check design)

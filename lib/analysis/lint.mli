@@ -1,0 +1,37 @@
+(** Pre-flight design linter: static feasibility checks on a parsed
+    design {e before} any legalizer runs, in the spirit of GOALPlace's
+    "know end-state feasibility first" (PAPERS.md). All findings are
+    {!Diagnostic.t} values with stable codes; a design with no
+    error-severity finding is considered lintable input for the flow.
+
+    Checks performed (codes documented in README.md §Diagnostics):
+
+    - [D101-cell-exceeds-die]: a movable cell wider/taller than the die.
+    - [D102-bad-region]: a cell references a fence id that does not exist.
+    - [B101-degenerate-blockage]: a blockage rectangle with zero area.
+    - [B102-overlapping-blockages]: two blockages overlap (redundant
+      geometry, usually a generator/parser bug).
+    - [B103-blockage-outside-die]: blockage not contained in the die.
+    - [X101-fixed-overlap]: two fixed cells overlap.
+    - [X102-fixed-out-of-die]: a fixed cell sticks out of the die.
+    - [G101-gp-far-outside-die]: a GP position more than one die
+      width/height outside the die (garbage input).
+    - [G102-gp-outside-die]: a GP footprint not contained in the die
+      (the legalizer handles it, but displacement suffers).
+    - [F101-fence-undercapacity]: total site demand of a fence's cells
+      exceeds the fence's usable site capacity (blockages and fixed
+      cells subtracted).
+    - [F102-fence-parity-starvation]: a region has even-height cells but
+      no usable position whose bottom row is even (P/G parity, paper
+      Sec. 2), so no even-height cell can ever be placed there.
+    - [F103-cell-wider-than-fence]: a cell wider than the widest usable
+      horizontal run of its region.
+    - [F104-default-region-undercapacity]: like [F101] for region 0. *)
+
+open Mcl_netlist
+
+(** All lint findings for the design, unsorted. *)
+val check : Design.t -> Diagnostic.t list
+
+(** [run design] is [check] packaged as a sorted {!Diagnostic.report}. *)
+val run : Design.t -> Diagnostic.report

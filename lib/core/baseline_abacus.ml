@@ -379,7 +379,10 @@ let run config design =
          if Design.height design c = 1 then place_single c else place_multi c
        in
        if not ok then
-         failwith (Printf.sprintf "Baseline_abacus: cell %d cannot be placed" c.Cell.id);
+         Mcl_analysis.Diagnostic.(
+           fail
+             [ error ~code:"S301-unplaceable-cell" ~stage:"abacus"
+                 ~loc:(Cell c.Cell.id) "no row can take the cell" ]);
        incr count)
     order;
   (* final positions for single-row cells from the clusters *)

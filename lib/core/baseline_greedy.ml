@@ -107,6 +107,10 @@ let run config design =
   Array.iter
     (fun id ->
        if place_one design placement segments id then incr count
-       else failwith (Printf.sprintf "Baseline_greedy: cell %d cannot be placed" id))
+       else
+         Mcl_analysis.Diagnostic.(
+           fail
+             [ error ~code:"S301-unplaceable-cell" ~stage:"greedy" ~loc:(Cell id)
+                 "no free span can take the cell" ]))
     order;
   { legalized = !count }

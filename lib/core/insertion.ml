@@ -60,7 +60,6 @@ type row_info = {
 }
 
 type win_data = {
-  reg : int;
   ids : int array;                   (* local cell ids *)
   cur : int array;                   (* current x per local *)
   wid : int array;                   (* width per local *)
@@ -233,7 +232,7 @@ let build_window_data ctx ~target ~(window : Rect.t) =
         Array.iteri (fun pos li -> occ.(li) <- (row, pos) :: occ.(li)) locs;
         { subspans; locs; loc_ss })
   in
-  { reg; ids; cur; wid; et; gpx; c2; wgt; occ; row_lo; row_infos }
+  { ids; cur; wid; et; gpx; c2; wgt; occ; row_lo; row_infos }
 
 (* ---------- common intervals ---------- *)
 

@@ -199,9 +199,11 @@ let run_with_ctx ctx ~order =
          end
        in
        if not ok then
-         failwith
-           (Printf.sprintf "Mgl: cell %d cannot be placed (region over capacity?)"
-              target);
+         Mcl_analysis.Diagnostic.(
+           fail
+             [ error ~code:"S301-unplaceable-cell" ~stage:"mgl" ~loc:(Cell target)
+                 "no legal insertion point even at full-die window (region over \
+                  capacity?)" ]);
        incr legalized)
     order;
   { legalized = !legalized; window_growths = !growths; fallbacks = !fallbacks }

@@ -1,3 +1,10 @@
+type stage = Mgl_stage | Matching_stage | Row_order_stage
+
+let stage_name = function
+  | Mgl_stage -> "mgl"
+  | Matching_stage -> "matching"
+  | Row_order_stage -> "row-order"
+
 type report = {
   mgl_stats : Scheduler.stats;
   matching_stats : Matching_opt.stats option;
@@ -12,11 +19,13 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let run config design =
+let run ?(on_stage = fun _ -> ()) config design =
   let mgl_stats, mgl_seconds = timed (fun () -> Scheduler.run config design) in
+  on_stage Mgl_stage;
   let matching_stats, matching_seconds =
     if config.Config.run_matching then begin
       let s, t = timed (fun () -> Matching_opt.run config design) in
+      on_stage Matching_stage;
       (Some s, t)
     end
     else (None, 0.0)
@@ -24,6 +33,7 @@ let run config design =
   let row_order_stats, row_order_seconds =
     if config.Config.run_row_order then begin
       let s, t = timed (fun () -> Row_order_opt.run config design) in
+      on_stage Row_order_stage;
       (Some s, t)
     end
     else (None, 0.0)

@@ -4,6 +4,15 @@
 
 open Mcl_netlist
 
+(** The three flow stages, in execution order; used by the [on_stage]
+    hook so an auditor (e.g. {!Mcl_analysis.Audit}) can record
+    invariants between stages. *)
+type stage = Mgl_stage | Matching_stage | Row_order_stage
+
+(** Stable lowercase stage labels ("mgl", "matching", "row-order") for
+    diagnostics and reports. *)
+val stage_name : stage -> string
+
 type report = {
   mgl_stats : Scheduler.stats;
   matching_stats : Matching_opt.stats option;
@@ -15,8 +24,11 @@ type report = {
 
 (** [run config design] legalizes [design] in place and returns stage
     statistics. Stages 2/3 run only when enabled in [config]. The
-    result always passes {!Mcl_eval.Legality.check}. *)
-val run : Config.t -> Design.t -> report
+    result always passes {!Mcl_eval.Legality.check}. [on_stage] is
+    invoked right after each stage that ran, with the design already
+    mutated to that stage's result. Unrecoverable stage failures raise
+    {!Mcl_analysis.Diagnostic.Failed}. *)
+val run : ?on_stage:(stage -> unit) -> Config.t -> Design.t -> report
 
 val total_seconds : report -> float
 val pp_report : Format.formatter -> report -> unit

@@ -176,6 +176,16 @@ let build_and_solve config design =
     ignore (Graph.add_arc g ~src:vp ~dst:vz ~cap:n0 ~cost:max_dy);
     ignore (Graph.add_arc g ~src:vz ~dst:vn ~cap:n0 ~cost:max_dy)
   end;
+  (* barrier: a malformed network would make the dual recovery below
+     silently wrong, so audit the instance before handing it to the
+     solver *)
+  (match
+     List.filter
+       (fun d -> d.Mcl_analysis.Diagnostic.severity = Mcl_analysis.Diagnostic.Error)
+       (Mcl_analysis.Audit.network ~stage:"row-order" g)
+   with
+   | [] -> ()
+   | errors -> Mcl_analysis.Diagnostic.fail errors);
   let result = Mcf.solve ~solver:config.Config.solver g in
   (g, vz, pcs, result)
 
@@ -217,10 +227,17 @@ let run config design =
   (match result.Mcf.status with
    | `Infeasible ->
      (* circulations are always feasible; this cannot happen *)
-     failwith "Row_order_opt: solver reported infeasible circulation"
+     Mcl_analysis.Diagnostic.(
+       fail
+         [ error ~code:"N203-infeasible-circulation" ~stage:"row-order"
+             "solver reported an infeasible circulation" ])
    | `Optimal -> ());
   (match result.Mcf.potential with
-   | None -> failwith "Row_order_opt: solver returned no potentials"
+   | None ->
+     Mcl_analysis.Diagnostic.(
+       fail
+         [ error ~code:"N204-missing-potentials" ~stage:"row-order"
+             "solver returned no node potentials; cannot recover the dual" ])
    | Some pot ->
      let pz = pot.(vz) in
      Array.iter

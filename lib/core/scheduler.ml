@@ -1,4 +1,3 @@
-module Interval = Mcl_geom.Interval
 module Rect = Mcl_geom.Rect
 open Mcl_netlist
 
@@ -91,8 +90,12 @@ let run ?(disp_from = `Gp) config design =
                || Mgl.fallback_place ~relax_routability:true ctx p.cell
              in
              if not ok then
-               failwith
-                 (Printf.sprintf "Scheduler: cell %d cannot be placed" p.cell);
+               Mcl_analysis.Diagnostic.(
+                 fail
+                   [ error ~code:"S301-unplaceable-cell" ~stage:"mgl"
+                       ~loc:(Cell p.cell)
+                       "no legal insertion point even at full-die window \
+                        (region over capacity?)" ]);
              incr legalized
            end
            else begin

@@ -48,8 +48,11 @@ let check design =
          if List.exists (Rect.overlaps r) fp.Floorplan.blockages then
            add (On_blockage c.id);
          if not (parity_ok (Design.height design c) c.y) then add (Bad_parity c.id);
-         if Rect.contains_rect die r && not (region_ok design c) then
-           add (Outside_region c.id)
+         (* independent of the die check: a cell that is both out of die
+            and out of its fence must report both, or an auditor summing
+            per-kind counts under-reports (region 0 treats out-of-die
+            sites as covered, so only fenced cells can double-report) *)
+         if not (region_ok design c) then add (Outside_region c.id)
        end)
     design.Design.cells;
   (* overlap check: sweep each row's cells sorted by x *)

@@ -19,7 +19,6 @@ let st_upper = 1
 type state = {
   n : int;                 (* original node count *)
   m : int;                 (* original arc count *)
-  root : int;
   a_src : int array;
   a_dst : int array;
   a_cap : int array;
@@ -87,7 +86,7 @@ let init g =
     depth.(i) <- 1;
     children.(root) <- i :: children.(root)
   done;
-  { n; m; root; a_src; a_dst; a_cap; a_cost; flow; st; parent; pred; depth;
+  { n; m; a_src; a_dst; a_cap; a_cost; flow; st; parent; pred; depth;
     pot; children }
 
 let reduced_cost s a = s.a_cost.(a) + s.pot.(s.a_src.(a)) - s.pot.(s.a_dst.(a))

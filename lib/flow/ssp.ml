@@ -5,7 +5,6 @@ type result = { status : status; flow : int array; total_cost : int }
    arc a, arc 2a+1 = its reverse. *)
 
 type residual = {
-  n : int;
   m2 : int;
   head : int array;          (* per residual arc *)
   res : int array;           (* residual capacity *)
@@ -35,7 +34,7 @@ let build_residual n arcs_src arcs_dst arcs_cap arcs_cost flow =
     next.((2 * a) + 1) <- first.(v);
     first.(v) <- (2 * a) + 1
   done;
-  { n; m2; head; res; cost; first; next }
+  { m2; head; res; cost; first; next }
 
 (* Binary min-heap on (dist, node). *)
 module Heap = struct

@@ -85,6 +85,7 @@ let ispd2015 ?(scale = 1.0) () =
     ispd_spec ~scale ~seed:219 ~name:"superblue16_a" ~cells:6810 ~density:0.479;
     ispd_spec ~scale ~seed:220 ~name:"superblue19" ~cells:5060 ~density:0.523 ]
 
+let all ?(scale = 1.0) () = iccad2017 ~scale () @ ispd2015 ~scale ()
+
 let find ?(scale = 1.0) name =
-  let all = iccad2017 ~scale () @ ispd2015 ~scale () in
-  List.find_opt (fun s -> s.Spec.name = name) all
+  List.find_opt (fun s -> s.Spec.name = name) (all ~scale ())

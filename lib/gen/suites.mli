@@ -14,5 +14,10 @@ val iccad2017 : ?scale:float -> unit -> Spec.t list
     height and half width; fences and routability off). *)
 val ispd2015 : ?scale:float -> unit -> Spec.t list
 
+(** Both rosters concatenated (ICCAD first); the CI lint sweep and the
+    CLI's [--lint-all] iterate over this. Names are unique only within
+    a roster ("des_perf_1" appears in both). *)
+val all : ?scale:float -> unit -> Spec.t list
+
 (** Look a spec up by name in both suites. *)
 val find : ?scale:float -> string -> Spec.t option

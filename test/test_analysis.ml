@@ -1,0 +1,252 @@
+module Rect = Mcl_geom.Rect
+module Diagnostic = Mcl_analysis.Diagnostic
+module Lint = Mcl_analysis.Lint
+module Audit = Mcl_analysis.Audit
+open Mcl_netlist
+
+let ct id name w h = Cell_type.make ~type_id:id ~name ~width:w ~height:h ()
+
+let fence id rects = Fence.make ~fence_id:id ~name:(Printf.sprintf "f%d" id) ~rects
+
+let design ?(num_sites = 40) ?(num_rows = 8) ?(blockages = []) ?(fences = [||])
+    ~types ~cells () =
+  let fp = Floorplan.make ~num_sites ~num_rows ~blockages () in
+  Design.make ~name:"lint-case" ~floorplan:fp ~cell_types:types ~cells ~fences ()
+
+let codes diags = List.map (fun d -> d.Diagnostic.code) diags
+
+let has_code code diags = List.mem code (codes diags)
+
+let errors_only diags =
+  List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags
+
+(* ---------- pre-flight linter ---------- *)
+
+let test_fence_undercapacity () =
+  (* fence of 2x2 = 4 sites; three 2x1 fenced cells demand 6 *)
+  let fences = [| fence 1 [ Rect.make ~xl:0 ~yl:0 ~xh:2 ~yh:2 ] |] in
+  let types = [| ct 0 "s" 2 1 |] in
+  let cells =
+    Array.init 3 (fun i ->
+        Cell.make ~id:i ~type_id:0 ~region:1 ~gp_x:0 ~gp_y:0 ())
+  in
+  let diags = Lint.check (design ~fences ~types ~cells ()) in
+  Alcotest.(check bool) "F101 fired" true
+    (has_code "F101-fence-undercapacity" diags);
+  Alcotest.(check bool) "it is an error" true
+    (has_code "F101-fence-undercapacity" (errors_only diags))
+
+let test_fence_parity_starvation () =
+  (* fence covers rows 1-2 only: a double-height cell needs an even
+     bottom row with both rows inside, which never happens *)
+  let fences = [| fence 1 [ Rect.make ~xl:0 ~yl:1 ~xh:10 ~yh:3 ] |] in
+  let types = [| ct 0 "d" 2 2 |] in
+  let cells = [| Cell.make ~id:0 ~type_id:0 ~region:1 ~gp_x:0 ~gp_y:1 () |] in
+  let diags = Lint.check (design ~fences ~types ~cells ()) in
+  Alcotest.(check bool) "F102 fired" true
+    (has_code "F102-fence-parity-starvation" diags);
+  (* shifting the fence down one row makes row 2 a legal start *)
+  let fences = [| fence 1 [ Rect.make ~xl:0 ~yl:2 ~xh:10 ~yh:4 ] |] in
+  let diags = Lint.check (design ~fences ~types ~cells ()) in
+  Alcotest.(check bool) "F102 clean after shift" false
+    (has_code "F102-fence-parity-starvation" diags)
+
+let test_cell_wider_than_fence () =
+  let fences = [| fence 1 [ Rect.make ~xl:0 ~yl:0 ~xh:4 ~yh:2 ] |] in
+  let types = [| ct 0 "wide" 6 1 |] in
+  let cells = [| Cell.make ~id:0 ~type_id:0 ~region:1 ~gp_x:0 ~gp_y:0 () |] in
+  let diags = Lint.check (design ~fences ~types ~cells ()) in
+  Alcotest.(check bool) "F103 fired" true
+    (has_code "F103-cell-wider-than-fence" diags)
+
+let test_blockage_lint () =
+  let blockages =
+    [ Rect.make ~xl:0 ~yl:0 ~xh:4 ~yh:2;
+      Rect.make ~xl:2 ~yl:1 ~xh:6 ~yh:3;    (* overlaps the first *)
+      Rect.make ~xl:10 ~yl:0 ~xh:10 ~yh:2;  (* degenerate *)
+      Rect.make ~xl:38 ~yl:6 ~xh:44 ~yh:9 ] (* sticks out of die *)
+  in
+  let types = [| ct 0 "s" 2 1 |] in
+  let cells = [| Cell.make ~id:0 ~type_id:0 ~gp_x:20 ~gp_y:4 () |] in
+  let diags = Lint.check (design ~blockages ~types ~cells ()) in
+  Alcotest.(check bool) "B101" true (has_code "B101-degenerate-blockage" diags);
+  Alcotest.(check bool) "B102" true (has_code "B102-overlapping-blockages" diags);
+  Alcotest.(check bool) "B103" true (has_code "B103-blockage-outside-die" diags);
+  (* all blockage findings are warnings: the design is still feasible *)
+  Alcotest.(check int) "no errors" 0 (List.length (errors_only diags))
+
+let test_fixed_overlap_and_gp () =
+  let types = [| ct 0 "s" 4 1 |] in
+  let cells =
+    [| Cell.make ~id:0 ~type_id:0 ~is_fixed:true ~gp_x:0 ~gp_y:0 ();
+       Cell.make ~id:1 ~type_id:0 ~is_fixed:true ~gp_x:2 ~gp_y:0 ();
+       Cell.make ~id:2 ~type_id:0 ~gp_x:500 ~gp_y:0 ();   (* far outside *)
+       Cell.make ~id:3 ~type_id:0 ~gp_x:38 ~gp_y:0 () |]  (* mildly outside *)
+  in
+  let diags = Lint.check (design ~types ~cells ()) in
+  Alcotest.(check bool) "X101 fixed overlap" true
+    (has_code "X101-fixed-overlap" (errors_only diags));
+  Alcotest.(check bool) "G101 far gp is an error" true
+    (has_code "G101-gp-far-outside-die" (errors_only diags));
+  Alcotest.(check bool) "G102 mild gp is reported" true
+    (has_code "G102-gp-outside-die" diags);
+  Alcotest.(check bool) "G102 is not an error" false
+    (has_code "G102-gp-outside-die" (errors_only diags))
+
+let test_bad_region_and_oversize () =
+  let types = [| ct 0 "huge" 50 1; ct 1 "s" 2 1 |] in
+  let cells =
+    [| Cell.make ~id:0 ~type_id:0 ~gp_x:0 ~gp_y:0 ();
+       Cell.make ~id:1 ~type_id:1 ~region:7 ~gp_x:4 ~gp_y:0 () |]
+  in
+  let diags = Lint.check (design ~types ~cells ()) in
+  Alcotest.(check bool) "D101" true
+    (has_code "D101-cell-exceeds-die" (errors_only diags));
+  Alcotest.(check bool) "D102" true
+    (has_code "D102-bad-region" (errors_only diags))
+
+let test_generated_designs_lint_clean () =
+  List.iter
+    (fun spec ->
+       let d = Mcl_gen.Generator.generate spec in
+       let report = Lint.run d in
+       if Diagnostic.has_errors report then
+         Alcotest.failf "%s has lint errors:@\n%a" spec.Mcl_gen.Spec.name
+           Diagnostic.pp_report report)
+    [ Mcl_gen.Spec.default;
+      (match Mcl_gen.Suites.find ~scale:0.25 "fft_2_md2" with
+       | Some s -> s
+       | None -> Alcotest.fail "suite spec missing") ]
+
+(* ---------- diagnostics engine ---------- *)
+
+let test_sort_and_report () =
+  let open Diagnostic in
+  let items =
+    [ info ~code:"Z900-note" "c";
+      error ~code:"L001-overlap" ~loc:(Cell_pair (3, 4)) "a";
+      warning ~code:"R203-edge-spacing" ~loc:(Cell_pair (1, 2)) "b";
+      error ~code:"L001-overlap" ~loc:(Cell_pair (1, 2)) "a" ]
+  in
+  let r = report ~design:"d" items in
+  Alcotest.(check (list string)) "severity then code then location"
+    [ "L001-overlap"; "L001-overlap"; "R203-edge-spacing"; "Z900-note" ]
+    (List.map (fun d -> d.code) r.items);
+  (match r.items with
+   | first :: _ ->
+     Alcotest.(check bool) "pair (1,2) before (3,4)" true
+       (first.location = Cell_pair (1, 2))
+   | [] -> Alcotest.fail "empty report");
+  Alcotest.(check int) "errors" 2 (count r Error);
+  Alcotest.(check bool) "has errors" true (has_errors r)
+
+let test_json_rendering () =
+  let open Diagnostic in
+  let r =
+    report ~design:"q\"uote"
+      [ error ~code:"L002-out-of-die" ~stage:"mgl" ~loc:(Cell 7) "line1\nline2" ]
+  in
+  let json = to_json r in
+  let contains affix =
+    let n = String.length json and m = String.length affix in
+    let rec go i = i + m <= n && (String.sub json i m = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped design name" true (contains {|"q\"uote"|});
+  Alcotest.(check bool) "escaped newline" true (contains {|line1\nline2|});
+  Alcotest.(check bool) "stage" true (contains {|"stage":"mgl"|});
+  Alcotest.(check bool) "location" true (contains {|{"kind":"cell","id":7}|});
+  Alcotest.(check bool) "summary" true
+    (contains {|"summary":{"error":1,"warning":0,"info":0}|})
+
+(* ---------- audit ---------- *)
+
+let test_network_preconditions () =
+  let g = Mcl_flow.Graph.create () in
+  ignore (Mcl_flow.Graph.add_node g ~supply:3);
+  ignore (Mcl_flow.Graph.add_node g ~supply:(-1));
+  let diags = Audit.network ~stage:"row-order" g in
+  Alcotest.(check bool) "N201 imbalance" true
+    (has_code "N201-flow-imbalance" (errors_only diags));
+  let g2 = Mcl_flow.Graph.create () in
+  let a = Mcl_flow.Graph.add_node g2 ~supply:1 in
+  let b = Mcl_flow.Graph.add_node g2 ~supply:(-1) in
+  ignore (Mcl_flow.Graph.add_arc g2 ~src:a ~dst:b ~cap:1 ~cost:0);
+  Alcotest.(check int) "balanced network is clean" 0
+    (List.length (Audit.network g2))
+
+let test_audit_maps_legality () =
+  let types = [| ct 0 "s" 4 1 |] in
+  let cells =
+    [| Cell.make ~id:0 ~type_id:0 ~gp_x:0 ~gp_y:0 ();
+       Cell.make ~id:1 ~type_id:0 ~gp_x:2 ~gp_y:0 () |]  (* overlaps 0 *)
+  in
+  let d = design ~types ~cells () in
+  let diags = Audit.legality ~stage:"mgl" d in
+  (match diags with
+   | [ diag ] ->
+     Alcotest.(check string) "code" "L001-overlap" diag.Diagnostic.code;
+     Alcotest.(check bool) "stage" true (diag.Diagnostic.stage = Some "mgl");
+     Alcotest.(check bool) "location" true
+       (diag.Diagnostic.location = Diagnostic.Cell_pair (0, 1))
+   | l -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length l))
+
+let test_pipeline_audit_clean () =
+  let spec = { Mcl_gen.Spec.default with Mcl_gen.Spec.num_cells = 500 } in
+  let d = Mcl_gen.Generator.generate spec in
+  let auditor = Audit.create d in
+  let config = Mcl.Config.default in
+  ignore
+    (Mcl.Pipeline.run
+       ~on_stage:(fun stage ->
+           Audit.record_stage auditor ~stage:(Mcl.Pipeline.stage_name stage))
+       config d);
+  let report = Audit.report auditor in
+  if Diagnostic.has_errors report then
+    Alcotest.failf "pipeline audit found errors:@\n%a" Diagnostic.pp_report
+      report;
+  (* all three stages ran and were recorded (or produced no findings,
+     which is also fine — just check the hook fired per stage) *)
+  Alcotest.(check bool) "legal at the end" true (Mcl_eval.Legality.is_legal d)
+
+let test_stage_failure_is_typed () =
+  (* an impossible instance: fence smaller than its single cell, so MGL
+     must give up with a typed diagnostic, not a stringly Failure *)
+  let fences = [| fence 1 [ Rect.make ~xl:0 ~yl:0 ~xh:2 ~yh:1 ] |] in
+  let types = [| ct 0 "wide" 6 1 |] in
+  let cells = [| Cell.make ~id:0 ~type_id:0 ~region:1 ~gp_x:0 ~gp_y:0 () |] in
+  let d = design ~fences ~types ~cells () in
+  (* the linter predicts the failure statically *)
+  Alcotest.(check bool) "lint predicts infeasibility" true
+    (Diagnostic.has_errors (Lint.run d));
+  match Mcl.Scheduler.run Mcl.Config.default d with
+  | _ -> Alcotest.fail "expected Diagnostic.Failed"
+  | exception Diagnostic.Failed diags ->
+    Alcotest.(check bool) "S301" true
+      (has_code "S301-unplaceable-cell" (errors_only diags))
+
+let () =
+  Alcotest.run "analysis"
+    [ ("lint",
+       [ Alcotest.test_case "fence undercapacity" `Quick test_fence_undercapacity;
+         Alcotest.test_case "fence parity starvation" `Quick
+           test_fence_parity_starvation;
+         Alcotest.test_case "cell wider than fence" `Quick
+           test_cell_wider_than_fence;
+         Alcotest.test_case "blockages" `Quick test_blockage_lint;
+         Alcotest.test_case "fixed cells + gp" `Quick test_fixed_overlap_and_gp;
+         Alcotest.test_case "bad region + oversize" `Quick
+           test_bad_region_and_oversize;
+         Alcotest.test_case "generated designs lint clean" `Quick
+           test_generated_designs_lint_clean ]);
+      ("diagnostics",
+       [ Alcotest.test_case "sort + report" `Quick test_sort_and_report;
+         Alcotest.test_case "json rendering" `Quick test_json_rendering ]);
+      ("audit",
+       [ Alcotest.test_case "network preconditions" `Quick
+           test_network_preconditions;
+         Alcotest.test_case "legality mapping" `Quick test_audit_maps_legality;
+         Alcotest.test_case "pipeline audit clean" `Quick
+           test_pipeline_audit_clean;
+         Alcotest.test_case "stage failure is typed" `Quick
+           test_stage_failure_is_typed ]) ]

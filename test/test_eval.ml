@@ -92,6 +92,26 @@ let test_legality_violations () =
   Alcotest.(check bool) "fixed moved" true
     (has (function Mcl_eval.Legality.Fixed_moved 4 -> true | _ -> false))
 
+(* Regression: a fenced cell that leaves the die must report both
+   Out_of_die and Outside_region — the die check used to gate the
+   region check, so per-kind counts under-reported. *)
+let test_out_of_die_and_out_of_fence () =
+  let fp = Floorplan.make ~num_sites:20 ~num_rows:4 () in
+  let types = [| ct 0 "s" 4 1 |] in
+  let fences =
+    [| Fence.make ~fence_id:1 ~name:"f"
+         ~rects:[ Rect.make ~xl:0 ~yl:0 ~xh:8 ~yh:2 ] |]
+  in
+  let cells = [| Cell.make ~id:0 ~type_id:0 ~region:1 ~gp_x:0 ~gp_y:0 () |] in
+  cells.(0).Cell.x <- 18;  (* sticks out of the die AND out of fence 1 *)
+  let d = Design.make ~name:"oo" ~floorplan:fp ~cell_types:types ~cells ~fences () in
+  let vs = Mcl_eval.Legality.check d in
+  let has p = List.exists p vs in
+  Alcotest.(check bool) "out of die" true
+    (has (function Mcl_eval.Legality.Out_of_die 0 -> true | _ -> false));
+  Alcotest.(check bool) "outside region reported too" true
+    (has (function Mcl_eval.Legality.Outside_region 0 -> true | _ -> false))
+
 let test_legality_clean () =
   let fp = Floorplan.make ~num_sites:20 ~num_rows:4 () in
   let types = [| ct 0 "s" 4 1 |] in
@@ -187,6 +207,8 @@ let () =
          Alcotest.test_case "score Eq.10" `Quick test_score_formula ]);
       ("legality",
        [ Alcotest.test_case "violations" `Quick test_legality_violations;
+         Alcotest.test_case "out-of-die + out-of-fence" `Quick
+           test_out_of_die_and_out_of_fence;
          Alcotest.test_case "clean" `Quick test_legality_clean ]);
       ("routability",
        [ Alcotest.test_case "access vs hrail" `Quick test_pin_access_hrail;

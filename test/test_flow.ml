@@ -195,6 +195,49 @@ let prop_pivot_rules_agree =
        r1.Ns.status = r2.Ns.status
        && (r1.Ns.status = Ns.Infeasible || r1.Ns.total_cost = r2.Ns.total_cost))
 
+(* ---------- Prng-seeded solver cross-check ---------- *)
+
+(* Same idea as prop_ns_matches_ssp, but driven by the repo's own
+   deterministic Mcl_geom.Prng, so the exact instance sequence is
+   reproducible from the seed alone (independent of QCheck's state). *)
+let prng_instance prng =
+  let module Prng = Mcl_geom.Prng in
+  let n = Prng.int_in prng 2 10 in
+  let g = Graph.create () in
+  let supplies = Array.init n (fun _ -> Prng.int_in prng (-4) 4) in
+  let total = Array.fold_left ( + ) 0 supplies in
+  supplies.(0) <- supplies.(0) - total;
+  Array.iter (fun s -> ignore (Graph.add_node g ~supply:s)) supplies;
+  for _ = 1 to n * 3 do
+    let s = Prng.int prng n and d = Prng.int prng n in
+    if s <> d then
+      ignore
+        (Graph.add_arc g ~src:s ~dst:d ~cap:(Prng.int prng 7)
+           ~cost:(Prng.int_in prng (-15) 15))
+  done;
+  g
+
+let test_prng_solver_cross_check () =
+  let prng = Mcl_geom.Prng.create 0xD0C_2018 in
+  for i = 1 to 300 do
+    let g = prng_instance prng in
+    let r1 = Ns.solve g in
+    let r2 = Ssp.solve g in
+    (match r1.Ns.status, r2.Ssp.status with
+     | Ns.Optimal, Ssp.Optimal ->
+       if r1.Ns.total_cost <> r2.Ssp.total_cost then
+         Alcotest.failf "instance %d: simplex cost %d <> ssp cost %d" i
+           r1.Ns.total_cost r2.Ssp.total_cost;
+       (match Ns.check_optimality g r1 with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "instance %d: %s" i m)
+     | Ns.Infeasible, Ssp.Infeasible -> ()
+     | st1, _ ->
+       Alcotest.failf "instance %d: solvers disagree on feasibility (%s)" i
+         (if st1 = Ns.Optimal then "simplex optimal, ssp infeasible"
+          else "simplex infeasible, ssp optimal"))
+  done
+
 (* ---------- matching ---------- *)
 
 let test_matching_identity () =
@@ -291,7 +334,9 @@ let () =
       ("mcf-props",
        [ QCheck_alcotest.to_alcotest prop_ns_matches_brute_force;
          QCheck_alcotest.to_alcotest prop_ns_matches_ssp;
-         QCheck_alcotest.to_alcotest prop_pivot_rules_agree ]);
+         QCheck_alcotest.to_alcotest prop_pivot_rules_agree;
+         Alcotest.test_case "prng-seeded simplex == ssp" `Quick
+           test_prng_solver_cross_check ]);
       ("matching",
        [ Alcotest.test_case "identity" `Quick test_matching_identity;
          Alcotest.test_case "beneficial swap" `Quick test_matching_swap_beneficial;
