@@ -429,6 +429,178 @@ let ablation ~scale () =
   print_newline ()
 
 (* ---------------------------------------------------------------- *)
+(* Service: resident-engine ECO-trace replay (see EXPERIMENTS.md).    *)
+(* A synthetic ECO loop against two resident designs: each round      *)
+(* perturbs a handful of cells per design and asks the service to     *)
+(* re-legalize them. "batched" hands each round to the engine as one  *)
+(* batch so adjacent ecos coalesce into one relegalize call;          *)
+(* "sequential" replays the same trace one request per batch. Both    *)
+(* run threads=1: at bench-scale designs a ~10ms relegalize loses     *)
+(* more to cross-domain GC synchronisation than it gains from         *)
+(* parallel dispatch, so the honest speedup to measure is coalescing. *)
+(* Emits BENCH_service.json next to the human table.                  *)
+(* ---------------------------------------------------------------- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+let service ~scale () =
+  let module P = Mcl_service.Protocol in
+  let module Json = Mcl_service.Json in
+  Printf.printf
+    "== Service: batched ECO-trace replay ==\n\
+     (two resident designs; each round re-legalizes %d cells per design; \n\
+     batched = one batch per round with adjacent ecos coalesced into one \n\
+     relegalize call; sequential = same trace one request at a time)\n\n"
+    8;
+  let num_cells = max 200 (int_of_float (2000.0 *. scale)) in
+  let specs =
+    [ ("left",
+       { Mcl_gen.Spec.default with
+         Mcl_gen.Spec.name = "svc_left"; num_cells; seed = 31 });
+      ("right",
+       { Mcl_gen.Spec.default with
+         Mcl_gen.Spec.name = "svc_right"; num_cells; seed = 32;
+         height_mix = [ (1, 0.7); (2, 0.2); (3, 0.1) ] }) ]
+  in
+  (* same spec+seed => same design: a local copy gives the trace
+     generator die dimensions without reaching into the engine *)
+  let shapes =
+    List.map
+      (fun (key, spec) ->
+         let d = Mcl_gen.Generator.generate spec in
+         let fp = d.Design.floorplan in
+         (key, (Design.num_cells d, fp.Floorplan.num_sites, fp.Floorplan.num_rows)))
+      specs
+  in
+  let rounds = 25 and ecos_per_design = 8 in
+  let run_mode ~label ~batched =
+    let engine =
+      Mcl_service.Engine.create ~threads:1 ~config:Mcl.Config.default ()
+    in
+    let counter = ref 0 in
+    let mk op =
+      incr counter;
+      { P.id = Printf.sprintf "%s-%d" label !counter; op;
+        received = Unix.gettimeofday () }
+    in
+    let execute reqs =
+      if batched then Mcl_service.Engine.execute engine (Array.of_list reqs)
+      else
+        Array.concat
+          (List.map (fun r -> Mcl_service.Engine.execute engine [| r |]) reqs)
+    in
+    let expect_ok what resps =
+      Array.iter
+        (fun r ->
+           match r.P.result with
+           | Ok _ -> ()
+           | Error e ->
+             failwith (Printf.sprintf "service bench %s: %s" what e.P.message))
+        resps
+    in
+    (* resident state: load + full legalize once, outside the trace *)
+    List.iter
+      (fun (key, spec) ->
+         expect_ok "load"
+           (execute
+              [ mk (P.Load
+                      { key;
+                        source =
+                          P.Generated
+                            { cells = Some spec.Mcl_gen.Spec.num_cells;
+                              seed = Some spec.Mcl_gen.Spec.seed } }) ]);
+         expect_ok "legalize" (execute [ mk (P.Legalize { key }) ]))
+      specs;
+    (* the measured trace: every mode replays the same perturbations *)
+    let prng = Mcl_geom.Prng.create 2024 in
+    let latencies = ref [] and disp = ref 0.0 in
+    let t0 = Unix.gettimeofday () in
+    for _round = 1 to rounds do
+      let reqs =
+        List.concat_map
+          (fun (key, (n, sites, rows)) ->
+             List.init ecos_per_design (fun _ ->
+                 let id = Mcl_geom.Prng.int prng n in
+                 (* half the ECOs also relocate the cell's anchor *)
+                 let targets =
+                   if Mcl_geom.Prng.bool prng then
+                     [ (id,
+                        (Mcl_geom.Prng.int prng (max 1 (sites - 10)),
+                         Mcl_geom.Prng.int prng (max 1 (rows - 4)))) ]
+                   else []
+                 in
+                 mk (P.Eco { key; cells = [ id ]; targets })))
+          shapes
+      in
+      let resps = execute reqs in
+      Array.iter
+        (fun r ->
+           (match r.P.result with
+            | Ok _ -> ()
+            | Error e ->
+              failwith (Printf.sprintf "service bench eco: %s" e.P.message));
+           match r.P.metrics with
+           | Some m ->
+             latencies := (m.P.queue_wait_s +. m.P.service_s) :: !latencies;
+             disp := !disp +. m.P.disp_delta_rows
+           | None -> ())
+        resps
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    (* end-state sanity: both designs must still be legal *)
+    List.iter
+      (fun (key, _) ->
+         let resps = execute [ mk (P.Query { key }) ] in
+         expect_ok "query" resps;
+         match resps.(0).P.result with
+         | Ok j when Json.get_bool "legal" j = Some true -> ()
+         | Ok _ -> failwith ("service bench: design illegal after trace: " ^ key)
+         | Error _ -> assert false)
+      specs;
+    let lats = Array.of_list !latencies in
+    Array.sort compare lats;
+    let n = Array.length lats in
+    let throughput = float_of_int n /. wall in
+    let p50 = percentile lats 0.50 and p95 = percentile lats 0.95 in
+    Printf.printf
+      "%-10s %5d eco reqs in %6.2fs | %8.1f req/s | p50 %6.2fms p95 %6.2fms | disp %8.1f rows\n%!"
+      label n wall throughput (p50 *. 1000.0) (p95 *. 1000.0) !disp;
+    (label, n, wall, throughput, p50, p95, !disp)
+  in
+  (* explicit lets: list literals evaluate right-to-left *)
+  let batched = run_mode ~label:"batched" ~batched:true in
+  let sequential = run_mode ~label:"sequential" ~batched:false in
+  let results = [ batched; sequential ] in
+  let mode_json (label, n, wall, throughput, p50, p95, disp) =
+    ( label,
+      Json.Obj
+        [ ("requests", Json.Int n);
+          ("wall_s", Json.Float wall);
+          ("throughput_rps", Json.Float throughput);
+          ("p50_ms", Json.Float (p50 *. 1000.0));
+          ("p95_ms", Json.Float (p95 *. 1000.0));
+          ("total_disp_rows", Json.Float disp) ] )
+  in
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "service_eco_trace");
+        ("scale", Json.Float scale);
+        ("designs", Json.Int (List.length specs));
+        ("cells_per_design", Json.Int num_cells);
+        ("rounds", Json.Int rounds);
+        ("ecos_per_design_per_round", Json.Int ecos_per_design);
+        ("modes", Json.Obj (List.map mode_json results)) ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_service.json\n\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.  *)
 (* ---------------------------------------------------------------- *)
 
@@ -523,6 +695,7 @@ let () =
     table2 ~scale ();
     threads ~scale ();
     ablation ~scale ();
+    service ~scale ();
     micro ()
   in
   match section with
@@ -536,9 +709,10 @@ let () =
   | "threads" -> threads ~scale ()
   | "ablation" -> ablation ~scale ()
   | "micro" -> micro ()
+  | "service" -> service ~scale ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|micro|all)\n"
+      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|micro|all)\n"
       other;
     exit 2

@@ -155,6 +155,49 @@ let run input suite scale algo threads no_fences no_routability objective_total
    | None -> ());
   if stage_failure || violations <> [] || audit_errors then exit 1
 
+(* `serve`: the resident ECO legalization service (lib/service). Reads
+   newline-delimited JSON requests from stdin (or a Unix-domain socket)
+   and answers one response line per request; see README §Service. *)
+let run_serve socket threads max_batch no_fences no_routability =
+  let config =
+    { Mcl.Config.default with
+      Mcl.Config.threads;
+      consider_fences = not no_fences;
+      consider_routability = not no_routability }
+  in
+  let engine = Mcl_service.Engine.create ~threads ~config () in
+  match socket with
+  | Some path -> Mcl_service.Server.serve_socket engine ~max_batch ~path
+  | None -> Mcl_service.Server.serve_stdio engine ~max_batch
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket instead of stdin/stdout.")
+  in
+  let threads =
+    Arg.(value & opt int 1
+         & info [ "j"; "threads" ]
+             ~doc:"Dispatch pool width: independent-design requests of one \
+                   batch run on this many domains (also the MGL scheduler \
+                   width inside each request).")
+  in
+  let max_batch =
+    Arg.(value & opt int 64
+         & info [ "max-batch" ]
+             ~doc:"Upper bound on requests coalesced into one batch.")
+  in
+  let no_fences = Arg.(value & flag & info [ "no-fences" ] ~doc:"Ignore fences.") in
+  let no_rout =
+    Arg.(value & flag & info [ "no-routability" ] ~doc:"Ignore routability rules.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident legalization service (NDJSON request loop; ops: \
+             load, legalize, eco, query, lint, audit, stats, shutdown).")
+    Term.(const run_serve $ socket $ threads $ max_batch $ no_fences $ no_rout)
+
 let cmd =
   let input =
     Arg.(value & opt (some string) None
@@ -214,9 +257,11 @@ let cmd =
                    (default) or json (json prints only the report). Exits \
                    nonzero on error-severity findings.")
   in
-  Cmd.v
+  Cmd.group
+    ~default:
+      Term.(const run $ input $ suite $ scale $ algo $ threads $ no_fences
+            $ no_rout $ total $ output $ verbose $ lint $ lint_all $ audit)
     (Cmd.info "mcl-legalize" ~doc:"Mixed-cell-height legalization (DAC'18 reproduction)")
-    Term.(const run $ input $ suite $ scale $ algo $ threads $ no_fences
-          $ no_rout $ total $ output $ verbose $ lint $ lint_all $ audit)
+    [ serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

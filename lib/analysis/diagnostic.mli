@@ -15,7 +15,13 @@
       {!Mcl_eval.Legality.violation})
     - [R2xx] routability soft-constraint findings (audit)
     - [N2xx] flow-network invariants (audit)
-    - [S3xx] stage/scheduler failures (audit) *)
+    - [S3xx] stage/scheduler/ECO failures ([S301-unplaceable-cell],
+      [S302-eco-unknown-cell], [S303-eco-fixed-cell])
+
+    The resident service ({!Mcl_service}) adds a [P4xx] family for
+    wire-protocol errors (parse failures, unknown ops/designs); those
+    never appear as [t] values — they exist only in service responses —
+    but share the same stable-code discipline. *)
 
 type severity = Error | Warning | Info
 

@@ -1,13 +1,32 @@
 open Mcl_netlist
+module Diagnostic = Mcl_analysis.Diagnostic
 
 type stats = {
   relegalized : int;
   window_growths : int;
   fallbacks : int;
+  total_disp_rows : float;
+  max_disp_rows : float;
 }
 
 let relegalize ?(targets = []) config design ~cells =
   let eco = List.sort_uniq compare (cells @ List.map fst targets) in
+  (* validate before touching any anchor, so a rejected request leaves
+     the design bit-identical (the service relies on this) *)
+  List.iter
+    (fun id ->
+       if id < 0 || id >= Design.num_cells design then
+         Diagnostic.(
+           fail
+             [ error ~code:"S302-eco-unknown-cell" ~stage:"eco"
+                 (Printf.sprintf "ECO names cell %d, design has %d cells" id
+                    (Design.num_cells design)) ]);
+       if design.Design.cells.(id).Cell.is_fixed then
+         Diagnostic.(
+           fail
+             [ error ~code:"S303-eco-fixed-cell" ~stage:"eco" ~loc:(Cell id)
+                 "ECO targets a fixed cell" ]))
+    eco;
   (* target overrides: an ECO that moves a cell updates its GP anchor *)
   List.iter
     (fun (id, (x, y)) ->
@@ -15,13 +34,6 @@ let relegalize ?(targets = []) config design ~cells =
        c.Cell.gp_x <- x;
        c.Cell.gp_y <- y)
     targets;
-  List.iter
-    (fun id ->
-       if id < 0 || id >= Design.num_cells design then
-         invalid_arg "Eco.relegalize: unknown cell";
-       if design.Design.cells.(id).Cell.is_fixed then
-         invalid_arg "Eco.relegalize: cell is fixed")
-    eco;
   let segments =
     Segment.build ~boundary_gap:(Mgl.boundary_gap config design)
       ~respect_fences:config.Config.consider_fences design
@@ -52,6 +64,15 @@ let relegalize ?(targets = []) config design ~cells =
     |> Array.of_list
   in
   let s = Mgl.run_with_ctx ctx ~order in
+  let total_disp, max_disp =
+    List.fold_left
+      (fun (total, mx) id ->
+         let d = Mcl_eval.Metrics.displacement design design.Design.cells.(id) in
+         (total +. d, Float.max mx d))
+      (0.0, 0.0) eco
+  in
   { relegalized = s.Mgl.legalized;
     window_growths = s.Mgl.window_growths;
-    fallbacks = s.Mgl.fallbacks }
+    fallbacks = s.Mgl.fallbacks;
+    total_disp_rows = total_disp;
+    max_disp_rows = max_disp }

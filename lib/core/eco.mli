@@ -9,7 +9,16 @@
 
     Cells are re-inserted at minimum displacement from their GP
     anchors; [targets] rebinds the anchors of moved cells first, so an
-    ECO that relocates a cell passes [(id, (new_x, new_y))]. *)
+    ECO that relocates a cell passes [(id, (new_x, new_y))].
+
+    Failures are typed {!Mcl_analysis.Diagnostic.Failed} raises with
+    stable [S3xx]-family codes (README.md §Diagnostics), matching the
+    rest of the flow: [S302-eco-unknown-cell] for an id outside the
+    design, [S303-eco-fixed-cell] for a fixed cell, and
+    [S301-unplaceable-cell] bubbling up from the insertion machinery
+    when a cell fits nowhere. Request validation runs {e before} any
+    anchor is rebound, so a rejected call leaves the design
+    bit-identical. *)
 
 open Mcl_netlist
 
@@ -17,12 +26,17 @@ type stats = {
   relegalized : int;
   window_growths : int;
   fallbacks : int;
+  total_disp_rows : float;
+      (** summed displacement of the re-inserted cells from their GP
+          anchors, in row heights (quality signal for service metrics
+          and the ECO-trace bench) *)
+  max_disp_rows : float;  (** worst single re-inserted cell *)
 }
 
 (** [relegalize ?targets config design ~cells] re-inserts [cells]
     (ids) plus every cell named in [targets]. The rest of the placement
-    must be legal. Raises [Failure] if a cell cannot be placed
-    anywhere. *)
+    must be legal. Raises {!Mcl_analysis.Diagnostic.Failed} as
+    documented above. *)
 val relegalize :
   ?targets:(int * (int * int)) list -> Config.t -> Design.t ->
   cells:int list -> stats

@@ -14,6 +14,39 @@ type pending = {
   mutable tries : int;
 }
 
+(* Shared-queue domain pool: also the service engine's dispatcher for
+   independent-design work, so both fan-outs share one mechanism. *)
+let run_jobs ~threads jobs =
+  match jobs with
+  | [] -> ()
+  | [ job ] -> job ()
+  | jobs when threads <= 1 -> List.iter (fun job -> job ()) jobs
+  | jobs ->
+    let jobs = Array.of_list jobs in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length jobs then begin
+          jobs.(i) ();
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min threads (Array.length jobs)) (fun _ -> Domain.spawn worker)
+    in
+    (* join everything before re-raising, so no domain outlives the call *)
+    let first_exn = ref None in
+    List.iter
+      (fun d ->
+         match Domain.join d with
+         | () -> ()
+         | exception e -> if !first_exn = None then first_exn := Some e)
+      domains;
+    match !first_exn with Some e -> raise e | None -> ()
+
 let run ?(disp_from = `Gp) config design =
   let segments =
     Segment.build ~boundary_gap:(Mgl.boundary_gap config design)
@@ -67,12 +100,12 @@ let run ?(disp_from = `Gp) config design =
     else begin
       let n = Array.length batch in
       let chunk = (n + threads - 1) / threads in
-      let domains =
-        List.init threads (fun t ->
-            let lo = t * chunk and hi = min n ((t + 1) * chunk) in
-            if lo < hi then Some (Domain.spawn (fun () -> compute lo hi)) else None)
-      in
-      List.iter (function Some d -> Domain.join d | None -> ()) domains
+      run_jobs ~threads
+        (List.filter_map
+           (fun t ->
+              let lo = t * chunk and hi = min n ((t + 1) * chunk) in
+              if lo < hi then Some (fun () -> compute lo hi) else None)
+           (List.init threads Fun.id))
     end;
     (* apply in order; windows are disjoint so candidates stay valid *)
     Array.iteri

@@ -23,3 +23,17 @@ type stats = {
 (** [run config design] legalizes like {!Mgl.run} but batch-scheduled;
     [config.threads] > 1 computes each batch on that many domains. *)
 val run : ?disp_from:[ `Gp | `Current ] -> Config.t -> Design.t -> stats
+
+(** [run_jobs ~threads jobs] drains [jobs] through a shared work queue
+    on [min threads (length jobs)] domains; with [threads <= 1] (or a
+    single job) everything runs inline on the calling domain, in list
+    order. This is the domain pool behind {!run}'s per-round candidate
+    computation, exposed so other subsystems (the ECO service engine)
+    can fan independent-design work across the same mechanism.
+
+    Jobs must not touch shared mutable state without their own
+    synchronization. A job that raises kills its worker after the
+    current job; the first such exception is re-raised from [run_jobs]
+    after all domains are joined, so callers that must not die (the
+    service) should catch inside the job. *)
+val run_jobs : threads:int -> (unit -> unit) list -> unit

@@ -59,5 +59,16 @@ let restore t positions =
        t.cells.(i).Cell.y <- y)
     positions
 
+let snapshot_anchors t = Array.map (fun (c : Cell.t) -> (c.gp_x, c.gp_y)) t.cells
+
+let restore_anchors t anchors =
+  if Array.length anchors <> Array.length t.cells then
+    invalid_arg "Design.restore_anchors: size mismatch";
+  Array.iteri
+    (fun i (x, y) ->
+       t.cells.(i).Cell.gp_x <- x;
+       t.cells.(i).Cell.gp_y <- y)
+    anchors
+
 let reset_to_gp t =
   Array.iter (fun c -> if not c.Cell.is_fixed then Cell.reset_to_gp c) t.cells

@@ -49,5 +49,13 @@ val snapshot : t -> (int * int) array
 
 val restore : t -> (int * int) array -> unit
 
+(** Save and restore all GP anchors ([gp_x], [gp_y]). ECO target
+    overrides rebind anchors, so a transactional caller (the resident
+    service) must checkpoint both positions and anchors to roll a
+    failed mutation back. *)
+val snapshot_anchors : t -> (int * int) array
+
+val restore_anchors : t -> (int * int) array -> unit
+
 (** Move every movable cell back to its GP position. *)
 val reset_to_gp : t -> unit

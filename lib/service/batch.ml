@@ -1,0 +1,52 @@
+type indexed = int * Protocol.request
+
+type segment =
+  | Global of indexed
+  | Groups of (string * indexed list) list
+
+let plan requests =
+  let segments = ref [] in
+  (* accumulating one Groups segment: association list in first-seen
+     order, each group's requests collected in reverse *)
+  let groups : (string * indexed list ref) list ref = ref [] in
+  let flush () =
+    (match !groups with
+     | [] -> ()
+     | gs ->
+       segments :=
+         Groups (List.rev_map (fun (key, rs) -> (key, List.rev !rs)) gs |> List.rev)
+         :: !segments);
+    groups := []
+  in
+  Array.iteri
+    (fun i req ->
+       match Protocol.design_key req.Protocol.op with
+       | None ->
+         flush ();
+         segments := Global (i, req) :: !segments
+       | Some key ->
+         (match List.assoc_opt key !groups with
+          | Some rs -> rs := (i, req) :: !rs
+          | None -> groups := !groups @ [ (key, ref [ (i, req) ]) ]))
+    requests;
+  flush ();
+  List.rev !segments
+
+let eco_runs group =
+  let is_eco (_, req) =
+    match req.Protocol.op with Protocol.Eco _ -> true | _ -> false
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | r :: rest when not (is_eco r) -> go (`One r :: acc) rest
+    | r :: rest ->
+      let run, rest =
+        let rec take run = function
+          | r' :: rest' when is_eco r' -> take (r' :: run) rest'
+          | rest' -> (List.rev run, rest')
+        in
+        take [ r ] rest
+      in
+      go (`Eco run :: acc) rest
+  in
+  go [] group

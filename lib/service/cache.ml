@@ -1,0 +1,32 @@
+open Mcl_netlist
+
+type entry = {
+  key : string;
+  design : Design.t;
+  gp_hpwl : int;
+  source : string;
+  loaded_at : float;
+  mutable legalized : bool;
+  mutable eco_count : int;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create () = { table = Hashtbl.create 8; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let put t entry = locked t (fun () -> Hashtbl.replace t.table entry.key entry)
+
+let find t key = locked t (fun () -> Hashtbl.find_opt t.table key)
+
+let entries t =
+  locked t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+  |> List.sort (fun a b -> compare a.key b.key)
+
+let count t = locked t (fun () -> Hashtbl.length t.table)

@@ -1,0 +1,38 @@
+(** Keyed cache of resident designs.
+
+    One entry per user-chosen key, holding the parsed/generated design
+    plus everything the service needs to answer queries without
+    recomputation (the GP wirelength is captured at load time, before
+    any legalizer moves cells — scores are meaningless without it).
+
+    Mutating entries is only safe under the engine's batch discipline:
+    within one batch segment each design is owned by exactly one
+    worker, and loads happen between segments on the control thread
+    (see {!Batch}). The table itself is mutex-protected so [stats]
+    snapshots can run concurrently with lookups. *)
+
+open Mcl_netlist
+
+type entry = {
+  key : string;
+  design : Design.t;
+  gp_hpwl : int;  (** wirelength of the GP placement, at load time *)
+  source : string;  (** human-readable provenance, e.g. ["suite:des_perf_1"] *)
+  loaded_at : float;
+  mutable legalized : bool;  (** a full [legalize] has completed *)
+  mutable eco_count : int;  (** ECO mutations applied since load *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [put t entry] inserts or replaces the entry under [entry.key]. *)
+val put : t -> entry -> unit
+
+val find : t -> string -> entry option
+
+(** Snapshot of all entries, sorted by key (stable for tests). *)
+val entries : t -> entry list
+
+val count : t -> int

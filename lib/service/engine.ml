@@ -1,0 +1,424 @@
+open Mcl_netlist
+module Diagnostic = Mcl_analysis.Diagnostic
+module Lint = Mcl_analysis.Lint
+module Audit = Mcl_analysis.Audit
+
+type t = {
+  cache : Cache.t;
+  telemetry : Telemetry.t;
+  config : Mcl.Config.t;
+  threads : int;
+  mutable shutdown : bool;
+}
+
+let create ?(threads = 1) ~config () =
+  { cache = Cache.create ();
+    telemetry = Telemetry.create ();
+    config;
+    threads = max 1 threads;
+    shutdown = false }
+
+let threads t = t.threads
+
+let shutdown_requested t = t.shutdown
+
+(* ---------------------------------------------------------------- *)
+(* Small helpers                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let now () = Unix.gettimeofday ()
+
+let mk_metrics ~req ~started ~finished ~cells ~disp ~coalesced =
+  { Protocol.queue_wait_s = Float.max 0.0 (started -. req.Protocol.received);
+    service_s = finished -. started;
+    cells_touched = cells;
+    disp_delta_rows = disp;
+    coalesced }
+
+let account t resp ~op =
+  let m = resp.Protocol.metrics in
+  Telemetry.record t.telemetry ~op
+    ~ok:(Result.is_ok resp.Protocol.result)
+    ~service_s:(match m with Some m -> m.Protocol.service_s | None -> 0.0)
+    ~cells:(match m with Some m -> m.Protocol.cells_touched | None -> 0)
+    ~coalesced_extra:
+      (match m with Some m -> max 0 (m.Protocol.coalesced - 1) | None -> 0);
+  resp
+
+(* Positions and anchors both roll back: ECO target overrides rebind
+   GP anchors before insertion, so a half-applied failed mutation must
+   undo both to leave the entry bit-identical. *)
+let transactional (entry : Cache.entry) f =
+  let pos = Design.snapshot entry.Cache.design in
+  let anchors = Design.snapshot_anchors entry.Cache.design in
+  try f ()
+  with e ->
+    Design.restore entry.Cache.design pos;
+    Design.restore_anchors entry.Cache.design anchors;
+    raise e
+
+let error_of_exn ?metrics ~id ~op exn =
+  match exn with
+  | Diagnostic.Failed diags ->
+    let code =
+      match diags with
+      | d :: _ -> d.Diagnostic.code
+      | [] -> "S300-stage-failed"
+    in
+    let message =
+      match diags with
+      | d :: _ -> d.Diagnostic.message
+      | [] -> "stage failed"
+    in
+    Protocol.error ~diagnostics:diags ?metrics ~id ~op ~code message
+  | exn ->
+    Protocol.error ?metrics ~id ~op ~code:"P500-internal-error"
+      (Printexc.to_string exn)
+
+let report_json report =
+  Json.Obj
+    [ ("design", Json.String report.Diagnostic.design);
+      ("summary",
+       Json.Obj
+         [ ("error", Json.Int (Diagnostic.count report Diagnostic.Error));
+           ("warning", Json.Int (Diagnostic.count report Diagnostic.Warning));
+           ("info", Json.Int (Diagnostic.count report Diagnostic.Info)) ]);
+      ("diagnostics",
+       Json.List (List.map Protocol.json_of_diag report.Diagnostic.items)) ]
+
+(* ---------------------------------------------------------------- *)
+(* Op implementations                                                *)
+(* ---------------------------------------------------------------- *)
+
+let total_disp_rows design =
+  let fp = design.Design.floorplan in
+  Mcl_eval.Metrics.total_displacement_sites design
+  *. float_of_int fp.Floorplan.site_width
+  /. float_of_int fp.Floorplan.row_height
+
+let exec_load t req ~key ~source =
+  let started = now () in
+  let id = req.Protocol.id in
+  match
+    (match source with
+     | Protocol.Suite { name; scale } ->
+       (match Mcl_gen.Suites.find ~scale name with
+        | Some spec -> Ok (Mcl_gen.Generator.generate spec, "suite:" ^ name)
+        | None ->
+          Error ("P405-unknown-suite", Printf.sprintf "unknown suite benchmark %S" name))
+     | Protocol.File path ->
+       (match Mcl_bookshelf.Parser.parse_file path with
+        | Ok d -> Ok (d, "file:" ^ path)
+        | Error msg -> Error ("P406-load-failed", Printf.sprintf "%s: %s" path msg)
+        | exception Sys_error msg -> Error ("P406-load-failed", msg))
+     | Protocol.Generated { cells; seed } ->
+       let spec =
+         { Mcl_gen.Spec.default with
+           Mcl_gen.Spec.name = key;
+           num_cells =
+             Option.value cells ~default:Mcl_gen.Spec.default.Mcl_gen.Spec.num_cells;
+           seed = Option.value seed ~default:Mcl_gen.Spec.default.Mcl_gen.Spec.seed }
+       in
+       Ok (Mcl_gen.Generator.generate spec, "generated"))
+  with
+  | Error (code, message) ->
+    let finished = now () in
+    Protocol.error ~id ~op:"load" ~code
+      ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+      message
+  | Ok (design, source_name) ->
+    let gp_hpwl = Mcl_eval.Metrics.hpwl design in
+    Cache.put t.cache
+      { Cache.key; design; gp_hpwl; source = source_name; loaded_at = started;
+        legalized = false; eco_count = 0 };
+    let finished = now () in
+    Protocol.ok ~id ~op:"load"
+      ~metrics:
+        (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
+           ~disp:0.0 ~coalesced:1)
+      (Json.Obj
+         [ ("design", Json.String key);
+           ("cells", Json.Int (Design.num_cells design));
+           ("source", Json.String source_name);
+           ("gp_hpwl", Json.Int gp_hpwl) ])
+
+let exec_legalize t (entry : Cache.entry) req =
+  let started = now () in
+  let id = req.Protocol.id in
+  let design = entry.Cache.design in
+  let before_disp = total_disp_rows design in
+  match transactional entry (fun () -> Mcl.Pipeline.run t.config design) with
+  | report ->
+    let violations = Mcl_eval.Legality.check design in
+    entry.Cache.legalized <- violations = [];
+    let finished = now () in
+    let mgl = report.Mcl.Pipeline.mgl_stats in
+    Protocol.ok ~id ~op:"legalize"
+      ~metrics:
+        (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
+           ~disp:(total_disp_rows design -. before_disp)
+           ~coalesced:1)
+      (Json.Obj
+         [ ("design", Json.String entry.Cache.key);
+           ("legal", Json.Bool (violations = []));
+           ("violations", Json.Int (List.length violations));
+           ("mgl",
+            Json.Obj
+              [ ("legalized", Json.Int mgl.Mcl.Scheduler.legalized);
+                ("rounds", Json.Int mgl.Mcl.Scheduler.rounds);
+                ("window_growths", Json.Int mgl.Mcl.Scheduler.window_growths);
+                ("fallbacks", Json.Int mgl.Mcl.Scheduler.fallbacks) ]);
+           ("matching_moved",
+            match report.Mcl.Pipeline.matching_stats with
+            | Some s -> Json.Int s.Mcl.Matching_opt.cells_moved
+            | None -> Json.Null);
+           ("seconds", Json.Float (Mcl.Pipeline.total_seconds report)) ])
+  | exception exn ->
+    let finished = now () in
+    error_of_exn ~id ~op:"legalize" exn
+      ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+
+let exec_query (entry : Cache.entry) req =
+  let started = now () in
+  let design = entry.Cache.design in
+  let violations = Mcl_eval.Legality.check design in
+  let score = Mcl_eval.Score.evaluate ~gp_hpwl:entry.Cache.gp_hpwl design in
+  let finished = now () in
+  Protocol.ok ~id:req.Protocol.id ~op:"query"
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+    (Json.Obj
+       [ ("design", Json.String entry.Cache.key);
+         ("cells", Json.Int (Design.num_cells design));
+         ("legal", Json.Bool (violations = []));
+         ("violations", Json.Int (List.length violations));
+         ("legalized", Json.Bool entry.Cache.legalized);
+         ("eco_count", Json.Int entry.Cache.eco_count);
+         ("avg_disp_rows", Json.Float score.Mcl_eval.Score.avg_disp);
+         ("max_disp_rows", Json.Float score.Mcl_eval.Score.max_disp);
+         ("total_disp_sites",
+          Json.Float (Mcl_eval.Metrics.total_displacement_sites design));
+         ("hpwl", Json.Int (Mcl_eval.Metrics.hpwl design));
+         ("s_hpwl", Json.Float score.Mcl_eval.Score.s_hpwl);
+         ("pin_violations", Json.Int score.Mcl_eval.Score.pin_violations);
+         ("edge_violations", Json.Int score.Mcl_eval.Score.edge_violations);
+         ("score", Json.Float score.Mcl_eval.Score.score) ])
+
+let exec_lint (entry : Cache.entry) req =
+  let started = now () in
+  let report = Lint.run entry.Cache.design in
+  let finished = now () in
+  Protocol.ok ~id:req.Protocol.id ~op:"lint"
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+    (Json.Obj
+       [ ("report", report_json report);
+         ("errors", Json.Bool (Diagnostic.has_errors report)) ])
+
+let exec_audit (entry : Cache.entry) req =
+  let started = now () in
+  let design = entry.Cache.design in
+  let findings =
+    Audit.legality ~stage:"service" design @ Audit.routability ~stage:"service" design
+  in
+  let report = Diagnostic.report ~design:design.Design.name findings in
+  let finished = now () in
+  Protocol.ok ~id:req.Protocol.id ~op:"audit"
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+    (Json.Obj
+       [ ("report", report_json report);
+         ("errors", Json.Bool (Diagnostic.has_errors report)) ])
+
+let exec_stats t req =
+  let started = now () in
+  let designs =
+    Cache.entries t.cache
+    |> List.map (fun (e : Cache.entry) ->
+        Json.Obj
+          [ ("design", Json.String e.Cache.key);
+            ("cells", Json.Int (Design.num_cells e.Cache.design));
+            ("source", Json.String e.Cache.source);
+            ("legalized", Json.Bool e.Cache.legalized);
+            ("eco_count", Json.Int e.Cache.eco_count);
+            ("age_s", Json.Float (started -. e.Cache.loaded_at)) ])
+  in
+  let finished = now () in
+  Protocol.ok ~id:req.Protocol.id ~op:"stats"
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+    (Json.Obj
+       [ ("counters", Telemetry.to_json t.telemetry);
+         ("threads", Json.Int t.threads);
+         ("designs", Json.List designs) ])
+
+(* One coalesced run of adjacent eco requests against one design: one
+   snapshot, one merged [Eco.relegalize], one segment rebuild. Each
+   request keeps its own response. On failure the run rolls back and,
+   if it had more than one member, the members are retried one by one
+   so a single bad request cannot poison its batch-mates; only the
+   individually-failing requests report the error. *)
+let rec exec_eco_run t (entry : Cache.entry) run =
+  let started = now () in
+  let coalesced = List.length run in
+  let design = entry.Cache.design in
+  let payload req =
+    match req.Protocol.op with
+    | Protocol.Eco { cells; targets; _ } -> (cells, targets)
+    | _ -> assert false
+  in
+  let merged_cells =
+    List.concat_map (fun (_, req) -> fst (payload req)) run
+  in
+  (* batch order: a later request's target for the same cell wins *)
+  let merged_targets =
+    List.concat_map (fun (_, req) -> snd (payload req)) run
+  in
+  let own_cells req =
+    let cells, targets = payload req in
+    List.sort_uniq compare (cells @ List.map fst targets)
+  in
+  match
+    transactional entry (fun () ->
+        Mcl.Eco.relegalize ~targets:merged_targets t.config design
+          ~cells:merged_cells)
+  with
+  | stats ->
+    let finished = now () in
+    List.map
+      (fun (i, req) ->
+         entry.Cache.eco_count <- entry.Cache.eco_count + 1;
+         let mine = own_cells req in
+         let disp =
+           List.fold_left
+             (fun acc id ->
+                acc +. Mcl_eval.Metrics.displacement design design.Design.cells.(id))
+             0.0 mine
+         in
+         ( i,
+           Protocol.ok ~id:req.Protocol.id ~op:"eco"
+             ~metrics:
+               (mk_metrics ~req ~started ~finished ~cells:(List.length mine)
+                  ~disp ~coalesced)
+             (Json.Obj
+                [ ("design", Json.String entry.Cache.key);
+                  ("relegalized", Json.Int stats.Mcl.Eco.relegalized);
+                  ("window_growths", Json.Int stats.Mcl.Eco.window_growths);
+                  ("fallbacks", Json.Int stats.Mcl.Eco.fallbacks);
+                  ("total_disp_rows", Json.Float stats.Mcl.Eco.total_disp_rows);
+                  ("max_disp_rows", Json.Float stats.Mcl.Eco.max_disp_rows) ]) ))
+      run
+  | exception exn ->
+    if coalesced > 1 then
+      List.concat_map (fun member -> exec_eco_run t entry [ member ]) run
+    else
+      let finished = now () in
+      List.map
+        (fun (i, req) ->
+           ( i,
+             error_of_exn ~id:req.Protocol.id ~op:"eco" exn
+               ~metrics:
+                 (mk_metrics ~req ~started ~finished
+                    ~cells:(List.length (own_cells req))
+                    ~disp:0.0 ~coalesced) ))
+        run
+
+(* ---------------------------------------------------------------- *)
+(* Batch execution                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let exec_in_group t (entry : Cache.entry) unit_ =
+  match unit_ with
+  | `Eco run -> exec_eco_run t entry run
+  | `One (i, req) ->
+    let resp =
+      match req.Protocol.op with
+      | Protocol.Legalize _ -> exec_legalize t entry req
+      | Protocol.Query _ -> exec_query entry req
+      | Protocol.Lint _ -> exec_lint entry req
+      | Protocol.Audit _ -> exec_audit entry req
+      | Protocol.Load _ | Protocol.Eco _ | Protocol.Stats | Protocol.Shutdown ->
+        assert false
+    in
+    [ (i, resp) ]
+
+let exec_group t (key, group) =
+  match Cache.find t.cache key with
+  | None ->
+    List.map
+      (fun (i, req) ->
+         ( i,
+           Protocol.error ~id:req.Protocol.id
+             ~op:(Protocol.op_name req.Protocol.op)
+             ~code:"P404-unknown-design"
+             (Printf.sprintf "design %S is not loaded" key) ))
+      group
+  | Some entry ->
+    Batch.eco_runs group |> List.concat_map (exec_in_group t entry)
+
+let exec_global t (i, req) =
+  let resp =
+    match req.Protocol.op with
+    | Protocol.Load { key; source } -> exec_load t req ~key ~source
+    | Protocol.Stats -> exec_stats t req
+    | Protocol.Shutdown ->
+      let started = now () in
+      t.shutdown <- true;
+      let finished = now () in
+      Protocol.ok ~id:req.Protocol.id ~op:"shutdown"
+        ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+        (Json.Obj [ ("stopping", Json.Bool true) ])
+    | _ -> assert false
+  in
+  [ (i, resp) ]
+
+let execute t requests =
+  Telemetry.record_batch t.telemetry ~size:(Array.length requests);
+  let responses = Array.make (Array.length requests) None in
+  let file results =
+    List.iter
+      (fun (i, resp) ->
+         let resp = account t resp ~op:resp.Protocol.resp_op in
+         responses.(i) <- Some resp)
+      results
+  in
+  List.iter
+    (function
+      | Batch.Global g -> file (exec_global t g)
+      | Batch.Groups groups ->
+        if t.threads <= 1 || List.length groups <= 1 then
+          List.iter (fun g -> file (exec_group t g)) groups
+        else begin
+          (* independent designs: fan across the scheduler's domain
+             pool; each job only touches its own design and its own
+             response slots (telemetry/cache guard themselves) *)
+          let results = Array.make (List.length groups) [] in
+          Mcl.Scheduler.run_jobs ~threads:t.threads
+            (List.mapi
+               (fun gi g () ->
+                  results.(gi) <-
+                    (try exec_group t g
+                     with exn ->
+                       List.map
+                         (fun (i, req) ->
+                            ( i,
+                              error_of_exn ~id:req.Protocol.id
+                                ~op:(Protocol.op_name req.Protocol.op) exn ))
+                         (snd g)))
+               groups);
+          Array.iter file results
+        end)
+    (Batch.plan requests);
+  Array.mapi
+    (fun i resp ->
+       match resp with
+       | Some r -> r
+       | None ->
+         (* every plan covers every index; this is a defensive fallback *)
+         Protocol.error ~id:requests.(i).Protocol.id
+           ~op:(Protocol.op_name requests.(i).Protocol.op)
+           ~code:"P500-internal-error" "request was not executed")
+    responses
+
+let handle_line ?now:(stamp = Unix.gettimeofday ()) t line =
+  match Protocol.parse ~received:stamp ~default_id:"req-0" line with
+  | Error e -> Protocol.to_line (Protocol.error_of_parse e)
+  | Ok req ->
+    let resp = (execute t [| req |]).(0) in
+    Protocol.to_line resp

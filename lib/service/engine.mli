@@ -1,0 +1,44 @@
+(** The resident request engine.
+
+    Holds the design cache, the aggregated counters, and the execution
+    logic for one batch of requests:
+
+    - the batch is planned into segments ({!Batch.plan}); global
+      requests run on the control thread, per-design groups of a
+      segment are dispatched across {!Mcl.Scheduler.run_jobs} domains
+      ([threads] wide), so requests against independent designs
+      overlap;
+    - within a design group, maximal runs of adjacent [eco] requests
+      coalesce into a single {!Mcl.Eco.relegalize} call (one segment
+      rebuild instead of [n]); each request still gets its own
+      response, with [metrics.coalesced] set to the run length. If a
+      merged run fails, it rolls back and its members are retried
+      individually, so one bad request never poisons its batch-mates
+      (their retried responses report [coalesced = 1]);
+    - every mutation ([legalize], [eco]) is transactional: positions
+      and GP anchors are checkpointed first and restored if the
+      operation raises, so a failed request leaves the design exactly
+      as it was — the error response carries the diagnostics, the
+      process never dies.
+
+    Responses come back in request order. *)
+
+type t
+
+(** [create ?threads ~config ()] — [threads] sizes the dispatch pool
+    (default 1 = everything on the control thread); [config] is the
+    base legalization config used by [legalize] and [eco]. *)
+val create : ?threads:int -> config:Mcl.Config.t -> unit -> t
+
+val threads : t -> int
+
+(** Execute one batch; [responses.(i)] answers [requests.(i)]. *)
+val execute : t -> Protocol.request array -> Protocol.response array
+
+(** Convenience single-request path used by tests and simple clients:
+    parse one line (stamped [now], defaulting to the current time),
+    execute it alone, render the response line. *)
+val handle_line : ?now:float -> t -> string -> string
+
+(** True once a [shutdown] request has been executed. *)
+val shutdown_requested : t -> bool

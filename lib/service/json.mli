@@ -1,0 +1,49 @@
+(** Minimal JSON codec for the service wire protocol.
+
+    The container has no JSON library, and the protocol only needs
+    plain values (no streaming, no bignums), so this is a small
+    self-contained recursive-descent parser plus a printer. Numbers
+    parse to [Int] when they are exact integers and to [Float]
+    otherwise; the printer emits [Float]s in a round-trippable form and
+    maps non-finite floats to [null] (JSON has no representation for
+    them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [parse s] parses exactly one JSON value (leading and trailing
+    whitespace allowed; anything else after the value is an error). *)
+val parse : string -> (t, string) result
+
+(** One-line rendering (no pretty-printing; safe for NDJSON framing:
+    emitted strings never contain raw newlines). *)
+val to_string : t -> string
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+(** [member key j] looks [key] up when [j] is an object. *)
+val member : string -> t -> t option
+
+val to_bool : t -> bool option
+val to_int : t -> int option
+
+(** [Int]s widen to float here. *)
+val to_float : t -> float option
+
+val to_string_opt : t -> string option
+val to_list : t -> t list option
+
+(** [get_string key j], etc.: [member] composed with the accessor. *)
+val get_string : string -> t -> string option
+
+val get_bool : string -> t -> bool option
+
+val get_int : string -> t -> int option
+val get_float : string -> t -> float option
+val get_list : string -> t -> t list option

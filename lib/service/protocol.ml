@@ -1,0 +1,224 @@
+module Diagnostic = Mcl_analysis.Diagnostic
+
+type source =
+  | Suite of { name : string; scale : float }
+  | File of string
+  | Generated of { cells : int option; seed : int option }
+
+type op =
+  | Load of { key : string; source : source }
+  | Legalize of { key : string }
+  | Eco of { key : string; cells : int list; targets : (int * (int * int)) list }
+  | Query of { key : string }
+  | Lint of { key : string }
+  | Audit of { key : string }
+  | Stats
+  | Shutdown
+
+type request = {
+  id : string;
+  op : op;
+  received : float;
+}
+
+let op_name = function
+  | Load _ -> "load"
+  | Legalize _ -> "legalize"
+  | Eco _ -> "eco"
+  | Query _ -> "query"
+  | Lint _ -> "lint"
+  | Audit _ -> "audit"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let design_key = function
+  | Legalize { key } | Eco { key; _ } | Query { key } | Lint { key }
+  | Audit { key } ->
+    Some key
+  | Load _ | Stats | Shutdown -> None
+
+type parse_error = { err_id : string; code : string; message : string }
+
+(* ---------------------------------------------------------------- *)
+(* Request decoding                                                  *)
+(* ---------------------------------------------------------------- *)
+
+exception Bad of string * string  (* code, message *)
+
+let bad code msg = raise (Bad (code, msg))
+
+let require_design j =
+  match Json.get_string "design" j with
+  | Some key when key <> "" -> key
+  | Some _ -> bad "P402-bad-request" "\"design\" must be a non-empty string"
+  | None -> bad "P402-bad-request" "missing \"design\" field"
+
+let decode_source j =
+  match Json.get_string "suite" j, Json.get_string "path" j with
+  | Some _, Some _ -> bad "P402-bad-request" "\"suite\" and \"path\" are exclusive"
+  | Some name, None ->
+    let scale =
+      match Json.member "scale" j with
+      | None -> 1.0
+      | Some s ->
+        (match Json.to_float s with
+         | Some f when f > 0.0 -> f
+         | _ -> bad "P402-bad-request" "\"scale\" must be a positive number")
+    in
+    Suite { name; scale }
+  | None, Some path -> File path
+  | None, None ->
+    Generated { cells = Json.get_int "cells" j; seed = Json.get_int "seed" j }
+
+let decode_cells j =
+  match Json.member "cells" j with
+  | None -> []
+  | Some (Json.List items) ->
+    List.map
+      (fun item ->
+         match Json.to_int item with
+         | Some id -> id
+         | None -> bad "P402-bad-request" "\"cells\" must be a list of cell ids")
+      items
+  | Some _ -> bad "P402-bad-request" "\"cells\" must be a list of cell ids"
+
+let decode_targets j =
+  match Json.member "targets" j with
+  | None -> []
+  | Some (Json.List items) ->
+    List.map
+      (fun item ->
+         match item with
+         | Json.List [ id; Json.List [ x; y ] ] ->
+           (match Json.to_int id, Json.to_int x, Json.to_int y with
+            | Some id, Some x, Some y -> (id, (x, y))
+            | _ -> bad "P402-bad-request" "\"targets\" entries are [id,[x,y]]")
+         | _ -> bad "P402-bad-request" "\"targets\" entries are [id,[x,y]]")
+      items
+  | Some _ -> bad "P402-bad-request" "\"targets\" must be a list"
+
+let decode_op j =
+  match Json.get_string "op" j with
+  | None -> bad "P402-bad-request" "missing \"op\" field"
+  | Some "load" ->
+    let key = require_design j in
+    Load { key; source = decode_source j }
+  | Some "legalize" -> Legalize { key = require_design j }
+  | Some "eco" ->
+    let key = require_design j in
+    let cells = decode_cells j and targets = decode_targets j in
+    if cells = [] && targets = [] then
+      bad "P402-bad-request" "eco needs \"cells\" and/or \"targets\"";
+    Eco { key; cells; targets }
+  | Some "query" -> Query { key = require_design j }
+  | Some "lint" -> Lint { key = require_design j }
+  | Some "audit" -> Audit { key = require_design j }
+  | Some "stats" -> Stats
+  | Some "shutdown" -> Shutdown
+  | Some other -> bad "P403-unknown-op" (Printf.sprintf "unknown op %S" other)
+
+let parse ~received ~default_id line =
+  match Json.parse line with
+  | Error msg ->
+    Error
+      { err_id = default_id; code = "P401-parse-error";
+        message = "malformed JSON: " ^ msg }
+  | Ok (Json.Obj _ as j) ->
+    let id = Option.value (Json.get_string "id" j) ~default:default_id in
+    (match decode_op j with
+     | op -> Ok { id; op; received }
+     | exception Bad (code, message) -> Error { err_id = id; code; message })
+  | Ok _ ->
+    Error
+      { err_id = default_id; code = "P401-parse-error";
+        message = "request must be a JSON object" }
+
+(* ---------------------------------------------------------------- *)
+(* Responses                                                         *)
+(* ---------------------------------------------------------------- *)
+
+type req_metrics = {
+  queue_wait_s : float;
+  service_s : float;
+  cells_touched : int;
+  disp_delta_rows : float;
+  coalesced : int;
+}
+
+type error_body = {
+  code : string;
+  message : string;
+  diagnostics : Diagnostic.t list;
+}
+
+type response = {
+  resp_id : string;
+  resp_op : string;
+  result : (Json.t, error_body) result;
+  metrics : req_metrics option;
+}
+
+let ok ?metrics ~id ~op result =
+  { resp_id = id; resp_op = op; result = Ok result; metrics }
+
+let error ?(diagnostics = []) ?metrics ~id ~op ~code message =
+  { resp_id = id; resp_op = op;
+    result = Error { code; message; diagnostics }; metrics }
+
+let error_of_parse e =
+  error ~id:e.err_id ~op:"?" ~code:e.code e.message
+
+let json_of_location loc =
+  let open Diagnostic in
+  match loc with
+  | Cell c -> Json.Obj [ ("kind", Json.String "cell"); ("id", Json.Int c) ]
+  | Cell_pair (a, b) ->
+    Json.Obj
+      [ ("kind", Json.String "cell-pair"); ("a", Json.Int a); ("b", Json.Int b) ]
+  | Region f -> Json.Obj [ ("kind", Json.String "region"); ("id", Json.Int f) ]
+  | Row r -> Json.Obj [ ("kind", Json.String "row"); ("id", Json.Int r) ]
+  | Blockage i ->
+    Json.Obj [ ("kind", Json.String "blockage"); ("index", Json.Int i) ]
+  | Node n -> Json.Obj [ ("kind", Json.String "node"); ("id", Json.Int n) ]
+  | Design_wide -> Json.Obj [ ("kind", Json.String "design") ]
+
+let json_of_diag (d : Diagnostic.t) =
+  Json.Obj
+    [ ("code", Json.String d.Diagnostic.code);
+      ("severity", Json.String (Diagnostic.severity_string d.Diagnostic.severity));
+      ("stage",
+       match d.Diagnostic.stage with
+       | Some s -> Json.String s
+       | None -> Json.Null);
+      ("location", json_of_location d.Diagnostic.location);
+      ("message", Json.String d.Diagnostic.message) ]
+
+let json_of_metrics m =
+  Json.Obj
+    [ ("queue_wait_s", Json.Float m.queue_wait_s);
+      ("service_s", Json.Float m.service_s);
+      ("cells_touched", Json.Int m.cells_touched);
+      ("disp_delta_rows", Json.Float m.disp_delta_rows);
+      ("coalesced", Json.Int m.coalesced) ]
+
+let to_line r =
+  let base =
+    [ ("id", Json.String r.resp_id); ("op", Json.String r.resp_op) ]
+  in
+  let body =
+    match r.result with
+    | Ok result -> [ ("status", Json.String "ok"); ("result", result) ]
+    | Error e ->
+      [ ("status", Json.String "error");
+        ("error",
+         Json.Obj
+           [ ("code", Json.String e.code);
+             ("message", Json.String e.message);
+             ("diagnostics", Json.List (List.map json_of_diag e.diagnostics)) ]) ]
+  in
+  let metrics =
+    match r.metrics with
+    | Some m -> [ ("metrics", json_of_metrics m) ]
+    | None -> []
+  in
+  Json.to_string (Json.Obj (base @ body @ metrics))

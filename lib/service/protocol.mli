@@ -1,0 +1,107 @@
+(** Wire protocol of the resident legalization service.
+
+    Framing is newline-delimited JSON: one request object per line in,
+    one response object per line out, answered in request order.
+
+    Request object:
+    {v
+    {"id": "r1",            // optional; echoed back (default "req-N")
+     "op": "load" | "legalize" | "eco" | "query" | "lint" | "audit"
+         | "stats" | "shutdown",
+     "design": "key",       // all ops except stats/shutdown
+     // load sources (pick one; default = generated Spec.default):
+     "suite": "des_perf_1", "scale": 1.0,   // generated suite benchmark
+     "path": "bench.txt",                   // bookshelf file
+     "cells": 500, "seed": 7,              // generated default spec
+     // eco payload:
+     "cells": [1,2,3],                     // cell ids to re-insert
+     "targets": [[7,[120,14]], ...]}       // (id, (x, y)) anchor moves
+    v}
+
+    Response object:
+    {v
+    {"id": "r1", "op": "eco", "status": "ok" | "error",
+     "result": {...},                       // on ok
+     "error": {"code": "S302-...", "message": "...",
+               "diagnostics": [...]},       // on error
+     "metrics": {"queue_wait_s":…, "service_s":…, "cells_touched":…,
+                 "disp_delta_rows":…, "coalesced":…}}
+    v}
+
+    Error codes: [P4xx] protocol-level (parse, bad request, unknown op
+    or design), plus any {!Mcl_analysis.Diagnostic} code surfaced from
+    the flow ([S3xx] stage failures etc.); see README.md §Diagnostics. *)
+
+(** Where a [load] request gets its design from. *)
+type source =
+  | Suite of { name : string; scale : float }
+  | File of string
+  | Generated of { cells : int option; seed : int option }
+
+type op =
+  | Load of { key : string; source : source }
+  | Legalize of { key : string }
+  | Eco of { key : string; cells : int list; targets : (int * (int * int)) list }
+  | Query of { key : string }
+  | Lint of { key : string }
+  | Audit of { key : string }
+  | Stats
+  | Shutdown
+
+type request = {
+  id : string;
+  op : op;
+  received : float;  (** wall-clock at read time; basis for queue-wait *)
+}
+
+val op_name : op -> string
+
+(** [design_key op] is [Some key] for per-design ops, [None] for ops
+    that touch global service state ([Load], [Stats], [Shutdown]) —
+    the batch planner serializes the latter. *)
+val design_key : op -> string option
+
+(** Parse failure, already shaped like a response. *)
+type parse_error = { err_id : string; code : string; message : string }
+
+(** [parse ~received ~default_id line] decodes one request line.
+    [default_id] is used when the request carries no ["id"]. *)
+val parse :
+  received:float -> default_id:string -> string -> (request, parse_error) result
+
+(** Per-request observability, emitted as the response ["metrics"]. *)
+type req_metrics = {
+  queue_wait_s : float;
+  service_s : float;
+  cells_touched : int;
+  disp_delta_rows : float;  (** displacement added by this mutation *)
+  coalesced : int;  (** >1 when the eco ran as part of a merged batch *)
+}
+
+type error_body = {
+  code : string;
+  message : string;
+  diagnostics : Mcl_analysis.Diagnostic.t list;
+}
+
+type response = {
+  resp_id : string;
+  resp_op : string;
+  result : (Json.t, error_body) result;
+  metrics : req_metrics option;
+}
+
+val ok : ?metrics:req_metrics -> id:string -> op:string -> Json.t -> response
+
+val error :
+  ?diagnostics:Mcl_analysis.Diagnostic.t list -> ?metrics:req_metrics ->
+  id:string -> op:string -> code:string -> string -> response
+
+val error_of_parse : parse_error -> response
+
+(** Structured rendering of one diagnostic, same schema as
+    {!Mcl_analysis.Diagnostic.to_json} items. *)
+val json_of_diag : Mcl_analysis.Diagnostic.t -> Json.t
+
+(** One-line JSON rendering (no trailing newline). *)
+val to_line : response -> string

@@ -1,0 +1,165 @@
+(* Line reader over a raw fd with its own buffer: we cannot mix
+   [input_line]'s channel buffering with [Unix.select], which only sees
+   the fd — buffered-but-unread lines would stall the greedy batch
+   drain. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable eof : bool;
+}
+
+let reader fd = { fd; buf = Buffer.create 4096; eof = false }
+
+(* Pop one complete line from the buffer, if any. *)
+let pop_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None ->
+    if r.eof && s <> "" then begin
+      (* final unterminated line *)
+      Buffer.clear r.buf;
+      Some s
+    end
+    else None
+  | Some i ->
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+    Some (String.sub s 0 i)
+
+(* Read once from the fd into the buffer. [block] = false probes with a
+   zero-timeout select first. Returns false when nothing was read. *)
+let refill r ~block =
+  if r.eof then false
+  else begin
+    let ready =
+      block
+      ||
+      match Unix.select [ r.fd ] [] [] 0.0 with
+      | [ _ ], _, _ -> true
+      | _ -> false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if not ready then false
+    else begin
+      let bytes = Bytes.create 65536 in
+      match Unix.read r.fd bytes 0 (Bytes.length bytes) with
+      | 0 ->
+        r.eof <- true;
+        false
+      | n ->
+        Buffer.add_subbytes r.buf bytes 0 n;
+        true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    end
+  end
+
+(* Block until at least one line is available (or EOF), then greedily
+   drain further already-available lines up to [max_batch]. *)
+let next_batch r ~max_batch =
+  let lines = ref [] in
+  let count = ref 0 in
+  let take () =
+    let took = ref false in
+    let continue = ref true in
+    while !continue && !count < max_batch do
+      match pop_line r with
+      | Some line ->
+        if String.trim line <> "" then begin
+          lines := line :: !lines;
+          incr count
+        end;
+        took := true
+      | None -> continue := false
+    done;
+    !took
+  in
+  (* phase 1: block for the first line *)
+  let rec first () =
+    if take () && !count > 0 then ()
+    else if r.eof then ()
+    else begin
+      ignore (refill r ~block:true);
+      first ()
+    end
+  in
+  first ();
+  (* phase 2: greedy non-blocking drain *)
+  let rec greedy () =
+    if !count < max_batch then begin
+      ignore (take ());
+      if !count < max_batch && refill r ~block:false then greedy ()
+    end
+  in
+  greedy ();
+  List.rev !lines
+
+let serve_fd engine ~max_batch ~in_fd ~out =
+  let r = reader in_fd in
+  let counter = ref 0 in
+  let rec loop () =
+    match next_batch r ~max_batch with
+    | [] -> false  (* EOF *)
+    | lines ->
+      let received = Unix.gettimeofday () in
+      let requests_or_errors =
+        List.map
+          (fun line ->
+             incr counter;
+             let default_id = Printf.sprintf "req-%d" !counter in
+             Protocol.parse ~received ~default_id line)
+          lines
+      in
+      (* malformed lines answer immediately, in order, without
+         poisoning the rest of the batch *)
+      let requests =
+        List.filter_map Result.to_option requests_or_errors |> Array.of_list
+      in
+      let responses = Engine.execute engine requests in
+      let next_ok = ref 0 in
+      List.iter
+        (fun r ->
+           let resp =
+             match r with
+             | Error e -> Protocol.error_of_parse e
+             | Ok _ ->
+               let resp = responses.(!next_ok) in
+               incr next_ok;
+               resp
+           in
+           output_string out (Protocol.to_line resp);
+           output_char out '\n')
+        requests_or_errors;
+      flush out;
+      if Engine.shutdown_requested engine then true else loop ()
+  in
+  loop ()
+
+let serve_stdio engine ~max_batch =
+  ignore (serve_fd engine ~max_batch ~in_fd:Unix.stdin ~out:stdout)
+
+let serve_socket engine ~max_batch ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+   | _ -> ()
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.bind sock (Unix.ADDR_UNIX path);
+       Unix.listen sock 8;
+       let stop = ref false in
+       while not !stop do
+         let conn, _ = Unix.accept sock in
+         let out = Unix.out_channel_of_descr conn in
+         let finished =
+           Fun.protect
+             ~finally:(fun () ->
+                 (* closes the underlying conn fd too *)
+                 try close_out out with Sys_error _ -> ())
+             (fun () -> serve_fd engine ~max_batch ~in_fd:conn ~out)
+         in
+         if finished then stop := true
+       done)

@@ -1,0 +1,28 @@
+(** NDJSON server front-ends over an {!Engine}.
+
+    Both modes speak the same framing: one request per line in, one
+    response per line out, in request order.
+
+    Batching happens at the read edge: after blocking for the first
+    line, the reader greedily drains whatever further complete lines
+    are already available (up to [max_batch]) and hands them to the
+    engine as one batch — that is what lets the engine coalesce
+    adjacent eco requests and fan independent designs across domains
+    under real concurrent load, while an interactive client typing one
+    line at a time still gets one-in/one-out behavior. *)
+
+(** [serve_fd engine ~max_batch ~in_fd ~out] pumps requests from
+    [in_fd] until EOF or a [shutdown] request; responses are written
+    and flushed per batch. Returns [true] when stopped by [shutdown]
+    (the socket accept loop uses this to stop listening). *)
+val serve_fd :
+  Engine.t -> max_batch:int -> in_fd:Unix.file_descr -> out:out_channel -> bool
+
+(** stdin/stdout loop. *)
+val serve_stdio : Engine.t -> max_batch:int -> unit
+
+(** [serve_socket engine ~max_batch ~path] listens on a Unix-domain
+    socket (an existing socket file at [path] is replaced), serving
+    connections sequentially until one of them issues [shutdown]; the
+    socket file is removed on exit. *)
+val serve_socket : Engine.t -> max_batch:int -> path:string -> unit

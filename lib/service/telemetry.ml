@@ -1,0 +1,83 @@
+type t = {
+  lock : Mutex.t;
+  started_at : float;
+  mutable batches : int;
+  mutable max_batch : int;
+  per_op : (string, int) Hashtbl.t;
+  mutable requests_total : int;
+  mutable errors : int;
+  mutable eco_coalesced : int;
+  mutable cells_touched : int;
+  mutable busy_s : float;
+}
+
+let create () =
+  { lock = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    batches = 0;
+    max_batch = 0;
+    per_op = Hashtbl.create 8;
+    requests_total = 0;
+    errors = 0;
+    eco_coalesced = 0;
+    cells_touched = 0;
+    busy_s = 0.0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t ~op ~ok ~service_s ~cells ~coalesced_extra =
+  locked t (fun () ->
+      t.requests_total <- t.requests_total + 1;
+      Hashtbl.replace t.per_op op
+        (1 + Option.value (Hashtbl.find_opt t.per_op op) ~default:0);
+      if not ok then t.errors <- t.errors + 1;
+      t.eco_coalesced <- t.eco_coalesced + coalesced_extra;
+      t.cells_touched <- t.cells_touched + cells;
+      t.busy_s <- t.busy_s +. service_s)
+
+let record_batch t ~size =
+  locked t (fun () ->
+      t.batches <- t.batches + 1;
+      t.max_batch <- max t.max_batch size)
+
+type snapshot = {
+  uptime_s : float;
+  batches : int;
+  max_batch : int;
+  requests : (string * int) list;
+  requests_total : int;
+  errors : int;
+  eco_coalesced : int;
+  cells_touched : int;
+  busy_s : float;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      { uptime_s = Unix.gettimeofday () -. t.started_at;
+        batches = t.batches;
+        max_batch = t.max_batch;
+        requests =
+          Hashtbl.fold (fun op n acc -> (op, n) :: acc) t.per_op []
+          |> List.sort compare;
+        requests_total = t.requests_total;
+        errors = t.errors;
+        eco_coalesced = t.eco_coalesced;
+        cells_touched = t.cells_touched;
+        busy_s = t.busy_s })
+
+let to_json t =
+  let s = snapshot t in
+  Json.Obj
+    [ ("uptime_s", Json.Float s.uptime_s);
+      ("batches", Json.Int s.batches);
+      ("max_batch", Json.Int s.max_batch);
+      ("requests_total", Json.Int s.requests_total);
+      ("requests",
+       Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) s.requests));
+      ("errors", Json.Int s.errors);
+      ("eco_coalesced", Json.Int s.eco_coalesced);
+      ("cells_touched", Json.Int s.cells_touched);
+      ("busy_s", Json.Float s.busy_s) ]

@@ -1,0 +1,35 @@
+(** Aggregated service counters, reported by the [stats] op.
+
+    All recorders are thread-safe (engine workers run on separate
+    domains); reads snapshot a consistent view under the same lock. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~op ~ok ~service_s ~cells ~coalesced_extra] accounts one
+    completed request: [cells] is the number of cells the request
+    touched, [coalesced_extra] the number of additional requests merged
+    into the same execution (0 when it ran alone). *)
+val record :
+  t -> op:string -> ok:bool -> service_s:float -> cells:int ->
+  coalesced_extra:int -> unit
+
+(** Account one incoming batch of [size] requests. *)
+val record_batch : t -> size:int -> unit
+
+type snapshot = {
+  uptime_s : float;
+  batches : int;
+  max_batch : int;  (** largest batch seen *)
+  requests : (string * int) list;  (** per op, sorted by op name *)
+  requests_total : int;
+  errors : int;
+  eco_coalesced : int;  (** eco requests that piggybacked on a merged run *)
+  cells_touched : int;
+  busy_s : float;  (** summed service time across requests *)
+}
+
+val snapshot : t -> snapshot
+
+val to_json : t -> Json.t

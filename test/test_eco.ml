@@ -26,7 +26,18 @@ let test_eco_restores_legality () =
   Alcotest.(check bool) "broken before" false (Mcl_eval.Legality.is_legal d);
   let s = Mcl.Eco.relegalize cfg d ~cells:victims in
   Alcotest.(check int) "all reinserted" 3 s.Mcl.Eco.relegalized;
-  Alcotest.(check bool) "legal after" true (Mcl_eval.Legality.is_legal d)
+  Alcotest.(check bool) "legal after" true (Mcl_eval.Legality.is_legal d);
+  (* displacement stats measure the re-inserted cells from GP anchors *)
+  Alcotest.(check bool) "max <= total" true
+    (s.Mcl.Eco.max_disp_rows <= s.Mcl.Eco.total_disp_rows +. 1e-9);
+  let by_hand =
+    List.fold_left
+      (fun acc id ->
+         acc +. Mcl_eval.Metrics.displacement d d.Design.cells.(id))
+      0.0 victims
+  in
+  Alcotest.(check (float 1e-6)) "total matches metrics" by_hand
+    s.Mcl.Eco.total_disp_rows
 
 let test_eco_targets_move_cell () =
   let d = base_design 6 in
@@ -56,10 +67,31 @@ let test_eco_rejects_fixed () =
     Array.to_list d.Design.cells
     |> List.find (fun (c : Cell.t) -> c.Cell.is_fixed)
   in
-  Alcotest.check_raises "fixed rejected"
-    (Invalid_argument "Eco.relegalize: cell is fixed")
-    (fun () ->
-       ignore (Mcl.Eco.relegalize Mcl.Config.default d ~cells:[ macro.Cell.id ]))
+  let code_of = function
+    | Mcl_analysis.Diagnostic.Failed (diag :: _) ->
+      Some diag.Mcl_analysis.Diagnostic.code
+    | _ -> None
+  in
+  (* typed S3xx diagnostics instead of stringly Invalid_argument; and
+     because validation runs before anchors are rebound, a rejected
+     request must leave the design bit-identical *)
+  let pos = Design.snapshot d and anchors = Design.snapshot_anchors d in
+  (match
+     Mcl.Eco.relegalize Mcl.Config.default d
+       ~targets:[ (0, (1, 1)) ] ~cells:[ macro.Cell.id ]
+   with
+   | _ -> Alcotest.fail "fixed cell was accepted"
+   | exception e ->
+     Alcotest.(check (option string)) "S303 code"
+       (Some "S303-eco-fixed-cell") (code_of e));
+  Alcotest.(check bool) "positions untouched" true (pos = Design.snapshot d);
+  Alcotest.(check bool) "anchors untouched" true
+    (anchors = Design.snapshot_anchors d);
+  (match Mcl.Eco.relegalize Mcl.Config.default d ~cells:[ 99_999 ] with
+   | _ -> Alcotest.fail "unknown cell was accepted"
+   | exception e ->
+     Alcotest.(check (option string)) "S302 code"
+       (Some "S302-eco-unknown-cell") (code_of e))
 
 let prop_eco_preserves_rest =
   QCheck.Test.make ~name:"eco leaves distant cells untouched" ~count:6

@@ -1,0 +1,330 @@
+(* The resident ECO legalization service: JSON codec, protocol
+   round-trips, structured error responses, rollback-on-failure, and
+   batching (eco coalescing + independent-design dispatch). *)
+
+module Json = Mcl_service.Json
+module Engine = Mcl_service.Engine
+module Protocol = Mcl_service.Protocol
+module Batch = Mcl_service.Batch
+
+let engine ?(threads = 1) () =
+  Engine.create ~threads ~config:Mcl.Config.default ()
+
+let parse_exn line =
+  match Json.parse line with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "bad response JSON: %s (%s)" msg line
+
+let str path j =
+  match Json.get_string path j with
+  | Some s -> s
+  | None -> Alcotest.failf "missing string field %S in %s" path (Json.to_string j)
+
+let handle eng line = parse_exn (Engine.handle_line eng line)
+
+let check_ok what resp =
+  Alcotest.(check string) (what ^ " status") "ok" (str "status" resp)
+
+let result_exn resp =
+  match Json.member "result" resp with
+  | Some r -> r
+  | None -> Alcotest.failf "no result in %s" (Json.to_string resp)
+
+(* ---------------------------------------------------------------- *)
+(* JSON codec                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [ {|{"a":1,"b":[true,false,null],"c":"x\"y\n","d":-2.5e3}|};
+      {|[1,2,3]|}; {|"hello"|}; {|{"nested":{"deep":[{"k":0.125}]}}|} ]
+  in
+  List.iter
+    (fun src ->
+       match Json.parse src with
+       | Error msg -> Alcotest.failf "parse %s: %s" src msg
+       | Ok v ->
+         (match Json.parse (Json.to_string v) with
+          | Ok v' -> Alcotest.(check bool) ("roundtrip " ^ src) true (v = v')
+          | Error msg -> Alcotest.failf "reparse %s: %s" src msg))
+    cases;
+  (* malformed inputs must report, not raise *)
+  List.iter
+    (fun src ->
+       match Json.parse src with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "accepted malformed %s" src)
+    [ "{nope"; "[1,2"; "\"unterminated"; "{} trailing"; "01x"; "" ];
+  (* \u escapes decode to UTF-8 *)
+  match Json.parse {|"Aé"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "utf8" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "\\u escape"
+
+(* ---------------------------------------------------------------- *)
+(* Protocol round-trip: load -> legalize -> eco -> query             *)
+(* ---------------------------------------------------------------- *)
+
+let test_round_trip () =
+  let eng = engine () in
+  let load =
+    handle eng {|{"id":"l","op":"load","design":"d","cells":300,"seed":11}|}
+  in
+  check_ok "load" load;
+  Alcotest.(check string) "load id echoed" "l" (str "id" load);
+  Alcotest.(check (option int)) "cells" (Some 300)
+    (Json.get_int "cells" (result_exn load));
+  let leg = handle eng {|{"id":"g","op":"legalize","design":"d"}|} in
+  check_ok "legalize" leg;
+  Alcotest.(check (option bool)) "legal after legalize" (Some true)
+    (Json.get_bool "legal" (result_exn leg));
+  let eco =
+    handle eng {|{"id":"e","op":"eco","design":"d","cells":[3,14,15]}|}
+  in
+  check_ok "eco" eco;
+  Alcotest.(check (option int)) "relegalized" (Some 3)
+    (Json.get_int "relegalized" (result_exn eco));
+  (match Json.member "metrics" eco with
+   | Some m ->
+     Alcotest.(check (option int)) "cells_touched" (Some 3)
+       (Json.get_int "cells_touched" m);
+     Alcotest.(check bool) "service_s >= 0" true
+       (match Json.get_float "service_s" m with
+        | Some s -> s >= 0.0
+        | None -> false)
+   | None -> Alcotest.fail "eco response has no metrics");
+  let q = handle eng {|{"id":"q","op":"query","design":"d"}|} in
+  check_ok "query" q;
+  Alcotest.(check (option bool)) "legal after eco" (Some true)
+    (Json.get_bool "legal" (result_exn q));
+  Alcotest.(check (option int)) "eco_count" (Some 1)
+    (Json.get_int "eco_count" (result_exn q));
+  (* lint + audit + stats also answer over the same design *)
+  check_ok "lint" (handle eng {|{"op":"lint","design":"d"}|});
+  check_ok "audit" (handle eng {|{"op":"audit","design":"d"}|});
+  let stats = handle eng {|{"op":"stats"}|} in
+  check_ok "stats" stats;
+  let counters =
+    match Json.member "counters" (result_exn stats) with
+    | Some c -> c
+    | None -> Alcotest.fail "stats without counters"
+  in
+  Alcotest.(check bool) "requests counted" true
+    (match Json.get_int "requests_total" counters with
+     | Some n -> n >= 6
+     | None -> false)
+
+(* ---------------------------------------------------------------- *)
+(* Structured errors                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let error_code resp =
+  match Json.member "error" resp with
+  | Some e -> str "code" e
+  | None -> Alcotest.failf "no error body in %s" (Json.to_string resp)
+
+let test_errors () =
+  let eng = engine () in
+  let bad = handle eng "{this is not json" in
+  Alcotest.(check string) "parse status" "error" (str "status" bad);
+  Alcotest.(check string) "parse code" "P401-parse-error" (error_code bad);
+  let arr = handle eng "[1,2,3]" in
+  Alcotest.(check string) "non-object code" "P401-parse-error" (error_code arr);
+  let noop = handle eng {|{"design":"d"}|} in
+  Alcotest.(check string) "missing op" "P402-bad-request" (error_code noop);
+  let unk = handle eng {|{"op":"frobnicate"}|} in
+  Alcotest.(check string) "unknown op" "P403-unknown-op" (error_code unk);
+  let missing = handle eng {|{"op":"eco","design":"ghost","cells":[1]}|} in
+  Alcotest.(check string) "unknown design" "P404-unknown-design"
+    (error_code missing);
+  let suite = handle eng {|{"op":"load","design":"d","suite":"no_such"}|} in
+  Alcotest.(check string) "unknown suite" "P405-unknown-suite" (error_code suite);
+  let empty_eco = handle eng {|{"op":"eco","design":"d"}|} in
+  Alcotest.(check string) "empty eco" "P402-bad-request" (error_code empty_eco)
+
+(* An infeasible ECO returns a typed S3xx error and the engine keeps
+   serving; the failed mutation rolls back to a legal design. *)
+let test_infeasible_eco_and_rollback () =
+  let eng = engine () in
+  check_ok "load"
+    (handle eng {|{"op":"load","design":"d","cells":250,"seed":3}|});
+  check_ok "legalize" (handle eng {|{"op":"legalize","design":"d"}|});
+  (* unknown cell id: infeasible request, S302 *)
+  let r = handle eng {|{"op":"eco","design":"d","cells":[99999]}|} in
+  Alcotest.(check string) "status" "error" (str "status" r);
+  Alcotest.(check string) "code" "S302-eco-unknown-cell" (error_code r);
+  (* diagnostics ride along in the error body *)
+  (match Json.member "error" r with
+   | Some e ->
+     (match Json.get_list "diagnostics" e with
+      | Some (d :: _) ->
+        Alcotest.(check (option string)) "diag code"
+          (Some "S302-eco-unknown-cell") (Json.get_string "code" d)
+      | _ -> Alcotest.fail "no diagnostics in error body")
+   | None -> Alcotest.fail "no error body");
+  (* a failing eco that *did* start mutating (target rebinding) rolls
+     back: target a movable cell but include a bogus one in the same
+     request *)
+  let q1 = handle eng {|{"op":"query","design":"d"}|} in
+  let before = Json.get_float "total_disp_sites" (result_exn q1) in
+  let mixed =
+    handle eng
+      {|{"op":"eco","design":"d","cells":[99999],"targets":[[5,[10,1]]]}|}
+  in
+  Alcotest.(check string) "mixed status" "error" (str "status" mixed);
+  let q2 = handle eng {|{"op":"query","design":"d"}|} in
+  Alcotest.(check (option bool)) "still legal" (Some true)
+    (Json.get_bool "legal" (result_exn q2));
+  Alcotest.(check bool) "placement untouched" true
+    (before = Json.get_float "total_disp_sites" (result_exn q2));
+  (* engine is still alive and serving *)
+  check_ok "still serving" (handle eng {|{"op":"query","design":"d"}|})
+
+(* ---------------------------------------------------------------- *)
+(* Batching: coalescing + independent-design dispatch                *)
+(* ---------------------------------------------------------------- *)
+
+let requests_of lines =
+  let now = Unix.gettimeofday () in
+  Array.of_list
+    (List.mapi
+       (fun i line ->
+          match
+            Protocol.parse ~received:now
+              ~default_id:(Printf.sprintf "req-%d" (i + 1)) line
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.failf "request %d rejected: %s" i e.Protocol.message)
+       lines)
+
+let test_eco_coalescing () =
+  let eng = engine () in
+  check_ok "load"
+    (handle eng {|{"op":"load","design":"d","cells":300,"seed":7}|});
+  check_ok "legalize" (handle eng {|{"op":"legalize","design":"d"}|});
+  let reqs =
+    requests_of
+      [ {|{"id":"a","op":"eco","design":"d","cells":[1,2]}|};
+        {|{"id":"b","op":"eco","design":"d","cells":[30,31]}|};
+        {|{"id":"c","op":"query","design":"d"}|} ]
+  in
+  let resps = Engine.execute eng reqs in
+  Alcotest.(check int) "three responses" 3 (Array.length resps);
+  Array.iter
+    (fun r ->
+       let j = parse_exn (Protocol.to_line r) in
+       Alcotest.(check string) ("ok " ^ str "id" j) "ok" (str "status" j))
+    resps;
+  (* both ecos ran as one merged relegalize call *)
+  Array.iteri
+    (fun i r ->
+       if i < 2 then
+         match r.Protocol.metrics with
+         | Some m ->
+           Alcotest.(check int) "coalesced" 2 m.Protocol.coalesced;
+           Alcotest.(check int) "own cells" 2 m.Protocol.cells_touched
+         | None -> Alcotest.fail "eco without metrics")
+    resps;
+  (* the merged run relegalized all four cells *)
+  let j0 = parse_exn (Protocol.to_line resps.(0)) in
+  Alcotest.(check (option int)) "merged relegalized" (Some 4)
+    (Json.get_int "relegalized" (result_exn j0));
+  (* the query (after the ecos in batch order) still sees a legal design *)
+  let jq = parse_exn (Protocol.to_line resps.(2)) in
+  Alcotest.(check (option bool)) "legal" (Some true)
+    (Json.get_bool "legal" (result_exn jq))
+
+(* A bad request coalesced with a good one must not poison it: the
+   merged run fails, rolls back, and the members retry individually. *)
+let test_coalesced_failure_retries_individually () =
+  let eng = engine () in
+  check_ok "load"
+    (handle eng {|{"op":"load","design":"d","cells":300,"seed":9}|});
+  check_ok "legalize" (handle eng {|{"op":"legalize","design":"d"}|});
+  let reqs =
+    requests_of
+      [ {|{"id":"good","op":"eco","design":"d","cells":[4,5]}|};
+        {|{"id":"bad","op":"eco","design":"d","cells":[99999]}|} ]
+  in
+  let resps = Engine.execute eng reqs in
+  let j_good = parse_exn (Protocol.to_line resps.(0)) in
+  let j_bad = parse_exn (Protocol.to_line resps.(1)) in
+  Alcotest.(check string) "good succeeds" "ok" (str "status" j_good);
+  Alcotest.(check string) "bad fails" "error" (str "status" j_bad);
+  Alcotest.(check string) "bad code" "S302-eco-unknown-cell" (error_code j_bad);
+  (* the retried good request ran alone *)
+  (match resps.(0).Protocol.metrics with
+   | Some m -> Alcotest.(check int) "retried solo" 1 m.Protocol.coalesced
+   | None -> Alcotest.fail "good eco without metrics");
+  let q = handle eng {|{"op":"query","design":"d"}|} in
+  Alcotest.(check (option bool)) "still legal" (Some true)
+    (Json.get_bool "legal" (result_exn q));
+  Alcotest.(check (option int)) "one eco applied" (Some 1)
+    (Json.get_int "eco_count" (result_exn q))
+
+let test_parallel_designs () =
+  let eng = engine ~threads:4 () in
+  check_ok "load a" (handle eng {|{"op":"load","design":"a","cells":200,"seed":1}|});
+  check_ok "load b" (handle eng {|{"op":"load","design":"b","cells":200,"seed":2}|});
+  let reqs =
+    requests_of
+      [ {|{"op":"legalize","design":"a"}|};
+        {|{"op":"legalize","design":"b"}|};
+        {|{"op":"query","design":"a"}|};
+        {|{"op":"query","design":"b"}|} ]
+  in
+  let resps = Engine.execute eng reqs in
+  Array.iter
+    (fun r ->
+       let j = parse_exn (Protocol.to_line r) in
+       Alcotest.(check string) "ok" "ok" (str "status" j);
+       match Json.get_bool "legal" (result_exn j) with
+       | Some legal -> Alcotest.(check bool) "legal" true legal
+       | None -> ())
+    resps
+
+(* The batch planner: globals split segments, groups preserve order,
+   eco runs are maximal and adjacent-only. *)
+let test_batch_plan () =
+  let now = Unix.gettimeofday () in
+  let req line =
+    match Protocol.parse ~received:now ~default_id:"x" line with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "plan request"
+  in
+  let reqs =
+    [| req {|{"op":"eco","design":"a","cells":[1]}|};
+       req {|{"op":"eco","design":"b","cells":[1]}|};
+       req {|{"op":"eco","design":"a","cells":[2]}|};
+       req {|{"op":"load","design":"c"}|};
+       req {|{"op":"query","design":"a"}|} |]
+  in
+  match Batch.plan reqs with
+  | [ Batch.Groups g1; Batch.Global (3, _); Batch.Groups g2 ] ->
+    Alcotest.(check (list string)) "segment 1 keys" [ "a"; "b" ]
+      (List.map fst g1);
+    Alcotest.(check (list (list int))) "segment 1 indices" [ [ 0; 2 ]; [ 1 ] ]
+      (List.map (fun (_, rs) -> List.map fst rs) g1);
+    Alcotest.(check (list string)) "segment 2 keys" [ "a" ] (List.map fst g2);
+    (* design a's group is one eco run of length 2 *)
+    (match Batch.eco_runs (List.assoc "a" g1) with
+     | [ `Eco [ _; _ ] ] -> ()
+     | _ -> Alcotest.fail "expected one eco run of length 2")
+  | other ->
+    Alcotest.failf "unexpected plan shape (%d segments)" (List.length other)
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "service"
+    [ ("json", [ Alcotest.test_case "roundtrip + malformed" `Quick test_json_roundtrip ]);
+      ("protocol",
+       [ Alcotest.test_case "load-legalize-eco-query" `Quick test_round_trip;
+         Alcotest.test_case "error shapes" `Quick test_errors;
+         Alcotest.test_case "infeasible eco + rollback" `Quick
+           test_infeasible_eco_and_rollback ]);
+      ("batching",
+       [ Alcotest.test_case "eco coalescing" `Quick test_eco_coalescing;
+         Alcotest.test_case "coalesced failure retries individually" `Quick
+           test_coalesced_failure_retries_individually;
+         Alcotest.test_case "parallel designs" `Quick test_parallel_designs;
+         Alcotest.test_case "plan shape" `Quick test_batch_plan ]) ]
