@@ -3,7 +3,7 @@
 
    Usage:  dune exec bench/main.exe -- [section] [scale]
    Sections: table1 table2 table3 fig3 fig4 fig5 fig6 threads ablation
-             micro all (default: all, scale 1.0). *)
+             service congest micro all (default: all, scale 1.0). *)
 
 open Mcl_netlist
 
@@ -601,6 +601,129 @@ let service ~scale () =
   Printf.printf "\nwrote BENCH_service.json\n\n"
 
 (* ---------------------------------------------------------------- *)
+(* Congestion: incremental-map throughput and the weight trade-off.   *)
+(* Part 1 races apply_move/undo against full rebuilds on a hotspotted *)
+(* design and cross-checks the incremental map against a fresh one.   *)
+(* Part 2 sweeps the MGL congestion-penalty weight and reports the    *)
+(* max-overflow / displacement trade-off. Emits BENCH_congest.json.   *)
+(* ---------------------------------------------------------------- *)
+
+let congest ~scale () =
+  let module C = Mcl_congest.Congestion in
+  let module Json = Mcl_service.Json in
+  Printf.printf
+    "== Congestion: incremental RUDY map and MGL penalty sweep ==\n\n";
+  let spec =
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.name = "congest_bench";
+      num_cells = max 300 (int_of_float (3000.0 *. scale));
+      hotspots = 4;
+      nets_per_cell = 2.5;
+      seed = 97 }
+  in
+  (* part 1: incremental vs rebuild throughput *)
+  let d = Mcl_gen.Generator.generate spec in
+  let fp = d.Design.floorplan in
+  let cmap = C.create d in
+  let prng = Mcl_geom.Prng.create 4242 in
+  let n = Design.num_cells d in
+  let moves = 2000 in
+  let pick_movable () =
+    let rec go () =
+      let id = Mcl_geom.Prng.int prng n in
+      if d.Design.cells.(id).Cell.is_fixed then go () else id
+    in
+    go ()
+  in
+  let random_pos id =
+    let ct = Design.cell_type d d.Design.cells.(id) in
+    ( Mcl_geom.Prng.int prng
+        (max 1 (fp.Floorplan.num_sites - ct.Cell_type.width + 1)),
+      Mcl_geom.Prng.int prng
+        (max 1 (fp.Floorplan.num_rows - ct.Cell_type.height + 1)) )
+  in
+  let targets =
+    Array.init moves (fun _ ->
+        let id = pick_movable () in
+        let x, y = random_pos id in
+        (id, x, y))
+  in
+  let (), t_apply =
+    timed (fun () ->
+        Array.iter (fun (cell, x, y) -> C.apply_move cmap ~cell ~x ~y) targets)
+  in
+  let (), t_undo =
+    timed (fun () -> while C.undo cmap do () done)
+  in
+  (* redo half the trace and leave it applied, so the cross-check and
+     rebuild below run on a map that has genuinely drifted from the
+     create-time placement *)
+  Array.iteri
+    (fun i (cell, x, y) -> if i mod 2 = 0 then C.apply_move cmap ~cell ~x ~y)
+    targets;
+  let fresh = C.create d in
+  let ok = C.equal cmap fresh in
+  let (), t_rebuild = timed (fun () -> C.rebuild cmap) in
+  let grid = C.grid cmap in
+  let apply_rate = float_of_int moves /. Float.max 1e-9 t_apply in
+  let undo_rate = float_of_int moves /. Float.max 1e-9 t_undo in
+  Printf.printf
+    "incremental: %d moves @ %.0f apply/s, %.0f undo/s | full rebuild %.2fms \
+     (%d bins) | incremental == rebuilt: %b\n\n%!"
+    moves apply_rate undo_rate (t_rebuild *. 1000.0)
+    (Mcl_congest.Grid.num_bins grid) ok;
+  if not ok then failwith "congest bench: incremental map diverged from rebuild";
+  (* part 2: pipeline quality trade-off across penalty weights *)
+  Printf.printf "%-8s | %8s %8s %9s | %8s %8s | %7s\n" "weight" "maxOvf"
+    "avgOvf" "overfull" "avgDisp" "maxDisp" "time";
+  let sweep =
+    List.map
+      (fun weight ->
+         let d = Mcl_gen.Generator.generate spec in
+         let gp_hpwl = Mcl_eval.Metrics.hpwl d in
+         let cfg =
+           { Mcl.Config.default with Mcl.Config.congestion_weight = weight }
+         in
+         let _, t = timed (fun () -> Mcl.Pipeline.run cfg d) in
+         assert (Mcl_eval.Legality.is_legal d);
+         let score = Mcl_eval.Score.evaluate ~gp_hpwl d in
+         let s = Mcl_eval.Metrics.congestion d in
+         Printf.printf "%-8.2f | %8.3f %8.4f %9d | %8.3f %8.1f | %6.2fs\n%!"
+           weight s.C.max_overflow s.C.avg_overflow s.C.overfull
+           score.Mcl_eval.Score.avg_disp score.Mcl_eval.Score.max_disp t;
+         ( weight,
+           Json.Obj
+             [ ("weight", Json.Float weight);
+               ("max_overflow", Json.Float s.C.max_overflow);
+               ("avg_overflow", Json.Float s.C.avg_overflow);
+               ("overfull_bins", Json.Int s.C.overfull);
+               ("avg_disp_rows", Json.Float score.Mcl_eval.Score.avg_disp);
+               ("max_disp_rows", Json.Float score.Mcl_eval.Score.max_disp);
+               ("seconds", Json.Float t) ] ))
+      [ 0.0; 0.5; 2.0 ]
+  in
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "congest");
+        ("scale", Json.Float scale);
+        ("cells", Json.Int (Design.num_cells d));
+        ("incremental",
+         Json.Obj
+           [ ("moves", Json.Int moves);
+             ("apply_ops_per_s", Json.Float apply_rate);
+             ("undo_ops_per_s", Json.Float undo_rate);
+             ("rebuild_s", Json.Float t_rebuild);
+             ("bins", Json.Int (Mcl_congest.Grid.num_bins grid));
+             ("cross_check_equal", Json.Bool ok) ]);
+        ("weights", Json.List (List.map snd sweep)) ]
+  in
+  let oc = open_out "BENCH_congest.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_congest.json\n\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.  *)
 (* ---------------------------------------------------------------- *)
 
@@ -696,6 +819,7 @@ let () =
     threads ~scale ();
     ablation ~scale ();
     service ~scale ();
+    congest ~scale ();
     micro ()
   in
   match section with
@@ -710,9 +834,10 @@ let () =
   | "ablation" -> ablation ~scale ()
   | "micro" -> micro ()
   | "service" -> service ~scale ()
+  | "congest" -> congest ~scale ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|micro|all)\n"
+      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|congest|micro|all)\n"
       other;
     exit 2

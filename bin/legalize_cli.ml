@@ -60,8 +60,21 @@ let run_lint_all ~scale =
     (Mcl_gen.Suites.all ~scale ());
   exit (if !clean then 0 else 1)
 
-let run input suite scale algo threads no_fences no_routability objective_total
-    output verbose lint lint_all audit =
+let run input suite scale algo threads window_halfwidth window_halfheight
+    congestion no_fences no_routability objective_total output svg_congestion
+    verbose lint lint_all audit =
+  if threads <= 0 then
+    usage_error (Printf.sprintf "--threads must be >= 1 (got %d)" threads);
+  if scale <= 0.0 then
+    usage_error (Printf.sprintf "--scale must be > 0 (got %g)" scale);
+  if window_halfwidth <= 0 then
+    usage_error
+      (Printf.sprintf "--window-halfwidth must be >= 1 (got %d)" window_halfwidth);
+  if window_halfheight <= 0 then
+    usage_error
+      (Printf.sprintf "--window-halfheight must be >= 1 (got %d)" window_halfheight);
+  if congestion < 0.0 then
+    usage_error (Printf.sprintf "--congestion must be >= 0 (got %g)" congestion);
   if lint_all then run_lint_all ~scale;
   let design = load ~input ~suite ~scale in
   (match lint with
@@ -76,6 +89,9 @@ let run input suite scale algo threads no_fences no_routability objective_total
     { (if objective_total then Mcl.Config.total_displacement else Mcl.Config.default)
       with
       Mcl.Config.threads;
+      window_halfwidth;
+      window_halfheight;
+      congestion_weight = congestion;
       consider_fences =
         (not no_fences)
         && (if objective_total then false else not no_fences);
@@ -153,12 +169,30 @@ let run input suite scale algo threads no_fences no_routability objective_total
      Mcl_bookshelf.Writer.write_file path design;
      if not quiet then Format.printf "wrote      : %s@." path
    | None -> ());
+  (match svg_congestion with
+   | Some path ->
+     let cmap =
+       Mcl_congest.Congestion.create
+         ~bin_sites:config.Mcl.Config.congestion_bin_sites design
+     in
+     Mcl_eval.Svg_render.write_file ~congestion:cmap path design;
+     if not quiet then begin
+       let s = Mcl_congest.Congestion.summarize ~top_k:0 cmap in
+       Format.printf "congestion : max ovf %.3f, %d overfull bin(s); svg %s@."
+         s.Mcl_congest.Congestion.max_overflow
+         s.Mcl_congest.Congestion.overfull path
+     end
+   | None -> ());
   if stage_failure || violations <> [] || audit_errors then exit 1
 
 (* `serve`: the resident ECO legalization service (lib/service). Reads
    newline-delimited JSON requests from stdin (or a Unix-domain socket)
    and answers one response line per request; see README §Service. *)
 let run_serve socket threads max_batch no_fences no_routability =
+  if threads <= 0 then
+    usage_error (Printf.sprintf "--threads must be >= 1 (got %d)" threads);
+  if max_batch <= 0 then
+    usage_error (Printf.sprintf "--max-batch must be >= 1 (got %d)" max_batch);
   let config =
     { Mcl.Config.default with
       Mcl.Config.threads;
@@ -219,6 +253,23 @@ let cmd =
   let threads =
     Arg.(value & opt int 1 & info [ "j"; "threads" ] ~doc:"MGL scheduler domains.")
   in
+  let window_halfwidth =
+    Arg.(value & opt int Mcl.Config.default.Mcl.Config.window_halfwidth
+         & info [ "window-halfwidth" ] ~docv:"SITES"
+             ~doc:"Initial MGL insertion window half-width in sites (>= 1).")
+  in
+  let window_halfheight =
+    Arg.(value & opt int Mcl.Config.default.Mcl.Config.window_halfheight
+         & info [ "window-halfheight" ] ~docv:"ROWS"
+             ~doc:"Initial MGL insertion window half-height in rows (>= 1).")
+  in
+  let congestion =
+    Arg.(value & opt float 0.0
+         & info [ "congestion" ] ~docv:"WEIGHT"
+             ~doc:"Soft congestion-penalty weight added to MGL insertion \
+                   scoring (RUDY + pin-density bins; 0 disables, output is \
+                   then bit-identical to the default flow).")
+  in
   let no_fences = Arg.(value & flag & info [ "no-fences" ] ~doc:"Ignore fences.") in
   let no_rout =
     Arg.(value & flag & info [ "no-routability" ] ~doc:"Ignore routability rules.")
@@ -232,6 +283,12 @@ let cmd =
   let output =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the legalized design.")
+  in
+  let svg_congestion =
+    Arg.(value & opt (some string) None
+         & info [ "svg-congestion" ] ~docv:"FILE"
+             ~doc:"Render the final placement with the congestion heat-map \
+                   overlay (overfull bins shaded by overflow) to FILE.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Stage stats.") in
   let lint =
@@ -259,8 +316,10 @@ let cmd =
   in
   Cmd.group
     ~default:
-      Term.(const run $ input $ suite $ scale $ algo $ threads $ no_fences
-            $ no_rout $ total $ output $ verbose $ lint $ lint_all $ audit)
+      Term.(const run $ input $ suite $ scale $ algo $ threads
+            $ window_halfwidth $ window_halfheight $ congestion $ no_fences
+            $ no_rout $ total $ output $ svg_congestion $ verbose $ lint
+            $ lint_all $ audit)
     (Cmd.info "mcl-legalize" ~doc:"Mixed-cell-height legalization (DAC'18 reproduction)")
     [ serve_cmd ]
 

@@ -1,0 +1,67 @@
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+type t = {
+  num_sites : int;
+  num_rows : int;
+  site_width : int;
+  row_height : int;
+  bin_sites : int;
+  bin_rows : int;
+  nx : int;
+  ny : int;
+}
+
+let make ?(bin_sites = 32) (fp : Floorplan.t) =
+  let bin_sites = max 1 (min bin_sites fp.Floorplan.num_sites) in
+  (* roughly square bins in dbu *)
+  let bin_rows =
+    max 1
+      (((bin_sites * fp.Floorplan.site_width) + (fp.Floorplan.row_height / 2))
+       / fp.Floorplan.row_height)
+  in
+  let bin_rows = min bin_rows fp.Floorplan.num_rows in
+  { num_sites = fp.Floorplan.num_sites;
+    num_rows = fp.Floorplan.num_rows;
+    site_width = fp.Floorplan.site_width;
+    row_height = fp.Floorplan.row_height;
+    bin_sites;
+    bin_rows;
+    nx = (fp.Floorplan.num_sites + bin_sites - 1) / bin_sites;
+    ny = (fp.Floorplan.num_rows + bin_rows - 1) / bin_rows }
+
+let num_bins t = t.nx * t.ny
+
+let index t ~bx ~by = (by * t.nx) + bx
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let bin_of_dbu t ~px ~py =
+  let bx = clamp 0 (t.nx - 1) (px / (t.bin_sites * t.site_width)) in
+  let by = clamp 0 (t.ny - 1) (py / (t.bin_rows * t.row_height)) in
+  index t ~bx ~by
+
+let bin_rect_dbu t i =
+  let bx = i mod t.nx and by = i / t.nx in
+  let bw = t.bin_sites * t.site_width and bh = t.bin_rows * t.row_height in
+  Rect.make ~xl:(bx * bw) ~yl:(by * bh)
+    ~xh:(min ((bx + 1) * bw) (t.num_sites * t.site_width))
+    ~yh:(min ((by + 1) * bh) (t.num_rows * t.row_height))
+
+let bin_area_dbu t i = max 1 (Rect.area (bin_rect_dbu t i))
+
+let bins_of_rect_dbu t (r : Rect.t) =
+  let die =
+    Rect.make ~xl:0 ~yl:0 ~xh:(t.num_sites * t.site_width)
+      ~yh:(t.num_rows * t.row_height)
+  in
+  let r = Rect.inter die r in
+  if Rect.is_empty r then None
+  else begin
+    let bw = t.bin_sites * t.site_width and bh = t.bin_rows * t.row_height in
+    let bx_lo = r.Rect.x.Mcl_geom.Interval.lo / bw in
+    let by_lo = r.Rect.y.Mcl_geom.Interval.lo / bh in
+    let bx_hi = clamp 0 (t.nx - 1) ((r.Rect.x.Mcl_geom.Interval.hi - 1) / bw) in
+    let by_hi = clamp 0 (t.ny - 1) ((r.Rect.y.Mcl_geom.Interval.hi - 1) / bh) in
+    Some (bx_lo, by_lo, bx_hi, by_hi)
+  end

@@ -1,0 +1,44 @@
+(** Bin grid over the die for the congestion maps.
+
+    The die is tiled by bins [bin_sites] sites wide and [bin_rows] rows
+    tall; [bin_rows] is derived from [bin_sites] so bins come out
+    roughly square in dbu. The last bin of each axis is clipped to the
+    die, so densities must be normalized by {!bin_area_dbu} of the
+    actual bin, not the nominal bin size. Bin indices are row-major:
+    [by * nx + bx]. *)
+
+open Mcl_netlist
+
+type t = private {
+  num_sites : int;
+  num_rows : int;
+  site_width : int;   (** dbu *)
+  row_height : int;   (** dbu *)
+  bin_sites : int;    (** bin width, sites *)
+  bin_rows : int;     (** bin height, rows *)
+  nx : int;           (** bins along x *)
+  ny : int;           (** bins along y *)
+}
+
+(** [make ?bin_sites fp] — [bin_sites] defaults to 32 and is clamped
+    to [1, num_sites]. *)
+val make : ?bin_sites:int -> Floorplan.t -> t
+
+val num_bins : t -> int
+
+val index : t -> bx:int -> by:int -> int
+
+(** Bin containing the dbu point [(px, py)]; coordinates outside the
+    die clamp to the nearest edge bin. *)
+val bin_of_dbu : t -> px:int -> py:int -> int
+
+(** Extent of bin [i] in dbu, clipped to the die. *)
+val bin_rect_dbu : t -> int -> Mcl_geom.Rect.t
+
+(** Clipped area of bin [i] in dbu^2 (always positive). *)
+val bin_area_dbu : t -> int -> int
+
+(** Bins overlapping the dbu rectangle [r], as an inclusive index box
+    [(bx_lo, by_lo, bx_hi, by_hi)]; [None] when [r] misses the die or
+    is empty. *)
+val bins_of_rect_dbu : t -> Mcl_geom.Rect.t -> (int * int * int * int) option

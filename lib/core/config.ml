@@ -15,6 +15,8 @@ type t = {
   run_matching : bool;
   run_row_order : bool;
   threads : int;
+  congestion_weight : float;
+  congestion_bin_sites : int;
 }
 
 let default =
@@ -31,7 +33,9 @@ let default =
     solver = Mcl_flow.Mcf.Network_simplex_block;
     run_matching = true;
     run_row_order = true;
-    threads = 1 }
+    threads = 1;
+    congestion_weight = 0.0;
+    congestion_bin_sites = 32 }
 
 let total_displacement =
   { default with

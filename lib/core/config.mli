@@ -22,6 +22,11 @@ type t = {
   run_matching : bool;          (** enable stage 2 (Sec. 3.2) *)
   run_row_order : bool;         (** enable stage 3 (Sec. 3.3) *)
   threads : int;                (** MGL scheduler batch width (Sec. 3.5) *)
+  congestion_weight : float;
+      (** weight of the soft congestion penalty in MGL insertion
+          scoring; 0 (the default) disables the congestion machinery
+          entirely, leaving the pipeline output bit-identical *)
+  congestion_bin_sites : int;   (** congestion-map bin width, in sites *)
 }
 
 val default : t

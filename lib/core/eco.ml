@@ -50,7 +50,8 @@ let relegalize ?(targets = []) config design ~cells =
        if not (Hashtbl.mem in_eco c.Cell.id) then Placement.add placement c.Cell.id)
     design.Design.cells;
   let ctx =
-    Insertion.make_ctx config design ~placement ~segments ~routability
+    Insertion.make_ctx ?congest:(Mgl.congest_map config design) config design
+      ~placement ~segments ~routability
   in
   (* taller cells first, like MGL's main order *)
   let order =

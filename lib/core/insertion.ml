@@ -8,12 +8,14 @@ type ctx = {
   segments : Segment.t;
   config : Config.t;
   routability : Routability.t option;
+  congest : Mcl_congest.Congestion.t option;
   disp_from : [ `Gp | `Current ];
   weights : float array;
 }
 
-let make_ctx ?(disp_from = `Gp) config design ~placement ~segments ~routability =
-  { design; placement; segments; config; routability; disp_from;
+let make_ctx ?(disp_from = `Gp) ?congest config design ~placement ~segments
+    ~routability =
+  { design; placement; segments; config; routability; congest; disp_from;
     weights =
       (match config.Config.objective with
        | Config.Total -> Array.make (Design.num_cells design) 1.0
@@ -521,6 +523,23 @@ let evaluate ctx ec ~cut ~target =
     match result with
     | None -> None
     | Some (x, cost) ->
+      (* soft congestion penalty: a candidate footprint sitting on
+         bins overflowing by 1.0 costs congestion_weight times as much
+         as moving the target by its own width *)
+      let cost =
+        match ctx.congest with
+        | None -> cost
+        | Some cmap ->
+          let sw = fp.Floorplan.site_width and rh = fp.Floorplan.row_height in
+          let rect_dbu =
+            Rect.make ~xl:(x * sw) ~yl:(ec.y0 * rh)
+              ~xh:((x + ec.t_wid) * sw) ~yh:((ec.y0 + ec.h) * rh)
+          in
+          cost
+          +. (ctx.config.Config.congestion_weight *. ctx.weights.(target)
+              *. float_of_int ec.t_wid
+              *. Mcl_congest.Congestion.cost cmap ~rect_dbu)
+      in
       let lefts = ref [] and rights = ref [] in
       for i = 0 to n - 1 do
         if is_left i then begin

@@ -19,6 +19,10 @@ type ctx = {
   segments : Segment.t;
   config : Config.t;
   routability : Routability.t option;
+  congest : Mcl_congest.Congestion.t option;
+      (** congestion prior for the soft insertion penalty; [Some] only
+          when [config.congestion_weight > 0] (scoring-only: the map is
+          never mutated here, so concurrent windows stay safe) *)
   disp_from : [ `Gp | `Current ];
       (** [`Gp] measures local-cell displacement from GP positions
           (MGL); [`Current] from current positions (the MLL baseline). *)
@@ -26,7 +30,8 @@ type ctx = {
 }
 
 val make_ctx :
-  ?disp_from:[ `Gp | `Current ] -> Config.t -> Design.t ->
+  ?disp_from:[ `Gp | `Current ] -> ?congest:Mcl_congest.Congestion.t ->
+  Config.t -> Design.t ->
   placement:Placement.t -> segments:Segment.t ->
   routability:Routability.t option -> ctx
 

@@ -218,6 +218,16 @@ let boundary_gap config design =
     (m + 1) / 2
   end
 
+(* Congestion prior for the soft insertion penalty: built once from
+   the pre-legalization positions, scoring-only afterwards (so
+   concurrent scheduler windows read it without synchronization). *)
+let congest_map config design =
+  if config.Config.congestion_weight > 0.0 then
+    Some
+      (Mcl_congest.Congestion.create
+         ~bin_sites:config.Config.congestion_bin_sites design)
+  else None
+
 let run ?(disp_from = `Gp) config design =
   let segments =
     Segment.build ~boundary_gap:(boundary_gap config design)
@@ -232,6 +242,7 @@ let run ?(disp_from = `Gp) config design =
     (fun (c : Cell.t) -> if c.Cell.is_fixed then Placement.add placement c.Cell.id)
     design.Design.cells;
   let ctx =
-    Insertion.make_ctx ~disp_from config design ~placement ~segments ~routability
+    Insertion.make_ctx ~disp_from ?congest:(congest_map config design) config
+      design ~placement ~segments ~routability
   in
   run_with_ctx ctx ~order:(default_order design)

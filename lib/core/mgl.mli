@@ -43,3 +43,9 @@ val fallback_place : ?relax_routability:bool -> Insertion.ctx -> int -> bool
 
 (** Fraction of the die area occupied by cells (cached per design). *)
 val utilization : Design.t -> float
+
+(** Congestion prior for the soft insertion penalty: [Some] (built
+    from the design's current positions) iff
+    [config.congestion_weight > 0]. Shared by the scheduler and the
+    ECO path. *)
+val congest_map : Config.t -> Design.t -> Mcl_congest.Congestion.t option

@@ -61,7 +61,8 @@ let run ?(disp_from = `Gp) config design =
     (fun (c : Cell.t) -> if c.Cell.is_fixed then Placement.add placement c.Cell.id)
     design.Design.cells;
   let ctx =
-    Insertion.make_ctx ~disp_from config design ~placement ~segments ~routability
+    Insertion.make_ctx ~disp_from ?congest:(Mgl.congest_map config design)
+      config design ~placement ~segments ~routability
   in
   let die = Floorplan.die design.Design.floorplan in
   let waiting = Queue.create () in

@@ -76,3 +76,7 @@ let hpwl design =
 let hpwl_increase_ratio ~gp_hpwl ~legal_hpwl =
   if gp_hpwl <= 0 then 0.0
   else float_of_int (legal_hpwl - gp_hpwl) /. float_of_int gp_hpwl
+
+let congestion ?bin_sites ?top_k design =
+  Mcl_congest.Congestion.summarize ?top_k
+    (Mcl_congest.Congestion.create ?bin_sites design)

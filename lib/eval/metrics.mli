@@ -27,3 +27,10 @@ val hpwl : Design.t -> int
     relative HPWL increase of the legalized placement over the GP
     HPWL values (0 when the design has no nets). *)
 val hpwl_increase_ratio : gp_hpwl:int -> legal_hpwl:int -> float
+
+(** Congestion summary of the current placement: a fresh RUDY
+    wiring-demand + pin-density map (see {!Mcl_congest.Congestion}),
+    summarized into max/avg bin overflow and the top hotspot bins.
+    [bin_sites] defaults to {!Mcl_congest.Grid.make}'s. *)
+val congestion :
+  ?bin_sites:int -> ?top_k:int -> Design.t -> Mcl_congest.Congestion.summary

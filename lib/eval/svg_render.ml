@@ -10,7 +10,7 @@ let height_fill = function
   | 3 -> "#a1d99b"
   | _ -> "#bcbddc"
 
-let render ?(displacement_lines = true) ?highlight_type design =
+let render ?(displacement_lines = true) ?highlight_type ?congestion design =
   let fp = design.Design.floorplan in
   let sw = fp.Floorplan.site_width and rh = fp.Floorplan.row_height in
   let w_dbu = fp.Floorplan.num_sites * sw and h_dbu = fp.Floorplan.num_rows * rh in
@@ -92,10 +92,33 @@ let render ?(displacement_lines = true) ?highlight_type design =
            end
          end)
       design.Design.cells;
+  (* congestion heat map: overfull bins on top, opacity scaled by
+     overflow relative to the worst bin *)
+  (match congestion with
+   | None -> ()
+   | Some cmap ->
+     let module C = Mcl_congest.Congestion in
+     let module G = Mcl_congest.Grid in
+     let grid = C.grid cmap in
+     let s = C.summarize ~top_k:0 cmap in
+     let worst = Float.max 1e-9 s.C.max_overflow in
+     for i = 0 to G.num_bins grid - 1 do
+       let ov = C.overflow cmap i in
+       if ov > 0.0 then begin
+         let r = G.bin_rect_dbu grid i in
+         pf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#d73027\" \
+            fill-opacity=\"%.3f\" stroke=\"#a50026\" stroke-width=\"1\" \
+            stroke-opacity=\"0.5\"/>\n"
+           r.Rect.x.Interval.lo r.Rect.y.Interval.lo (Rect.width r)
+           (Rect.height r)
+           (0.15 +. (0.6 *. Float.min 1.0 (ov /. worst)))
+       end
+     done);
   pf "</g>\n</svg>\n";
   Buffer.contents buf
 
-let write_file ?displacement_lines ?highlight_type path design =
+let write_file ?displacement_lines ?highlight_type ?congestion path design =
   let oc = open_out path in
-  output_string oc (render ?displacement_lines ?highlight_type design);
+  output_string oc (render ?displacement_lines ?highlight_type ?congestion design);
   close_out oc

@@ -8,12 +8,17 @@
 
 open Mcl_netlist
 
-(** [render ?displacement_lines ?highlight_type design] builds a
-    standalone SVG document. [displacement_lines] (default true) draws
-    cell-to-GP segments for every cell displaced by at least one row
-    height; [highlight_type] fills cells of that type in red like the
-    paper's figure. *)
-val render : ?displacement_lines:bool -> ?highlight_type:int -> Design.t -> string
+(** [render ?displacement_lines ?highlight_type ?congestion design]
+    builds a standalone SVG document. [displacement_lines] (default
+    true) draws cell-to-GP segments for every cell displaced by at
+    least one row height; [highlight_type] fills cells of that type in
+    red like the paper's figure; [congestion] overlays the given
+    congestion map as a heat map (overfull bins shaded red, opacity
+    scaled by overflow relative to the worst bin). *)
+val render :
+  ?displacement_lines:bool -> ?highlight_type:int ->
+  ?congestion:Mcl_congest.Congestion.t -> Design.t -> string
 
 val write_file :
-  ?displacement_lines:bool -> ?highlight_type:int -> string -> Design.t -> unit
+  ?displacement_lines:bool -> ?highlight_type:int ->
+  ?congestion:Mcl_congest.Congestion.t -> string -> Design.t -> unit

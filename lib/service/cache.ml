@@ -8,6 +8,7 @@ type entry = {
   loaded_at : float;
   mutable legalized : bool;
   mutable eco_count : int;
+  mutable congest : Mcl_congest.Congestion.t option;
 }
 
 type t = {

@@ -21,6 +21,11 @@ type entry = {
   loaded_at : float;
   mutable legalized : bool;  (** a full [legalize] has completed *)
   mutable eco_count : int;  (** ECO mutations applied since load *)
+  mutable congest : Mcl_congest.Congestion.t option;
+      (** congestion map over the entry's current placement, built
+          lazily on the first [query] and from then on kept
+          incrementally current: [eco] patches it from the position
+          diff, [legalize] rebuilds it (see {!Engine}) *)
 }
 
 type t

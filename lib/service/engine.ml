@@ -75,6 +75,41 @@ let error_of_exn ?metrics ~id ~op exn =
     Protocol.error ?metrics ~id ~op ~code:"P500-internal-error"
       (Printexc.to_string exn)
 
+module Congestion = Mcl_congest.Congestion
+
+(* The entry's congestion map, built lazily on first use and kept
+   incrementally current afterwards (eco syncs it from the position
+   diff; a full legalize rebuilds it). *)
+let congest_of t (entry : Cache.entry) =
+  match entry.Cache.congest with
+  | Some m -> m
+  | None ->
+    let m =
+      Congestion.create ~bin_sites:t.config.Mcl.Config.congestion_bin_sites
+        entry.Cache.design
+    in
+    entry.Cache.congest <- Some m;
+    m
+
+let congestion_json (s : Congestion.summary) =
+  Json.Obj
+    [ ("bins", Json.Int s.Congestion.bins);
+      ("max_overflow", Json.Float s.Congestion.max_overflow);
+      ("avg_overflow", Json.Float s.Congestion.avg_overflow);
+      ("overfull_bins", Json.Int s.Congestion.overfull);
+      ("max_pin_density", Json.Float s.Congestion.max_pin_density);
+      ("hotspots",
+       Json.List
+         (List.map
+            (fun (h : Congestion.hotspot) ->
+               Json.Obj
+                 [ ("bx", Json.Int h.Congestion.bx);
+                   ("by", Json.Int h.Congestion.by);
+                   ("overflow", Json.Float h.Congestion.hs_overflow);
+                   ("wire_density", Json.Float h.Congestion.hs_wire);
+                   ("pin_density", Json.Float h.Congestion.hs_pins) ])
+            s.Congestion.hotspots)) ]
+
 let report_json report =
   Json.Obj
     [ ("design", Json.String report.Diagnostic.design);
@@ -130,7 +165,7 @@ let exec_load t req ~key ~source =
     let gp_hpwl = Mcl_eval.Metrics.hpwl design in
     Cache.put t.cache
       { Cache.key; design; gp_hpwl; source = source_name; loaded_at = started;
-        legalized = false; eco_count = 0 };
+        legalized = false; eco_count = 0; congest = None };
     let finished = now () in
     Protocol.ok ~id ~op:"load"
       ~metrics:
@@ -151,6 +186,9 @@ let exec_legalize t (entry : Cache.entry) req =
   | report ->
     let violations = Mcl_eval.Legality.check design in
     entry.Cache.legalized <- violations = [];
+    (* a full pipeline moves most cells: rebuilding the tracked map is
+       cheaper than diffing it move by move *)
+    Option.iter Congestion.rebuild entry.Cache.congest;
     let finished = now () in
     let mgl = report.Mcl.Pipeline.mgl_stats in
     Protocol.ok ~id ~op:"legalize"
@@ -178,11 +216,12 @@ let exec_legalize t (entry : Cache.entry) req =
     error_of_exn ~id ~op:"legalize" exn
       ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
 
-let exec_query (entry : Cache.entry) req =
+let exec_query t (entry : Cache.entry) req =
   let started = now () in
   let design = entry.Cache.design in
   let violations = Mcl_eval.Legality.check design in
   let score = Mcl_eval.Score.evaluate ~gp_hpwl:entry.Cache.gp_hpwl design in
+  let congest = Congestion.summarize (congest_of t entry) in
   let finished = now () in
   Protocol.ok ~id:req.Protocol.id ~op:"query"
     ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
@@ -201,7 +240,8 @@ let exec_query (entry : Cache.entry) req =
          ("s_hpwl", Json.Float score.Mcl_eval.Score.s_hpwl);
          ("pin_violations", Json.Int score.Mcl_eval.Score.pin_violations);
          ("edge_violations", Json.Int score.Mcl_eval.Score.edge_violations);
-         ("score", Json.Float score.Mcl_eval.Score.score) ])
+         ("score", Json.Float score.Mcl_eval.Score.score);
+         ("congestion", congestion_json congest) ])
 
 let exec_lint (entry : Cache.entry) req =
   let started = now () in
@@ -238,7 +278,16 @@ let exec_stats t req =
             ("source", Json.String e.Cache.source);
             ("legalized", Json.Bool e.Cache.legalized);
             ("eco_count", Json.Int e.Cache.eco_count);
-            ("age_s", Json.Float (started -. e.Cache.loaded_at)) ])
+            ("age_s", Json.Float (started -. e.Cache.loaded_at));
+            ("congestion",
+             match e.Cache.congest with
+             | None -> Json.Null
+             | Some m ->
+               let s = Congestion.summarize ~top_k:0 m in
+               Json.Obj
+                 [ ("max_overflow", Json.Float s.Congestion.max_overflow);
+                   ("avg_overflow", Json.Float s.Congestion.avg_overflow);
+                   ("overfull_bins", Json.Int s.Congestion.overfull) ]) ])
   in
   let finished = now () in
   Protocol.ok ~id:req.Protocol.id ~op:"stats"
@@ -274,12 +323,23 @@ let rec exec_eco_run t (entry : Cache.entry) run =
     let cells, targets = payload req in
     List.sort_uniq compare (cells @ List.map fst targets)
   in
+  (* snapshot only when a map is tracked: on success the map is patched
+     from the position diff, on failure [transactional] rolls the
+     design back so the map is still current untouched *)
+  let pos_before =
+    match entry.Cache.congest with
+    | Some _ -> Some (Design.snapshot design)
+    | None -> None
+  in
   match
     transactional entry (fun () ->
         Mcl.Eco.relegalize ~targets:merged_targets t.config design
           ~cells:merged_cells)
   with
   | stats ->
+    (match (entry.Cache.congest, pos_before) with
+     | Some m, Some before -> Congestion.sync m ~before
+     | _ -> ());
     let finished = now () in
     List.map
       (fun (i, req) ->
@@ -330,7 +390,7 @@ let exec_in_group t (entry : Cache.entry) unit_ =
     let resp =
       match req.Protocol.op with
       | Protocol.Legalize _ -> exec_legalize t entry req
-      | Protocol.Query _ -> exec_query entry req
+      | Protocol.Query _ -> exec_query t entry req
       | Protocol.Lint _ -> exec_lint entry req
       | Protocol.Audit _ -> exec_audit entry req
       | Protocol.Load _ | Protocol.Eco _ | Protocol.Stats | Protocol.Shutdown ->

@@ -28,6 +28,13 @@
                  "disp_delta_rows":…, "coalesced":…}}
     v}
 
+    [query] results carry a ["congestion"] object (bins, max/avg
+    overflow, overfull_bins, max_pin_density, hotspots) from the
+    entry's RUDY + pin-density map; the map is built on the first
+    query, patched incrementally by [eco], and rebuilt by [legalize].
+    [stats] echoes the per-design overflow summary once tracked
+    (null before the first query).
+
     Error codes: [P4xx] protocol-level (parse, bad request, unknown op
     or design), plus any {!Mcl_analysis.Diagnostic} code surfaced from
     the flow ([S3xx] stage failures etc.); see README.md §Diagnostics. *)

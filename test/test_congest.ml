@@ -1,0 +1,212 @@
+(* Congestion-map tests: hand-checked demand/pin accounting on a tiny
+   two-bin design, the incremental == rebuilt invariant under long
+   randomized move/undo traces, the eco sync path, golden hotspot
+   metrics on a generated design, and the zero-weight gating of the
+   MGL congestion penalty. *)
+
+open Mcl_netlist
+module C = Mcl_congest.Congestion
+module G = Mcl_congest.Grid
+
+(* Two 16x16-dbu bins side by side: 8 sites x 2 rows at 4x8 dbu,
+   bin_sites = 4 (=> bin_rows = 2, one bin row). *)
+let tiny () =
+  let fp =
+    Floorplan.make ~num_sites:8 ~num_rows:2 ~site_width:4 ~row_height:8
+      ~hrail_period:0 ~vrail_pitch:0 ()
+  in
+  let types = [| Cell_type.make ~type_id:0 ~name:"u" ~width:1 ~height:1 () |] in
+  let cells =
+    [| Cell.make ~id:0 ~type_id:0 ~gp_x:0 ~gp_y:0 ();
+       Cell.make ~id:1 ~type_id:0 ~gp_x:4 ~gp_y:0 ();
+       Cell.make ~id:2 ~type_id:0 ~gp_x:7 ~gp_y:1 ~is_fixed:true () |]
+  in
+  let nets =
+    [| Net.make ~net_id:0
+         ~endpoints:
+           [ Net.Cell_pin { cell = 0; dx = 0; dy = 0 };
+             Net.Cell_pin { cell = 1; dx = 0; dy = 0 };
+             Net.Fixed_pin { px = 2; py = 8 } ] |]
+  in
+  Design.make ~name:"tiny" ~floorplan:fp ~cell_types:types ~cells ~nets ()
+
+let test_tiny_accounting () =
+  let d = tiny () in
+  let m = C.create ~bin_sites:4 d in
+  let g = C.grid m in
+  Alcotest.(check int) "two bins" 2 (G.num_bins g);
+  (* cell 0's pin at dbu (0,0) -> bin 0; cell 1's at (16,0) -> bin 1;
+     the fixed pin at (2,8) -> bin 0; the fixed *cell* 2 has no pins.
+     pin_density = pins per site area = pins * 32 / 256 *)
+  Alcotest.(check (float 1e-9)) "bin0 pins" 0.25 (C.pin_density m 0);
+  Alcotest.(check (float 1e-9)) "bin1 pins" 0.125 (C.pin_density m 1);
+  (* the net bbox spans both bins: demand on each side *)
+  Alcotest.(check bool) "bin0 wire" true (C.wire_density m 0 > 0.0);
+  Alcotest.(check bool) "bin1 wire" true (C.wire_density m 1 > 0.0);
+  (* pull cell 1 into bin 0: all endpoints now at x <= 2 dbu, so bin 1
+     must drop to exactly zero demand and zero pins *)
+  C.apply_move m ~cell:1 ~x:0 ~y:1;
+  Alcotest.(check (float 1e-9)) "bin1 wire emptied" 0.0 (C.wire_density m 1);
+  Alcotest.(check (float 1e-9)) "bin1 pins emptied" 0.0 (C.pin_density m 1);
+  Alcotest.(check (float 1e-9)) "bin0 pins grew" 0.375 (C.pin_density m 0);
+  Alcotest.(check bool) "incremental == fresh" true (C.equal m (C.create ~bin_sites:4 d));
+  (* undo restores the original maps exactly *)
+  Alcotest.(check bool) "undo" true (C.undo m);
+  Alcotest.(check bool) "journal empty" false (C.undo m);
+  Alcotest.(check bool) "undone == fresh" true (C.equal m (C.create ~bin_sites:4 d));
+  Alcotest.check_raises "fixed cell rejected"
+    (Invalid_argument "Congestion.apply_move: fixed cell")
+    (fun () -> C.apply_move m ~cell:2 ~x:0 ~y:0)
+
+let gen_design ?(num_cells = 300) seed =
+  Mcl_gen.Generator.generate
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.seed;
+      num_cells;
+      name = Printf.sprintf "cg%d" seed }
+
+let test_randomized_moves () =
+  let d = gen_design 11 in
+  let fp = d.Design.floorplan in
+  let m = C.create d in
+  let prng = Mcl_geom.Prng.create 2718 in
+  let n = Design.num_cells d in
+  let ops = 1200 in
+  let moved = ref 0 and undone = ref 0 in
+  for _ = 1 to ops do
+    if C.journal_depth m > 0 && Mcl_geom.Prng.int prng 10 < 3 then begin
+      ignore (C.undo m);
+      incr undone
+    end
+    else begin
+      let rec movable () =
+        let id = Mcl_geom.Prng.int prng n in
+        if d.Design.cells.(id).Cell.is_fixed then movable () else id
+      in
+      let id = movable () in
+      let ct = Design.cell_type d d.Design.cells.(id) in
+      C.apply_move m ~cell:id
+        ~x:(Mcl_geom.Prng.int prng
+              (max 1 (fp.Floorplan.num_sites - ct.Cell_type.width + 1)))
+        ~y:(Mcl_geom.Prng.int prng
+              (max 1 (fp.Floorplan.num_rows - ct.Cell_type.height + 1)));
+      incr moved
+    end;
+    (* spot-check the invariant mid-trace too, cheaply *)
+    if (!moved + !undone) mod 400 = 0 then
+      Alcotest.(check bool) "mid-trace incremental == fresh" true
+        (C.equal m (C.create d))
+  done;
+  Alcotest.(check bool) "ran enough ops" true (!moved + !undone >= 1000);
+  Alcotest.(check bool) "end incremental == fresh" true (C.equal m (C.create d));
+  (* unwinding the whole journal reproduces the load-time maps *)
+  let reference = C.create d in
+  ignore reference;
+  while C.undo m do () done;
+  Alcotest.(check bool) "fully undone == fresh at origin" true
+    (C.equal m (C.create d))
+
+let test_sync_after_eco () =
+  let d = gen_design 12 in
+  let cfg = Mcl.Config.default in
+  ignore (Mcl.Pipeline.run cfg d);
+  let m = C.create d in
+  let before = Design.snapshot d in
+  let victims = [ 3; 50; 123; 200 ] in
+  List.iter
+    (fun id ->
+       let c = d.Design.cells.(id) in
+       c.Cell.x <- d.Design.cells.(0).Cell.x;
+       c.Cell.y <- d.Design.cells.(0).Cell.y)
+    victims;
+  ignore (Mcl.Eco.relegalize cfg d ~cells:victims);
+  C.sync m ~before;
+  Alcotest.(check bool) "synced == fresh" true (C.equal m (C.create d))
+
+(* Golden aggregates of the GP state of the bench's congested design
+   (hotspotted generator, seed 97): pins the generator + summarize
+   chain. Regenerate by printing [Mcl_eval.Metrics.congestion d] here
+   if the generator intentionally changes. *)
+let test_golden_hotspots () =
+  let d =
+    Mcl_gen.Generator.generate
+      { Mcl_gen.Spec.default with
+        Mcl_gen.Spec.name = "congest_bench";
+        num_cells = 600;
+        hotspots = 4;
+        nets_per_cell = 2.5;
+        seed = 97 }
+  in
+  let s = Mcl_eval.Metrics.congestion d in
+  Alcotest.(check int) "bins" 110 s.C.bins;
+  Alcotest.(check int) "overfull" 14 s.C.overfull;
+  Alcotest.(check (float 1e-6)) "max overflow" 3.016861 s.C.max_overflow;
+  Alcotest.(check (float 1e-6)) "avg overflow" 0.054131 s.C.avg_overflow;
+  match s.C.hotspots with
+  | worst :: _ ->
+    Alcotest.(check (pair int int)) "worst bin" (0, 0) (worst.C.bx, worst.C.by);
+    Alcotest.(check (float 1e-6)) "worst overflow" s.C.max_overflow
+      worst.C.hs_overflow
+  | [] -> Alcotest.fail "no hotspots reported"
+
+let test_zero_weight_gating () =
+  (* weight 0 must not build a map at all, and bin granularity must be
+     irrelevant: the pipeline output is the default flow's, bit for bit *)
+  Alcotest.(check bool) "no map at weight 0" true
+    (Mcl.Mgl.congest_map Mcl.Config.default (gen_design 13) = None);
+  let run cfg =
+    let d = gen_design 13 in
+    ignore (Mcl.Pipeline.run cfg d);
+    Design.snapshot d
+  in
+  let reference = run Mcl.Config.default in
+  Alcotest.(check bool) "bin_sites ignored at weight 0" true
+    (run { Mcl.Config.default with Mcl.Config.congestion_bin_sites = 8 }
+     = reference);
+  Alcotest.(check bool) "weight 0 explicit" true
+    (run { Mcl.Config.default with Mcl.Config.congestion_weight = 0.0 }
+     = reference)
+
+let test_positive_weight_tradeoff () =
+  (* on the hotspotted design the penalty must relieve the worst bin
+     without letting average displacement run away *)
+  let spec =
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.name = "congest_bench";
+      num_cells = 600;
+      hotspots = 4;
+      nets_per_cell = 2.5;
+      seed = 97 }
+  in
+  let run weight =
+    let d = Mcl_gen.Generator.generate spec in
+    let gp_hpwl = Mcl_eval.Metrics.hpwl d in
+    ignore
+      (Mcl.Pipeline.run
+         { Mcl.Config.default with Mcl.Config.congestion_weight = weight }
+         d);
+    Alcotest.(check bool) "legal" true (Mcl_eval.Legality.is_legal d);
+    let s = Mcl_eval.Metrics.congestion d in
+    ((Mcl_eval.Score.evaluate ~gp_hpwl d).Mcl_eval.Score.avg_disp,
+     s.C.max_overflow)
+  in
+  let disp0, ovf0 = run 0.0 in
+  let disp1, ovf1 = run 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "max overflow relieved (%.3f -> %.3f)" ovf0 ovf1)
+    true (ovf1 < ovf0);
+  Alcotest.(check bool)
+    (Printf.sprintf "avg disp bounded (%.3f -> %.3f)" disp0 disp1)
+    true (disp1 -. disp0 < 0.25)
+
+let () =
+  Alcotest.run "congest"
+    [ ("maps",
+       [ Alcotest.test_case "tiny accounting" `Quick test_tiny_accounting;
+         Alcotest.test_case "randomized moves/undo" `Quick test_randomized_moves;
+         Alcotest.test_case "sync after eco" `Quick test_sync_after_eco;
+         Alcotest.test_case "golden hotspots" `Quick test_golden_hotspots ]);
+      ("pipeline",
+       [ Alcotest.test_case "zero-weight gating" `Quick test_zero_weight_gating;
+         Alcotest.test_case "positive-weight trade-off" `Slow
+           test_positive_weight_tradeoff ]) ]

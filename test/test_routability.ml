@@ -1,0 +1,133 @@
+(* Routability model unit tests: vertical-rail residue math at range
+   boundaries, the feasible_x_range conflict fallback and off-die IO
+   queries (paper Sec. 2 / 3.4 constraints).
+
+   Geometry used throughout: site_width = 4 dbu, vrail_pitch = 4 sites
+   => one M3 stripe every 16 dbu, vrail_width = 2 dbu centred on the
+   site boundary (stripe k covers dbu [16k - 1, 16k + 1)). The
+   "railpin" type carries an M3 pin spanning dbu x in [0, 2) of the
+   cell, so its left edge conflicts exactly when x mod 4 = 0; the
+   "clean" type has no pins and conflicts nowhere. *)
+
+open Mcl_netlist
+module Rect = Mcl_geom.Rect
+
+let mk_design ?(vrail_pitch = 4) ?(io_pins = []) () =
+  let fp =
+    Floorplan.make ~num_sites:16 ~num_rows:4 ~site_width:4 ~row_height:8
+      ~hrail_period:0 ~vrail_pitch ~vrail_width:2 ~io_pins ()
+  in
+  let rail_pin =
+    { Cell_type.pin_name = "a"; layer = Layer.M3;
+      shape = Rect.make ~xl:0 ~yl:0 ~xh:2 ~yh:2 }
+  in
+  let types =
+    [| Cell_type.make ~type_id:0 ~name:"railpin" ~width:2 ~height:1
+         ~pins:[ rail_pin ] ();
+       Cell_type.make ~type_id:1 ~name:"clean" ~width:2 ~height:1 () |]
+  in
+  Design.make ~name:"rt" ~floorplan:fp ~cell_types:types ~cells:[||] ()
+
+let rt ?vrail_pitch ?io_pins () =
+  Mcl.Routability.create (mk_design ?vrail_pitch ?io_pins ())
+
+let test_x_ok_residues () =
+  let r = rt () in
+  List.iter
+    (fun (x, expect) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "railpin x_ok at %d" x)
+         expect
+         (Mcl.Routability.x_ok r ~type_id:0 ~x))
+    [ (0, false); (1, true); (2, true); (3, true); (4, false); (8, false) ];
+  for x = 0 to 8 do
+    Alcotest.(check bool)
+      (Printf.sprintf "clean x_ok at %d" x)
+      true
+      (Mcl.Routability.x_ok r ~type_id:1 ~x)
+  done
+
+let test_nearest_ok_x_boundaries () =
+  let r = rt () in
+  let nearest ~x ~lo ~hi = Mcl.Routability.nearest_ok_x r ~type_id:0 ~x ~lo ~hi in
+  (* conflicting start at the range's low edge: forced one site right *)
+  Alcotest.(check (option int)) "x=0 in [0,10]" (Some 1) (nearest ~x:0 ~lo:0 ~hi:10);
+  (* ties search left first *)
+  Alcotest.(check (option int)) "x=4 in [0,10]" (Some 3) (nearest ~x:4 ~lo:0 ~hi:10);
+  (* a one-point range on a conflicting residue has no answer *)
+  Alcotest.(check (option int)) "x=0 in [0,0]" None (nearest ~x:0 ~lo:0 ~hi:0);
+  (* conflicting low edge, only the right neighbour in range *)
+  Alcotest.(check (option int)) "x=8 in [8,9]" (Some 9) (nearest ~x:8 ~lo:8 ~hi:9);
+  (* clean position inside the range is returned unchanged *)
+  Alcotest.(check (option int)) "clean x kept" (Some 5)
+    (Mcl.Routability.nearest_ok_x r ~type_id:0 ~x:5 ~lo:0 ~hi:10);
+  (* at the range's high edge *)
+  Alcotest.(check (option int)) "x=10 = hi kept" (Some 10)
+    (nearest ~x:10 ~lo:0 ~hi:10)
+
+let test_nearest_ok_x_all_conflict () =
+  (* pitch 1 site: every residue carries the stripe, nothing is ok *)
+  let r = rt ~vrail_pitch:1 () in
+  Alcotest.(check bool) "no residue ok" false
+    (Mcl.Routability.x_ok r ~type_id:0 ~x:3);
+  Alcotest.(check (option int)) "whole range conflicts" None
+    (Mcl.Routability.nearest_ok_x r ~type_id:0 ~x:5 ~lo:0 ~hi:15);
+  (* the pinless type never conflicts even at pitch 1 *)
+  Alcotest.(check (option int)) "clean type unaffected" (Some 5)
+    (Mcl.Routability.nearest_ok_x r ~type_id:1 ~x:5 ~lo:0 ~hi:15)
+
+let test_feasible_x_range () =
+  let r = rt () in
+  let range ~type_id ~x ~max_reach =
+    Mcl.Routability.feasible_x_range r ~type_id ~x ~y:0 ~span_lo:0 ~span_hi:15
+      ~max_reach
+  in
+  (* conflicting x falls back to the single point x *)
+  Alcotest.(check (pair int int)) "conflict => (x, x)" (4, 4)
+    (range ~type_id:0 ~x:4 ~max_reach:10);
+  (* clean x expands until the neighbouring conflicting residues *)
+  Alcotest.(check (pair int int)) "stops at rails" (1, 3)
+    (range ~type_id:0 ~x:2 ~max_reach:10);
+  (* expansion is capped by max_reach in both directions *)
+  Alcotest.(check (pair int int)) "max_reach cap" (2, 8)
+    (range ~type_id:1 ~x:5 ~max_reach:3);
+  (* and by the span *)
+  Alcotest.(check (pair int int)) "span cap" (0, 4)
+    (Mcl.Routability.feasible_x_range r ~type_id:1 ~x:2 ~y:0 ~span_lo:0
+       ~span_hi:4 ~max_reach:50)
+
+let test_io_conflicts () =
+  (* one IO pad on M3 over dbu [40, 44) x [8, 16) *)
+  let io =
+    [ { Floorplan.io_layer = Layer.M3;
+        io_rect = Rect.make ~xl:40 ~yl:8 ~xh:44 ~yh:16 } ]
+  in
+  let r = rt ~io_pins:io () in
+  (* cell at site (10, 1): pin covers dbu [40, 42) x [8, 10) => short *)
+  Alcotest.(check int) "overlapping pad" 1
+    (Mcl.Routability.io_conflicts r ~type_id:0 ~x:10 ~y:1);
+  (* one row below: pin y-span [0, 2) misses the pad *)
+  Alcotest.(check int) "clear of pad" 0
+    (Mcl.Routability.io_conflicts r ~type_id:0 ~x:10 ~y:0);
+  (* pinless cells cannot conflict *)
+  Alcotest.(check int) "clean type" 0
+    (Mcl.Routability.io_conflicts r ~type_id:1 ~x:10 ~y:1);
+  (* off-die positions must answer (zero), not crash: the query is
+     used on speculative candidates before die clamping *)
+  Alcotest.(check int) "far negative" 0
+    (Mcl.Routability.io_conflicts r ~type_id:0 ~x:(-10) ~y:(-5));
+  Alcotest.(check int) "far beyond die" 0
+    (Mcl.Routability.io_conflicts r ~type_id:0 ~x:1000 ~y:1000)
+
+let () =
+  Alcotest.run "routability"
+    [ ("vrails",
+       [ Alcotest.test_case "x_ok residues" `Quick test_x_ok_residues;
+         Alcotest.test_case "nearest_ok_x boundaries" `Quick
+           test_nearest_ok_x_boundaries;
+         Alcotest.test_case "nearest_ok_x all-conflict" `Quick
+           test_nearest_ok_x_all_conflict;
+         Alcotest.test_case "feasible_x_range" `Quick test_feasible_x_range ]);
+      ("io",
+       [ Alcotest.test_case "io_conflicts incl. off-die" `Quick
+           test_io_conflicts ]) ]
