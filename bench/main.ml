@@ -3,7 +3,7 @@
 
    Usage:  dune exec bench/main.exe -- [section] [scale]
    Sections: table1 table2 table3 fig3 fig4 fig5 fig6 threads ablation
-             service congest micro all (default: all, scale 1.0). *)
+             service congest resilience micro all (default: all, scale 1.0). *)
 
 open Mcl_netlist
 
@@ -484,7 +484,7 @@ let service ~scale () =
     let mk op =
       incr counter;
       { P.id = Printf.sprintf "%s-%d" label !counter; op;
-        received = Unix.gettimeofday () }
+        received = Unix.gettimeofday (); deadline_ms = None; fallback = None }
     in
     let execute reqs =
       if batched then Mcl_service.Engine.execute engine (Array.of_list reqs)
@@ -512,7 +512,8 @@ let service ~scale () =
                           P.Generated
                             { cells = Some spec.Mcl_gen.Spec.num_cells;
                               seed = Some spec.Mcl_gen.Spec.seed } }) ]);
-         expect_ok "legalize" (execute [ mk (P.Legalize { key }) ]))
+         expect_ok "legalize"
+           (execute [ mk (P.Legalize { key; greedy = false }) ]))
       specs;
     (* the measured trace: every mode replays the same perturbations *)
     let prng = Mcl_geom.Prng.create 2024 in
@@ -532,7 +533,7 @@ let service ~scale () =
                          Mcl_geom.Prng.int prng (max 1 (rows - 4)))) ]
                    else []
                  in
-                 mk (P.Eco { key; cells = [ id ]; targets })))
+                 mk (P.Eco { key; cells = [ id ]; targets; greedy = false })))
           shapes
       in
       let resps = execute reqs in
@@ -724,6 +725,96 @@ let congest ~scale () =
   Printf.printf "\nwrote BENCH_congest.json\n\n"
 
 (* ---------------------------------------------------------------- *)
+(* Resilience: WAL append/scan/replay throughput and the cost of the  *)
+(* cooperative budget poll. Emits BENCH_resilience.json.              *)
+(* ---------------------------------------------------------------- *)
+
+let resilience ~scale () =
+  let module Json = Mcl_service.Json in
+  let module P = Mcl_service.Protocol in
+  let module Server = Mcl_service.Server in
+  let module Engine = Mcl_service.Engine in
+  let module Wal = Mcl_resilience.Wal in
+  let module Budget = Mcl_resilience.Budget in
+  Printf.printf "== Resilience: WAL throughput and budget-poll cost ==\n\n";
+  let appends = max 200 (int_of_float (2000.0 *. scale)) in
+  let payload = {|{"op":"eco","design":"bench","cells":[1,2,3,4,5,6,7,8]}|} in
+  let wal_rates ~fsync =
+    let path = Filename.temp_file "mcl_bench" ".wal" in
+    let w = Wal.open_ ~fsync ~path () in
+    let (), dt =
+      timed (fun () ->
+          for _ = 1 to appends do ignore (Wal.append w payload) done)
+    in
+    Wal.close w;
+    let (), scan_dt = timed (fun () -> ignore (Wal.read ~path)) in
+    Sys.remove path;
+    (float_of_int appends /. dt, float_of_int appends /. scan_dt)
+  in
+  let fsync_rate, scan_rate = wal_rates ~fsync:true in
+  let buffered_rate, _ = wal_rates ~fsync:false in
+  Printf.printf "  WAL append (fsync)     %12.0f records/s\n" fsync_rate;
+  Printf.printf "  WAL append (no fsync)  %12.0f records/s\n" buffered_rate;
+  Printf.printf "  WAL scan               %12.0f records/s\n" scan_rate;
+  let polls = max 100_000 (int_of_float (5_000_000.0 *. scale)) in
+  let poll_ns b =
+    let (), dt = timed (fun () -> for _ = 1 to polls do Budget.check b done) in
+    dt /. float_of_int polls *. 1e9
+  in
+  let off_ns = poll_ns None in
+  let armed =
+    Budget.create ~clock:Unix.gettimeofday
+      ~deadline:(Unix.gettimeofday () +. 3600.0) ()
+  in
+  let armed_ns = poll_ns (Some armed) in
+  Printf.printf "  Budget.check (off)     %12.2f ns/poll\n" off_ns;
+  Printf.printf "  Budget.check (armed)   %12.2f ns/poll\n" armed_ns;
+  (* replay: journal a mutating trace live, then recover a fresh engine *)
+  let parse line =
+    match P.parse ~received:(Unix.gettimeofday ()) ~default_id:"b" line with
+    | Ok r -> r
+    | Error e -> failwith e.P.message
+  in
+  let path = Filename.temp_file "mcl_bench_replay" ".wal" in
+  let eng = Engine.create ~threads:1 ~config:Mcl.Config.default () in
+  let w = Wal.open_ ~path () in
+  let journal line =
+    ignore (Server.execute_and_journal eng ~wal:w [| parse line |])
+  in
+  journal {|{"op":"load","design":"b","cells":200,"seed":5}|};
+  journal {|{"op":"legalize","design":"b"}|};
+  let ecos = max 10 (int_of_float (30.0 *. scale)) in
+  for i = 1 to ecos do
+    journal
+      (Printf.sprintf {|{"op":"eco","design":"b","cells":[%d,%d]}|}
+         (3 + (i mod 140))
+         (3 + (i * 7 mod 140)))
+  done;
+  Wal.close w;
+  let eng2 = Engine.create ~threads:1 ~config:Mcl.Config.default () in
+  let r, dt = timed (fun () -> Server.recover eng2 ~path) in
+  Sys.remove path;
+  let replay_rate = float_of_int r.Server.replayed /. dt in
+  Printf.printf "  WAL replay             %12.1f mutations/s (%d mutations)\n"
+    replay_rate r.Server.replayed;
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "resilience");
+        ("wal_append_fsync_per_s", Json.Float fsync_rate);
+        ("wal_append_buffered_per_s", Json.Float buffered_rate);
+        ("wal_scan_per_s", Json.Float scan_rate);
+        ("budget_check_off_ns", Json.Float off_ns);
+        ("budget_check_armed_ns", Json.Float armed_ns);
+        ("replay_mutations", Json.Int r.Server.replayed);
+        ("replay_per_s", Json.Float replay_rate) ]
+  in
+  let oc = open_out "BENCH_resilience.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_resilience.json\n\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.  *)
 (* ---------------------------------------------------------------- *)
 
@@ -820,6 +911,7 @@ let () =
     ablation ~scale ();
     service ~scale ();
     congest ~scale ();
+    resilience ~scale ();
     micro ()
   in
   match section with
@@ -835,9 +927,10 @@ let () =
   | "micro" -> micro ()
   | "service" -> service ~scale ()
   | "congest" -> congest ~scale ()
+  | "resilience" -> resilience ~scale ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|congest|micro|all)\n"
+      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|congest|resilience|micro|all)\n"
       other;
     exit 2

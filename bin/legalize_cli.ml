@@ -188,21 +188,62 @@ let run input suite scale algo threads window_halfwidth window_halfheight
 (* `serve`: the resident ECO legalization service (lib/service). Reads
    newline-delimited JSON requests from stdin (or a Unix-domain socket)
    and answers one response line per request; see README §Service. *)
-let run_serve socket threads max_batch no_fences no_routability =
+let run_serve socket threads max_batch no_fences no_routability wal_path
+    recover_path max_pending fault_seed fault_kinds =
   if threads <= 0 then
     usage_error (Printf.sprintf "--threads must be >= 1 (got %d)" threads);
   if max_batch <= 0 then
     usage_error (Printf.sprintf "--max-batch must be >= 1 (got %d)" max_batch);
+  if max_pending <= 0 then
+    usage_error (Printf.sprintf "--max-pending must be >= 1 (got %d)" max_pending);
+  let faults =
+    match fault_kinds with
+    | None ->
+      if fault_seed <> None then
+        usage_error "--fault-seed needs --fault-kinds";
+      None
+    | Some spec ->
+      (match Mcl_resilience.Fault.kinds_of_string spec with
+       | Error msg -> usage_error ("--fault-kinds: " ^ msg)
+       | Ok kinds ->
+         let seed = Option.value fault_seed ~default:1 in
+         Some (Mcl_resilience.Fault.create ~seed ~kinds))
+  in
   let config =
     { Mcl.Config.default with
       Mcl.Config.threads;
       consider_fences = not no_fences;
       consider_routability = not no_routability }
   in
-  let engine = Mcl_service.Engine.create ~threads ~config () in
-  match socket with
-  | Some path -> Mcl_service.Server.serve_socket engine ~max_batch ~path
-  | None -> Mcl_service.Server.serve_stdio engine ~max_batch
+  (* recovery replays with faults disarmed: the journal holds what
+     really happened, and replay must reproduce it exactly *)
+  if faults <> None && recover_path <> None then
+    usage_error "--fault-kinds cannot be combined with --recover";
+  let engine = Mcl_service.Engine.create ~threads ?faults ~config () in
+  (match recover_path with
+   | None -> ()
+   | Some path ->
+     let r = Mcl_service.Server.recover engine ~path in
+     Printf.eprintf "recovered %d mutation(s) from %s%s%s\n%!" r.replayed path
+       (if r.failed > 0 then Printf.sprintf ", %d failed" r.failed else "")
+       (if r.dropped_lines > 0 then
+          Printf.sprintf ", %d torn line(s) dropped" r.dropped_lines
+        else ""));
+  let wal =
+    Option.map
+      (fun path -> Mcl_resilience.Wal.open_ ~path ())
+      wal_path
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Mcl_resilience.Wal.close wal)
+    (fun () ->
+       match socket with
+       | Some path ->
+         Mcl_service.Server.serve_socket engine ?wal ?faults ~max_pending
+           ~max_batch ~path ()
+       | None ->
+         Mcl_service.Server.serve_stdio engine ?wal ?faults ~max_pending
+           ~max_batch ())
 
 let serve_cmd =
   let socket =
@@ -226,11 +267,44 @@ let serve_cmd =
   let no_rout =
     Arg.(value & flag & info [ "no-routability" ] ~doc:"Ignore routability rules.")
   in
+  let wal =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"PATH"
+             ~doc:"Journal every acknowledged mutation to this write-ahead \
+                   log (fsync before responding); an existing journal is \
+                   continued after torn-tail repair.")
+  in
+  let recover =
+    Arg.(value & opt (some string) None
+         & info [ "recover" ] ~docv:"PATH"
+             ~doc:"Replay a write-ahead log before serving, restoring the \
+                   pre-crash resident state. Combine with --wal PATH (same \
+                   path) to keep journaling after recovery.")
+  in
+  let max_pending =
+    Arg.(value & opt int 256
+         & info [ "max-pending" ]
+             ~doc:"Admission-control bound on queued-but-unexecuted \
+                   requests; lines past it are answered P429-overloaded.")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed for the deterministic fault-injection plan \
+                   (testing; needs --fault-kinds).")
+  in
+  let fault_kinds =
+    Arg.(value & opt (some string) None
+         & info [ "fault-kinds" ] ~docv:"LIST"
+             ~doc:"Comma-separated fault kinds to inject (e.g. \
+                   short-read,eintr,stage-fail:mgl, or 'all'); testing only.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the resident legalization service (NDJSON request loop; ops: \
              load, legalize, eco, query, lint, audit, stats, shutdown).")
-    Term.(const run_serve $ socket $ threads $ max_batch $ no_fences $ no_rout)
+    Term.(const run_serve $ socket $ threads $ max_batch $ no_fences $ no_rout
+          $ wal $ recover $ max_pending $ fault_seed $ fault_kinds)
 
 let cmd =
   let input =

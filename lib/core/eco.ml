@@ -9,7 +9,7 @@ type stats = {
   max_disp_rows : float;
 }
 
-let relegalize ?(targets = []) config design ~cells =
+let relegalize ?(targets = []) ?budget ?(greedy = false) config design ~cells =
   let eco = List.sort_uniq compare (cells @ List.map fst targets) in
   (* validate before touching any anchor, so a rejected request leaves
      the design bit-identical (the service relies on this) *)
@@ -64,7 +64,7 @@ let relegalize ?(targets = []) config design ~cells =
       eco
     |> Array.of_list
   in
-  let s = Mgl.run_with_ctx ctx ~order in
+  let s = Mgl.run_with_ctx ?budget ~greedy ctx ~order in
   let total_disp, max_disp =
     List.fold_left
       (fun (total, mx) id ->

@@ -36,7 +36,15 @@ type stats = {
 (** [relegalize ?targets config design ~cells] re-inserts [cells]
     (ids) plus every cell named in [targets]. The rest of the placement
     must be legal. Raises {!Mcl_analysis.Diagnostic.Failed} as
-    documented above. *)
+    documented above.
+
+    [budget] is polled at every insertion-window attempt; expiry
+    raises {!Mcl_resilience.Budget.Deadline_exceeded} mid-mutation, so
+    budgeted callers must checkpoint (the service engine snapshots
+    positions and anchors). [greedy] places the ECO cells with the
+    bounded-cost emergency first-fit instead of windowed insertion —
+    the degraded mode served under deadline pressure (ignores
+    [budget]). *)
 val relegalize :
-  ?targets:(int * (int * int)) list -> Config.t -> Design.t ->
-  cells:int list -> stats
+  ?targets:(int * (int * int)) list -> ?budget:Mcl_resilience.Budget.t ->
+  ?greedy:bool -> Config.t -> Design.t -> cells:int list -> stats

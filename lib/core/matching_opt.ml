@@ -79,7 +79,7 @@ let optimize_group ~delta0 design stats config cells =
     assert (after <= before +. 1e-6);
     ()
 
-let run config design =
+let run ?budget config design =
   (* Adaptive threshold: phi must stay linear for the bulk of the
      distribution and explode only near the current maximum, otherwise
      the matching trades far too much average for the maximum. *)
@@ -110,6 +110,10 @@ let run config design =
   Hashtbl.iter
     (fun _key cells ->
        if List.length cells >= 2 then begin
+         (* matching-round boundary: each group either trades all of
+            its positions or none, so cancellation between groups
+            leaves a consistent (and still legal) placement *)
+         Mcl_resilience.Budget.check_now budget;
          incr ngroups;
          optimize_group ~delta0 design moved config (Array.of_list cells)
        end)

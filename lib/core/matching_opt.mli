@@ -22,7 +22,10 @@ type stats = {
   phi_after : float;
 }
 
-val run : Config.t -> Design.t -> stats
+(** [budget] is polled between matching rounds (one round per group);
+    expiry raises {!Mcl_resilience.Budget.Deadline_exceeded} with the
+    placement consistent. *)
+val run : ?budget:Mcl_resilience.Budget.t -> Config.t -> Design.t -> stats
 
 (** The paper's Eq. 3 penalty for a displacement of [d] row heights
     with threshold [delta0]. *)

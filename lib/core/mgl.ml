@@ -143,13 +143,18 @@ let initial_window config design (tgt : Cell.t) ~h ~w =
     (Rect.make ~xl:(tgt.Cell.gp_x - hw) ~yl:(tgt.Cell.gp_y - hh)
        ~xh:(tgt.Cell.gp_x + w + hw) ~yh:(tgt.Cell.gp_y + h + hh))
 
-let legalize_one ctx ~target ~growths =
+let legalize_one ?budget ctx ~target ~growths =
   let design = ctx.Insertion.design in
   let config = ctx.Insertion.config in
   let tgt = design.Design.cells.(target) in
   let h = Design.height design tgt and w = Design.width design tgt in
   let die = Floorplan.die design.Design.floorplan in
+  (* window retries are the natural cancellation boundary: the design
+     is consistent between attempts, so a deadline raise here leaves
+     nothing half-applied (the transactional caller rolls back the
+     cells already re-inserted) *)
   let rec attempt window tries =
+    Mcl_resilience.Budget.check budget;
     match Insertion.best ctx ~target ~window with
     | Some cand ->
       Insertion.apply ctx ~target cand;
@@ -183,11 +188,14 @@ let default_order design =
     ids;
   ids
 
-let run_with_ctx ctx ~order =
+let run_with_ctx ?budget ?(greedy = false) ctx ~order =
   let growths = ref 0 and fallbacks = ref 0 and legalized = ref 0 in
   Array.iter
     (fun target ->
-       let ok = legalize_one ctx ~target ~growths in
+       (* [greedy] skips the windowed search entirely: first-fit only,
+          bounded cost per cell — the degraded-mode answer under
+          deadline pressure, so it takes no budget itself *)
+       let ok = (not greedy) && legalize_one ?budget ctx ~target ~growths in
        let ok =
          if ok then true
          else begin
@@ -228,7 +236,7 @@ let congest_map config design =
          ~bin_sites:config.Config.congestion_bin_sites design)
   else None
 
-let run ?(disp_from = `Gp) config design =
+let run ?(disp_from = `Gp) ?budget config design =
   let segments =
     Segment.build ~boundary_gap:(boundary_gap config design)
       ~respect_fences:config.Config.consider_fences design
@@ -245,4 +253,4 @@ let run ?(disp_from = `Gp) config design =
     Insertion.make_ctx ~disp_from ?congest:(congest_map config design) config
       design ~placement ~segments ~routability
   in
-  run_with_ctx ctx ~order:(default_order design)
+  run_with_ctx ?budget ctx ~order:(default_order design)

@@ -13,14 +13,25 @@ type stats = {
   fallbacks : int;        (** cells placed by the emergency first-fit *)
 }
 
-(** [run ?disp_from config design] legalizes all movable cells in
-    place. Raises [Failure] if some cell cannot be placed at all (the
-    design is over-capacity). Returns per-run statistics. *)
-val run : ?disp_from:[ `Gp | `Current ] -> Config.t -> Design.t -> stats
+(** [run ?disp_from ?budget config design] legalizes all movable cells
+    in place. Raises [Failure] if some cell cannot be placed at all
+    (the design is over-capacity). [budget] is polled at every window
+    attempt; an expired budget raises
+    {!Mcl_resilience.Budget.Deadline_exceeded} (the caller is expected
+    to roll back). Returns per-run statistics. *)
+val run :
+  ?disp_from:[ `Gp | `Current ] -> ?budget:Mcl_resilience.Budget.t ->
+  Config.t -> Design.t -> stats
 
 (** As {!run}, but reusing an existing context (placement must contain
-    only fixed cells). Exposed for the scheduler. *)
-val run_with_ctx : Insertion.ctx -> order:int array -> stats
+    only fixed cells). Exposed for the scheduler and the ECO flow.
+    [greedy] skips the windowed search and places every cell with the
+    emergency first-fit directly — bounded cost per cell, the degraded
+    mode the service answers with under deadline pressure (it
+    therefore ignores [budget]). *)
+val run_with_ctx :
+  ?budget:Mcl_resilience.Budget.t -> ?greedy:bool -> Insertion.ctx ->
+  order:int array -> stats
 
 (** Boundary padding used when building segments for this config:
     half the largest edge-spacing rule when routability is on. *)

@@ -19,12 +19,14 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let run ?(on_stage = fun _ -> ()) config design =
-  let mgl_stats, mgl_seconds = timed (fun () -> Scheduler.run config design) in
+let run ?(on_stage = fun _ -> ()) ?budget config design =
+  let mgl_stats, mgl_seconds =
+    timed (fun () -> Scheduler.run ?budget config design)
+  in
   on_stage Mgl_stage;
   let matching_stats, matching_seconds =
     if config.Config.run_matching then begin
-      let s, t = timed (fun () -> Matching_opt.run config design) in
+      let s, t = timed (fun () -> Matching_opt.run ?budget config design) in
       on_stage Matching_stage;
       (Some s, t)
     end
@@ -32,7 +34,7 @@ let run ?(on_stage = fun _ -> ()) config design =
   in
   let row_order_stats, row_order_seconds =
     if config.Config.run_row_order then begin
-      let s, t = timed (fun () -> Row_order_opt.run config design) in
+      let s, t = timed (fun () -> Row_order_opt.run ?budget config design) in
       on_stage Row_order_stage;
       (Some s, t)
     end

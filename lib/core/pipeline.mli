@@ -27,8 +27,15 @@ type report = {
     result always passes {!Mcl_eval.Legality.check}. [on_stage] is
     invoked right after each stage that ran, with the design already
     mutated to that stage's result. Unrecoverable stage failures raise
-    {!Mcl_analysis.Diagnostic.Failed}. *)
-val run : ?on_stage:(stage -> unit) -> Config.t -> Design.t -> report
+    {!Mcl_analysis.Diagnostic.Failed}. [budget] threads a cooperative
+    deadline through every stage (window retries, matching rounds,
+    flow pivots); expiry raises
+    {!Mcl_resilience.Budget.Deadline_exceeded} — callers needing
+    all-or-nothing semantics snapshot and roll back (the service
+    engine does). *)
+val run :
+  ?on_stage:(stage -> unit) -> ?budget:Mcl_resilience.Budget.t ->
+  Config.t -> Design.t -> report
 
 val total_seconds : report -> float
 val pp_report : Format.formatter -> report -> unit

@@ -27,6 +27,8 @@ let cell_weights config design =
          max 1 (16 * max 1 counts.(1) / max 1 counts.(h)))
       design.Design.cells
 
+module Budget = Mcl_resilience.Budget
+
 type problem_cell = {
   cell : Cell.t;
   node : int;
@@ -35,7 +37,7 @@ type problem_cell = {
   dy : int;          (* y displacement in site units (constant here) *)
 }
 
-let build_and_solve config design =
+let build_and_solve ?budget config design =
   let fp = design.Design.floorplan in
   let segments =
     Segment.build ~boundary_gap:(Mgl.boundary_gap config design)
@@ -186,7 +188,11 @@ let build_and_solve config design =
    with
    | [] -> ()
    | errors -> Mcl_analysis.Diagnostic.fail errors);
-  let result = Mcf.solve ~solver:config.Config.solver g in
+  (* flow-pivot boundary: the solver mutates only its own tableau, so
+     a deadline raise mid-solve abandons the network untouched and the
+     placement stays exactly as it was *)
+  let on_pivot () = Budget.check budget in
+  let result = Mcf.solve ~solver:config.Config.solver ~on_pivot g in
   (g, vz, pcs, result)
 
 let objective config design =
@@ -220,10 +226,10 @@ let objective config design =
     !total +. float_of_int (n0 * (!max_pos + !max_neg))
   end
 
-let run config design =
+let run ?budget config design =
   let before = objective config design in
   let snapshot = Design.snapshot design in
-  let g, vz, pcs, result = build_and_solve config design in
+  let g, vz, pcs, result = build_and_solve ?budget config design in
   (match result.Mcf.status with
    | `Infeasible ->
      (* circulations are always feasible; this cannot happen *)

@@ -25,5 +25,8 @@ type stats = {
 }
 
 (** Optimize in place. The placement must be legal on entry; order,
-    rows, fences and legality are preserved. *)
-val run : Config.t -> Design.t -> stats
+    rows, fences and legality are preserved. [budget] is polled at
+    every solver pivot; expiry raises
+    {!Mcl_resilience.Budget.Deadline_exceeded} before any position has
+    been written back. *)
+val run : ?budget:Mcl_resilience.Budget.t -> Config.t -> Design.t -> stats

@@ -47,7 +47,7 @@ let run_jobs ~threads jobs =
       domains;
     match !first_exn with Some e -> raise e | None -> ()
 
-let run ?(disp_from = `Gp) config design =
+let run ?(disp_from = `Gp) ?budget config design =
   let segments =
     Segment.build ~boundary_gap:(Mgl.boundary_gap config design)
       ~respect_fences:config.Config.consider_fences design
@@ -77,6 +77,10 @@ let run ?(disp_from = `Gp) config design =
   let growths = ref 0 and fallbacks = ref 0 and legalized = ref 0 and rounds = ref 0 in
   let threads = max 1 config.Config.threads in
   while not (Queue.is_empty waiting) do
+    (* round boundary: the placement is consistent here, and every
+       window retry passes through this loop, so deadline cancellation
+       can never observe a half-applied batch *)
+    Mcl_resilience.Budget.check_now budget;
     incr rounds;
     (* L_p: greedy maximal batch of non-overlapping windows, in order *)
     let batch = ref [] and deferred = Queue.create () in
@@ -93,6 +97,10 @@ let run ?(disp_from = `Gp) config design =
     let results = Array.make (Array.length batch) None in
     let compute lo hi =
       for i = lo to hi - 1 do
+        (* per-candidate poll: cheap (atomic decrement), and raising
+           here is safe — the compute phase is read-only, and a raise
+           on a worker domain resurfaces from [run_jobs]'s join *)
+        Mcl_resilience.Budget.check budget;
         results.(i) <- Insertion.best ctx ~target:batch.(i).cell ~window:batch.(i).window
       done
     in

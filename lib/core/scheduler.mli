@@ -21,8 +21,14 @@ type stats = {
 }
 
 (** [run config design] legalizes like {!Mgl.run} but batch-scheduled;
-    [config.threads] > 1 computes each batch on that many domains. *)
-val run : ?disp_from:[ `Gp | `Current ] -> Config.t -> Design.t -> stats
+    [config.threads] > 1 computes each batch on that many domains.
+    [budget] is polled at round boundaries and per candidate
+    evaluation; expiry raises
+    {!Mcl_resilience.Budget.Deadline_exceeded} (from the calling
+    domain — worker raises are funnelled through the pool join). *)
+val run :
+  ?disp_from:[ `Gp | `Current ] -> ?budget:Mcl_resilience.Budget.t ->
+  Config.t -> Design.t -> stats
 
 (** [run_jobs ~threads jobs] drains [jobs] through a shared work queue
     on [min threads (length jobs)] domains; with [threads <= 1] (or a

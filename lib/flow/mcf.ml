@@ -7,7 +7,7 @@ type result = {
   total_cost : int;
 }
 
-let solve ?(solver = Network_simplex_block) g =
+let solve ?(solver = Network_simplex_block) ?on_pivot g =
   match solver with
   | Network_simplex_block | Network_simplex_first ->
     let pivot =
@@ -15,7 +15,7 @@ let solve ?(solver = Network_simplex_block) g =
       | Network_simplex_first -> Network_simplex.First_eligible
       | Network_simplex_block | Ssp -> Network_simplex.Block_search
     in
-    let r = Network_simplex.solve ~pivot g in
+    let r = Network_simplex.solve ~pivot ?on_pivot g in
     { status = (match r.Network_simplex.status with
         | Network_simplex.Optimal -> `Optimal
         | Network_simplex.Infeasible -> `Infeasible);
@@ -23,7 +23,7 @@ let solve ?(solver = Network_simplex_block) g =
       potential = Some r.Network_simplex.potential;
       total_cost = r.Network_simplex.total_cost }
   | Ssp ->
-    let r = Ssp.solve g in
+    let r = Ssp.solve ?on_pivot g in
     { status = (match r.Ssp.status with
         | Ssp.Optimal -> `Optimal
         | Ssp.Infeasible -> `Infeasible);

@@ -12,4 +12,6 @@ type result = {
   total_cost : int;
 }
 
-val solve : ?solver:solver -> Graph.t -> result
+(** [on_pivot] runs before every pivot (network simplex) or
+    augmentation (SSP); raising from it cancels the solve. *)
+val solve : ?solver:solver -> ?on_pivot:(unit -> unit) -> Graph.t -> result

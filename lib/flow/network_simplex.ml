@@ -293,7 +293,7 @@ let find_entering_block s next =
     !answer
   end
 
-let solve ?(pivot = Block_search) g =
+let solve ?(pivot = Block_search) ?(on_pivot = fun () -> ()) g =
   let s = init g in
   let next = ref 0 in
   let find =
@@ -305,7 +305,9 @@ let solve ?(pivot = Block_search) g =
   while !continue do
     match find s next with
     | None -> continue := false
-    | Some e -> pivot_iteration s e
+    | Some e ->
+      on_pivot ();
+      pivot_iteration s e
   done;
   let infeasible = ref false in
   for i = 0 to s.n - 1 do

@@ -22,7 +22,10 @@ type result = {
   total_cost : int;       (** cost of the returned flow *)
 }
 
-val solve : ?pivot:pivot_rule -> Graph.t -> result
+(** [on_pivot] (default a no-op) runs before every pivot iteration; a
+    caller may raise from it to cancel a long solve cooperatively (the
+    tableau is abandoned, no state escapes). *)
+val solve : ?pivot:pivot_rule -> ?on_pivot:(unit -> unit) -> Graph.t -> result
 
 (** [check_optimality g r] verifies flow conservation, capacity bounds
     and complementary slackness of a result; returns an error message

@@ -96,7 +96,7 @@ module Heap = struct
     end
 end
 
-let solve g =
+let solve ?(on_pivot = fun () -> ()) g =
   let n0 = Graph.num_nodes g in
   let a_src, a_dst, a_cap, a_cost = Graph.arcs_arrays g in
   let m = Array.length a_src in
@@ -148,6 +148,7 @@ let solve g =
     !t
   in
   while (not !infeasible) && total_excess () > 0 do
+    on_pivot ();
     Array.fill dist 0 n0 max_int;
     Array.fill pred_arc 0 n0 (-1);
     let heap = Heap.create () in

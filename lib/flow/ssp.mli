@@ -14,4 +14,6 @@ type result = {
   total_cost : int;
 }
 
-val solve : Graph.t -> result
+(** [on_pivot] (default a no-op) runs before every augmentation; a
+    caller may raise from it to cancel a long solve cooperatively. *)
+val solve : ?on_pivot:(unit -> unit) -> Graph.t -> result

@@ -1,0 +1,110 @@
+type t = {
+  fd : Unix.file_descr;
+  fsync : bool;
+  mutable seq : int;  (* last assigned *)
+  mutable closed : bool;
+}
+
+type record = { seq : int; payload : string }
+
+(* A record line is exactly [{"seq":N,"req":PAYLOAD}]; parsing is
+   plain string surgery so the library needs no JSON codec. *)
+let frame ~seq payload = Printf.sprintf {|{"seq":%d,"req":%s}|} seq payload
+
+let parse_line line =
+  let prefix = {|{"seq":|} in
+  let plen = String.length prefix in
+  let n = String.length line in
+  if n < plen + 2 || String.sub line 0 plen <> prefix || line.[n - 1] <> '}'
+  then None
+  else
+    match String.index_from_opt line plen ',' with
+    | None -> None
+    | Some comma ->
+      let mid = {|"req":|} in
+      let mlen = String.length mid in
+      if comma + 1 + mlen >= n || String.sub line (comma + 1) mlen <> mid then
+        None
+      else
+        (match int_of_string_opt (String.sub line plen (comma - plen)) with
+         | None -> None
+         | Some seq ->
+           let start = comma + 1 + mlen in
+           Some { seq; payload = String.sub line start (n - 1 - start) })
+
+(* Scan the journal text into (valid records, bytes of the valid
+   prefix, dropped trailing lines). Records must be consecutive from
+   [1]; the first bad or out-of-sequence line invalidates the rest
+   (after a torn write nothing beyond it is trustworthy). *)
+let scan text =
+  let n = String.length text in
+  let records = ref [] and valid_bytes = ref 0 and dropped = ref 0 in
+  let pos = ref 0 and expect = ref 1 and ok = ref true in
+  while !pos < n do
+    let nl = try String.index_from text !pos '\n' with Not_found -> n in
+    let line = String.sub text !pos (nl - !pos) in
+    let terminated = nl < n in
+    (if !ok && terminated then begin
+       match parse_line line with
+       | Some r when r.seq = !expect ->
+         records := r :: !records;
+         incr expect;
+         valid_bytes := nl + 1
+       | Some _ | None ->
+         ok := false;
+         if String.trim line <> "" then incr dropped
+     end
+     else if String.trim line <> "" then incr dropped);
+    pos := nl + 1
+  done;
+  (List.rev !records, !valid_bytes, !dropped)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let read ~path =
+  let records, _, dropped = scan (read_file path) in
+  (records, dropped)
+
+let open_ ?(fsync = true) ~path () =
+  let records, valid_bytes, _ = scan (read_file path) in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  (* repair the torn tail before appending: a partial last line would
+     otherwise concatenate with the next record and poison it *)
+  Unix.ftruncate fd valid_bytes;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let seq = match List.rev records with r :: _ -> r.seq | [] -> 0 in
+  { fd; fsync; seq; closed = false }
+
+let next_seq (t : t) = t.seq + 1
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let append t payload =
+  if t.closed then invalid_arg "Wal.append: closed journal";
+  if String.contains payload '\n' then
+    invalid_arg "Wal.append: payload contains a newline";
+  let seq = t.seq + 1 in
+  write_all t.fd (frame ~seq payload ^ "\n");
+  if t.fsync then Unix.fsync t.fd;
+  t.seq <- seq;
+  seq
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,46 @@
+(** Crash-safe NDJSON write-ahead log for the resident service.
+
+    The journal is a redo log of {e acknowledged} mutations: the
+    server appends one record per successfully applied mutating
+    request (load / legalize / eco), fsyncs, and only then writes the
+    response — so any mutation a client saw acknowledged survives a
+    crash, and a request the engine rolled back is never journaled
+    (replaying it would diverge).
+
+    One record per line:
+    {[ {"seq":<n>,"req":<request object>} ]}
+
+    [<request object>] is the engine's canonical re-encoding of what
+    was actually applied (a deadline-degraded legalize journals as an
+    explicit greedy legalize). Sequence numbers are consecutive from
+    1; {!open_} scans an existing journal, truncates a torn tail (a
+    crash can leave at most one partial last line) and continues from
+    the last valid record, so recover-then-keep-journaling uses one
+    file.
+
+    This module does no JSON parsing beyond the record frame: payloads
+    are opaque single-line strings, framed and recovered with plain
+    string operations, keeping the library dependency-free. *)
+
+type t
+
+type record = { seq : int; payload : string }
+
+(** [open_ ?fsync ~path ()] opens (creating if needed) the journal for
+    appending, after repairing a torn tail. [fsync] (default [true])
+    syncs every append; benchmarks may turn it off. *)
+val open_ : ?fsync:bool -> path:string -> unit -> t
+
+(** Next sequence number to be assigned. *)
+val next_seq : t -> int
+
+(** [append t payload] journals one record and returns its sequence
+    number. [payload] must be a single line (no ['\n']). *)
+val append : t -> string -> int
+
+val close : t -> unit
+
+(** [read ~path] returns the valid record prefix of the journal plus
+    the number of trailing lines dropped (torn tail, or garbage after
+    it). A missing file reads as empty. *)
+val read : path:string -> record list * int

@@ -2,23 +2,29 @@ open Mcl_netlist
 module Diagnostic = Mcl_analysis.Diagnostic
 module Lint = Mcl_analysis.Lint
 module Audit = Mcl_analysis.Audit
+module Budget = Mcl_resilience.Budget
+module Fault = Mcl_resilience.Fault
 
 type t = {
   cache : Cache.t;
   telemetry : Telemetry.t;
   config : Mcl.Config.t;
   threads : int;
+  faults : Fault.t option;
   mutable shutdown : bool;
 }
 
-let create ?(threads = 1) ~config () =
+let create ?(threads = 1) ?faults ~config () =
   { cache = Cache.create ();
     telemetry = Telemetry.create ();
     config;
     threads = max 1 threads;
+    faults;
     shutdown = false }
 
 let threads t = t.threads
+
+let telemetry t = t.telemetry
 
 let shutdown_requested t = t.shutdown
 
@@ -26,7 +32,26 @@ let shutdown_requested t = t.shutdown
 (* Small helpers                                                     *)
 (* ---------------------------------------------------------------- *)
 
-let now () = Unix.gettimeofday ()
+(* All engine timing goes through the (possibly skewed) fault clock so
+   Clock_skew surfaces everywhere a deadline or a metric is taken. *)
+let now t = Fault.now t.faults
+
+let budget_of t (req : Protocol.request) =
+  match req.Protocol.deadline_ms with
+  | None -> None
+  | Some ms ->
+    Some
+      (Budget.of_deadline_ms
+         ~clock:(fun () -> Fault.now t.faults)
+         ~received:req.Protocol.received ms)
+
+(* Forced stage failure: a deterministic, structured crash at a named
+   stage, exercising exactly the rollback path a real stage bug would. *)
+let inject_stage t ~stage =
+  if Fault.stage_fail t.faults ~stage then
+    Diagnostic.fail
+      [ Diagnostic.error ~code:"S390-injected-fault" ~stage
+          (Printf.sprintf "injected fault: stage %S forced to fail" stage) ]
 
 let mk_metrics ~req ~started ~finished ~cells ~disp ~coalesced =
   { Protocol.queue_wait_s = Float.max 0.0 (started -. req.Protocol.received);
@@ -59,6 +84,11 @@ let transactional (entry : Cache.entry) f =
 
 let error_of_exn ?metrics ~id ~op exn =
   match exn with
+  | Budget.Deadline_exceeded { elapsed_s; budget_s } ->
+    Protocol.error ?metrics ~id ~op ~code:"P430-deadline-exceeded"
+      (Printf.sprintf
+         "budget of %.0f ms exhausted after %.0f ms; design rolled back"
+         (budget_s *. 1000.) (elapsed_s *. 1000.))
   | Diagnostic.Failed diags ->
     let code =
       match diags with
@@ -132,7 +162,7 @@ let total_disp_rows design =
   /. float_of_int fp.Floorplan.row_height
 
 let exec_load t req ~key ~source =
-  let started = now () in
+  let started = now t in
   let id = req.Protocol.id in
   match
     (match source with
@@ -157,7 +187,7 @@ let exec_load t req ~key ~source =
        Ok (Mcl_gen.Generator.generate spec, "generated"))
   with
   | Error (code, message) ->
-    let finished = now () in
+    let finished = now t in
     Protocol.error ~id ~op:"load" ~code
       ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
       message
@@ -166,8 +196,8 @@ let exec_load t req ~key ~source =
     Cache.put t.cache
       { Cache.key; design; gp_hpwl; source = source_name; loaded_at = started;
         legalized = false; eco_count = 0; congest = None };
-    let finished = now () in
-    Protocol.ok ~id ~op:"load"
+    let finished = now t in
+    Protocol.ok ~id ~op:"load" ~wal:(Protocol.to_wire req ~greedy:false)
       ~metrics:
         (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
            ~disp:0.0 ~coalesced:1)
@@ -177,52 +207,93 @@ let exec_load t req ~key ~source =
            ("source", Json.String source_name);
            ("gp_hpwl", Json.Int gp_hpwl) ])
 
-let exec_legalize t (entry : Cache.entry) req =
-  let started = now () in
+let exec_legalize t (entry : Cache.entry) req ~greedy:greedy_op =
+  let started = now t in
   let id = req.Protocol.id in
   let design = entry.Cache.design in
   let before_disp = total_disp_rows design in
-  match transactional entry (fun () -> Mcl.Pipeline.run t.config design) with
-  | report ->
+  (* common tail of every successful variant (full, greedy, degraded):
+     refresh legality/congestion state, journal what was applied *)
+  let finish ~degraded mode_fields =
     let violations = Mcl_eval.Legality.check design in
     entry.Cache.legalized <- violations = [];
     (* a full pipeline moves most cells: rebuilding the tracked map is
        cheaper than diffing it move by move *)
     Option.iter Congestion.rebuild entry.Cache.congest;
-    let finished = now () in
-    let mgl = report.Mcl.Pipeline.mgl_stats in
+    if degraded then Telemetry.record_deadline t.telemetry ~degraded:true;
+    let finished = now t in
     Protocol.ok ~id ~op:"legalize"
+      ~wal:(Protocol.to_wire req ~greedy:(greedy_op || degraded))
       ~metrics:
         (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
            ~disp:(total_disp_rows design -. before_disp)
            ~coalesced:1)
       (Json.Obj
-         [ ("design", Json.String entry.Cache.key);
-           ("legal", Json.Bool (violations = []));
-           ("violations", Json.Int (List.length violations));
-           ("mgl",
-            Json.Obj
-              [ ("legalized", Json.Int mgl.Mcl.Scheduler.legalized);
-                ("rounds", Json.Int mgl.Mcl.Scheduler.rounds);
-                ("window_growths", Json.Int mgl.Mcl.Scheduler.window_growths);
-                ("fallbacks", Json.Int mgl.Mcl.Scheduler.fallbacks) ]);
-           ("matching_moved",
-            match report.Mcl.Pipeline.matching_stats with
-            | Some s -> Json.Int s.Mcl.Matching_opt.cells_moved
-            | None -> Json.Null);
-           ("seconds", Json.Float (Mcl.Pipeline.total_seconds report)) ])
-  | exception exn ->
-    let finished = now () in
+         ([ ("design", Json.String entry.Cache.key);
+            ("legal", Json.Bool (violations = []));
+            ("violations", Json.Int (List.length violations)) ]
+          @ mode_fields))
+  in
+  let fail ?(deadline = false) exn =
+    if deadline then Telemetry.record_deadline t.telemetry ~degraded:false;
+    let finished = now t in
     error_of_exn ~id ~op:"legalize" exn
       ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+  in
+  let run_greedy ~degraded () =
+    match
+      transactional entry (fun () -> Mcl.Baseline_greedy.run t.config design)
+    with
+    | stats ->
+      finish ~degraded
+        [ ("mode", Json.String "greedy");
+          ("degraded", Json.Bool degraded);
+          ("greedy_legalized", Json.Int stats.Mcl.Baseline_greedy.legalized) ]
+    | exception exn -> fail exn
+  in
+  if greedy_op then run_greedy ~degraded:false ()
+  else
+    let budget = budget_of t req in
+    match
+      transactional entry (fun () ->
+          let on_stage stage =
+            inject_stage t ~stage:(Mcl.Pipeline.stage_name stage)
+          in
+          Mcl.Pipeline.run ~on_stage ?budget t.config design)
+    with
+    | report ->
+      let mgl = report.Mcl.Pipeline.mgl_stats in
+      finish ~degraded:false
+        [ ("mode", Json.String "full");
+          ("mgl",
+           Json.Obj
+             [ ("legalized", Json.Int mgl.Mcl.Scheduler.legalized);
+               ("rounds", Json.Int mgl.Mcl.Scheduler.rounds);
+               ("window_growths", Json.Int mgl.Mcl.Scheduler.window_growths);
+               ("fallbacks", Json.Int mgl.Mcl.Scheduler.fallbacks) ]);
+          ("matching_moved",
+           match report.Mcl.Pipeline.matching_stats with
+           | Some s -> Json.Int s.Mcl.Matching_opt.cells_moved
+           | None -> Json.Null);
+          ("seconds", Json.Float (Mcl.Pipeline.total_seconds report)) ]
+    | exception (Budget.Deadline_exceeded _ as exn) ->
+      (match req.Protocol.fallback with
+       | Some `Greedy ->
+         (* degrade instead of failing: bounded-cost greedy answer,
+            flagged so the client knows quality was traded for the
+            deadline (the WAL journals the greedy form — replay must
+            reproduce the degraded state, not retry the full run) *)
+         run_greedy ~degraded:true ()
+       | None -> fail ~deadline:true exn)
+    | exception exn -> fail exn
 
 let exec_query t (entry : Cache.entry) req =
-  let started = now () in
+  let started = now t in
   let design = entry.Cache.design in
   let violations = Mcl_eval.Legality.check design in
   let score = Mcl_eval.Score.evaluate ~gp_hpwl:entry.Cache.gp_hpwl design in
   let congest = Congestion.summarize (congest_of t entry) in
-  let finished = now () in
+  let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"query"
     ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
     (Json.Obj
@@ -243,24 +314,24 @@ let exec_query t (entry : Cache.entry) req =
          ("score", Json.Float score.Mcl_eval.Score.score);
          ("congestion", congestion_json congest) ])
 
-let exec_lint (entry : Cache.entry) req =
-  let started = now () in
+let exec_lint t (entry : Cache.entry) req =
+  let started = now t in
   let report = Lint.run entry.Cache.design in
-  let finished = now () in
+  let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"lint"
     ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
     (Json.Obj
        [ ("report", report_json report);
          ("errors", Json.Bool (Diagnostic.has_errors report)) ])
 
-let exec_audit (entry : Cache.entry) req =
-  let started = now () in
+let exec_audit t (entry : Cache.entry) req =
+  let started = now t in
   let design = entry.Cache.design in
   let findings =
     Audit.legality ~stage:"service" design @ Audit.routability ~stage:"service" design
   in
   let report = Diagnostic.report ~design:design.Design.name findings in
-  let finished = now () in
+  let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"audit"
     ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
     (Json.Obj
@@ -268,7 +339,7 @@ let exec_audit (entry : Cache.entry) req =
          ("errors", Json.Bool (Diagnostic.has_errors report)) ])
 
 let exec_stats t req =
-  let started = now () in
+  let started = now t in
   let designs =
     Cache.entries t.cache
     |> List.map (fun (e : Cache.entry) ->
@@ -289,7 +360,7 @@ let exec_stats t req =
                    ("avg_overflow", Json.Float s.Congestion.avg_overflow);
                    ("overfull_bins", Json.Int s.Congestion.overfull) ]) ])
   in
-  let finished = now () in
+  let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"stats"
     ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
     (Json.Obj
@@ -304,23 +375,43 @@ let exec_stats t req =
    so a single bad request cannot poison its batch-mates; only the
    individually-failing requests report the error. *)
 let rec exec_eco_run t (entry : Cache.entry) run =
-  let started = now () in
+  let started = now t in
   let coalesced = List.length run in
   let design = entry.Cache.design in
   let payload req =
     match req.Protocol.op with
-    | Protocol.Eco { cells; targets; _ } -> (cells, targets)
+    | Protocol.Eco { cells; targets; greedy; _ } -> (cells, targets, greedy)
     | _ -> assert false
   in
   let merged_cells =
-    List.concat_map (fun (_, req) -> fst (payload req)) run
+    List.concat_map (fun (_, req) -> let c, _, _ = payload req in c) run
   in
   (* batch order: a later request's target for the same cell wins *)
   let merged_targets =
-    List.concat_map (fun (_, req) -> snd (payload req)) run
+    List.concat_map (fun (_, req) -> let _, tg, _ = payload req in tg) run
+  in
+  (* degraded mode only when every member opted in: a merged run must
+     not silently downgrade a request that asked for the full flow *)
+  let greedy_op =
+    List.for_all (fun (_, req) -> let _, _, g = payload req in g) run
+  in
+  (* under coalescing the tightest member deadline bounds the run; a
+     member-level expiry is then retried individually like any other
+     merged-run failure, so only the offender degrades or fails *)
+  let budget =
+    List.filter_map (fun (_, req) -> budget_of t req |> Option.map
+                        (fun b -> Budget.deadline b)) run
+    |> function
+    | [] -> None
+    | ds ->
+      Some
+        (Budget.create
+           ~clock:(fun () -> Fault.now t.faults)
+           ~deadline:(List.fold_left Float.min Float.infinity ds)
+           ())
   in
   let own_cells req =
-    let cells, targets = payload req in
+    let cells, targets, _ = payload req in
     List.sort_uniq compare (cells @ List.map fst targets)
   in
   (* snapshot only when a map is tracked: on success the map is patched
@@ -331,18 +422,37 @@ let rec exec_eco_run t (entry : Cache.entry) run =
     | Some _ -> Some (Design.snapshot design)
     | None -> None
   in
-  match
+  (* the run boundary is a cancellation point; the greedy path is the
+     degradation escape hatch and is never cancelled itself *)
+  let attempt ~greedy () =
     transactional entry (fun () ->
-        Mcl.Eco.relegalize ~targets:merged_targets t.config design
-          ~cells:merged_cells)
-  with
-  | stats ->
+        if not greedy then Budget.check_now budget;
+        inject_stage t ~stage:"eco";
+        Mcl.Eco.relegalize ~targets:merged_targets
+          ?budget:(if greedy then None else budget)
+          ~greedy t.config design ~cells:merged_cells)
+  in
+  let succeed ~degraded stats =
     (match (entry.Cache.congest, pos_before) with
      | Some m, Some before -> Congestion.sync m ~before
      | _ -> ());
-    let finished = now () in
-    List.map
-      (fun (i, req) ->
+    if degraded then Telemetry.record_deadline t.telemetry ~degraded:true;
+    (* the journal records the run as it was applied: one merged eco,
+       greedy iff the placement actually used the greedy path — replay
+       re-executes that single request and lands on identical bits *)
+    let wal_line =
+      let _, first_req = List.hd run in
+      Protocol.to_wire
+        { first_req with
+          Protocol.op =
+            Protocol.Eco
+              { key = entry.Cache.key; cells = merged_cells;
+                targets = merged_targets; greedy = greedy_op || degraded } }
+        ~greedy:(greedy_op || degraded)
+    in
+    let finished = now t in
+    List.mapi
+      (fun rank (i, req) ->
          entry.Cache.eco_count <- entry.Cache.eco_count + 1;
          let mine = own_cells req in
          let disp =
@@ -353,31 +463,53 @@ let rec exec_eco_run t (entry : Cache.entry) run =
          in
          ( i,
            Protocol.ok ~id:req.Protocol.id ~op:"eco"
+             ?wal:(if rank = 0 then Some wal_line else None)
              ~metrics:
                (mk_metrics ~req ~started ~finished ~cells:(List.length mine)
                   ~disp ~coalesced)
              (Json.Obj
-                [ ("design", Json.String entry.Cache.key);
-                  ("relegalized", Json.Int stats.Mcl.Eco.relegalized);
-                  ("window_growths", Json.Int stats.Mcl.Eco.window_growths);
-                  ("fallbacks", Json.Int stats.Mcl.Eco.fallbacks);
-                  ("total_disp_rows", Json.Float stats.Mcl.Eco.total_disp_rows);
-                  ("max_disp_rows", Json.Float stats.Mcl.Eco.max_disp_rows) ]) ))
+                ([ ("design", Json.String entry.Cache.key);
+                   ("relegalized", Json.Int stats.Mcl.Eco.relegalized);
+                   ("window_growths", Json.Int stats.Mcl.Eco.window_growths);
+                   ("fallbacks", Json.Int stats.Mcl.Eco.fallbacks);
+                   ("total_disp_rows", Json.Float stats.Mcl.Eco.total_disp_rows);
+                   ("max_disp_rows", Json.Float stats.Mcl.Eco.max_disp_rows) ]
+                 @ (if degraded then
+                      [ ("mode", Json.String "greedy");
+                        ("degraded", Json.Bool true) ]
+                    else []))) ))
       run
+  in
+  let fail ?(deadline = false) exn =
+    if deadline then Telemetry.record_deadline t.telemetry ~degraded:false;
+    let finished = now t in
+    List.map
+      (fun (i, req) ->
+         ( i,
+           error_of_exn ~id:req.Protocol.id ~op:"eco" exn
+             ~metrics:
+               (mk_metrics ~req ~started ~finished
+                  ~cells:(List.length (own_cells req))
+                  ~disp:0.0 ~coalesced) ))
+      run
+  in
+  match attempt ~greedy:greedy_op () with
+  | stats -> succeed ~degraded:false stats
   | exception exn ->
     if coalesced > 1 then
+      (* a merged run rolls back whole; retrying members one by one
+         isolates the offender (and lets each apply its own
+         deadline/fallback policy) *)
       List.concat_map (fun member -> exec_eco_run t entry [ member ]) run
-    else
-      let finished = now () in
-      List.map
-        (fun (i, req) ->
-           ( i,
-             error_of_exn ~id:req.Protocol.id ~op:"eco" exn
-               ~metrics:
-                 (mk_metrics ~req ~started ~finished
-                    ~cells:(List.length (own_cells req))
-                    ~disp:0.0 ~coalesced) ))
-        run
+    else (
+      match exn with
+      | Budget.Deadline_exceeded _
+        when (snd (List.hd run)).Protocol.fallback = Some `Greedy -> (
+          match attempt ~greedy:true () with
+          | stats -> succeed ~degraded:true stats
+          | exception exn -> fail exn)
+      | Budget.Deadline_exceeded _ -> fail ~deadline:true exn
+      | exn -> fail exn)
 
 (* ---------------------------------------------------------------- *)
 (* Batch execution                                                   *)
@@ -389,10 +521,10 @@ let exec_in_group t (entry : Cache.entry) unit_ =
   | `One (i, req) ->
     let resp =
       match req.Protocol.op with
-      | Protocol.Legalize _ -> exec_legalize t entry req
+      | Protocol.Legalize { greedy; _ } -> exec_legalize t entry req ~greedy
       | Protocol.Query _ -> exec_query t entry req
-      | Protocol.Lint _ -> exec_lint entry req
-      | Protocol.Audit _ -> exec_audit entry req
+      | Protocol.Lint _ -> exec_lint t entry req
+      | Protocol.Audit _ -> exec_audit t entry req
       | Protocol.Load _ | Protocol.Eco _ | Protocol.Stats | Protocol.Shutdown ->
         assert false
     in
@@ -412,15 +544,30 @@ let exec_group t (key, group) =
   | Some entry ->
     Batch.eco_runs group |> List.concat_map (exec_in_group t entry)
 
+(* Injected worker-domain death: the group's job never runs, its
+   design is untouched, and every member answers a structured error —
+   the contract a real domain crash must also satisfy. Decided on the
+   control thread so the fault stream stays deterministic regardless
+   of dispatch interleaving. *)
+let worker_death_responses group =
+  List.map
+    (fun (i, req) ->
+       ( i,
+         Protocol.error ~id:req.Protocol.id
+           ~op:(Protocol.op_name req.Protocol.op)
+           ~code:"S310-worker-death"
+           "injected fault: worker domain died before executing its group" ))
+    (snd group)
+
 let exec_global t (i, req) =
   let resp =
     match req.Protocol.op with
     | Protocol.Load { key; source } -> exec_load t req ~key ~source
     | Protocol.Stats -> exec_stats t req
     | Protocol.Shutdown ->
-      let started = now () in
+      let started = now t in
       t.shutdown <- true;
-      let finished = now () in
+      let finished = now t in
       Protocol.ok ~id:req.Protocol.id ~op:"shutdown"
         ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
         (Json.Obj [ ("stopping", Json.Bool true) ])
@@ -442,25 +589,34 @@ let execute t requests =
     (function
       | Batch.Global g -> file (exec_global t g)
       | Batch.Groups groups ->
+        (* worker-death fates are drawn here, on the control thread,
+           one per dispatched group — never from inside a domain *)
+        let doomed = List.map (fun _ -> Fault.worker_death t.faults) groups in
         if t.threads <= 1 || List.length groups <= 1 then
-          List.iter (fun g -> file (exec_group t g)) groups
+          List.iter2
+            (fun g dead ->
+               file (if dead then worker_death_responses g else exec_group t g))
+            groups doomed
         else begin
           (* independent designs: fan across the scheduler's domain
              pool; each job only touches its own design and its own
              response slots (telemetry/cache guard themselves) *)
           let results = Array.make (List.length groups) [] in
+          let doomed = Array.of_list doomed in
           Mcl.Scheduler.run_jobs ~threads:t.threads
             (List.mapi
                (fun gi g () ->
                   results.(gi) <-
-                    (try exec_group t g
-                     with exn ->
-                       List.map
-                         (fun (i, req) ->
-                            ( i,
-                              error_of_exn ~id:req.Protocol.id
-                                ~op:(Protocol.op_name req.Protocol.op) exn ))
-                         (snd g)))
+                    (if doomed.(gi) then worker_death_responses g
+                     else
+                       try exec_group t g
+                       with exn ->
+                         List.map
+                           (fun (i, req) ->
+                              ( i,
+                                error_of_exn ~id:req.Protocol.id
+                                  ~op:(Protocol.op_name req.Protocol.op) exn ))
+                           (snd g)))
                groups);
           Array.iter file results
         end)
@@ -476,9 +632,29 @@ let execute t requests =
            ~code:"P500-internal-error" "request was not executed")
     responses
 
-let handle_line ?now:(stamp = Unix.gettimeofday ()) t line =
+let handle_line ?now:stamp t line =
+  let stamp = match stamp with Some s -> s | None -> now t in
   match Protocol.parse ~received:stamp ~default_id:"req-0" line with
   | Error e -> Protocol.to_line (Protocol.error_of_parse e)
   | Ok req ->
     let resp = (execute t [| req |]).(0) in
     Protocol.to_line resp
+
+(* ---------------------------------------------------------------- *)
+(* State fingerprint                                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* Everything replay must reproduce, nothing it legitimately cannot:
+   positions + anchors + the mutation-tracking flags, but no wall
+   clock ([loaded_at]) and no lazily-built congestion maps (queries
+   are not journaled). Equality of fingerprints is the recovery tests'
+   definition of "bit-identical state". *)
+let state_fingerprint t =
+  let repr =
+    Cache.entries t.cache
+    |> List.map (fun (e : Cache.entry) ->
+        ( e.Cache.key, e.Cache.source, e.Cache.gp_hpwl, e.Cache.legalized,
+          Design.snapshot e.Cache.design,
+          Design.snapshot_anchors e.Cache.design ))
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string repr []))

@@ -21,16 +21,41 @@
       as it was — the error response carries the diagnostics, the
       process never dies.
 
+    Resilience semantics:
+
+    - a request with ["deadline_ms"] runs under a {!Mcl_resilience.Budget}
+      polled at the flow's cooperative cancellation points; expiry rolls
+      back and answers [P430-deadline-exceeded], or — with
+      ["fallback":"greedy"] — re-runs the mutation in bounded-cost
+      greedy mode and answers with ["degraded": true];
+    - a coalesced eco run executes under the {e tightest} member
+      deadline; on expiry the members retry individually so only the
+      offender degrades or fails;
+    - successful mutations carry their canonical WAL line
+      ({!Protocol.to_wire}, with the greedy flag as {e applied}) in
+      [response.wal] for the server to journal before answering;
+    - an armed {!Mcl_resilience.Fault} plan drives stage failures
+      ([S390-injected-fault] at "mgl"/"matching"/"row-order"/"eco"),
+      worker-domain deaths ([S310-worker-death], decided on the
+      control thread, the group's design untouched), and clock skew
+      (all engine timing goes through {!Mcl_resilience.Fault.now}).
+
     Responses come back in request order. *)
 
 type t
 
-(** [create ?threads ~config ()] — [threads] sizes the dispatch pool
-    (default 1 = everything on the control thread); [config] is the
-    base legalization config used by [legalize] and [eco]. *)
-val create : ?threads:int -> config:Mcl.Config.t -> unit -> t
+(** [create ?threads ?faults ~config ()] — [threads] sizes the
+    dispatch pool (default 1 = everything on the control thread);
+    [faults] arms a fault-injection plan (default: none, all hooks
+    free); [config] is the base legalization config used by
+    [legalize] and [eco]. *)
+val create :
+  ?threads:int -> ?faults:Mcl_resilience.Fault.t -> config:Mcl.Config.t ->
+  unit -> t
 
 val threads : t -> int
+
+val telemetry : t -> Telemetry.t
 
 (** Execute one batch; [responses.(i)] answers [requests.(i)]. *)
 val execute : t -> Protocol.request array -> Protocol.response array
@@ -42,3 +67,12 @@ val handle_line : ?now:float -> t -> string -> string
 
 (** True once a [shutdown] request has been executed. *)
 val shutdown_requested : t -> bool
+
+(** Digest of the resident state a WAL replay must reproduce: per
+    design (sorted by key) the source, legalized flag, cell positions
+    and GP anchors — but not wall-clock fields, the lazily-built
+    congestion maps (queries are not journaled), or the eco request
+    counter (coalescing folds N acknowledged members into one
+    journaled run). Two engines with equal fingerprints hold
+    bit-identical placements. *)
+val state_fingerprint : t -> string

@@ -7,8 +7,13 @@ type source =
 
 type op =
   | Load of { key : string; source : source }
-  | Legalize of { key : string }
-  | Eco of { key : string; cells : int list; targets : (int * (int * int)) list }
+  | Legalize of { key : string; greedy : bool }
+  | Eco of {
+      key : string;
+      cells : int list;
+      targets : (int * (int * int)) list;
+      greedy : bool;
+    }
   | Query of { key : string }
   | Lint of { key : string }
   | Audit of { key : string }
@@ -19,6 +24,11 @@ type request = {
   id : string;
   op : op;
   received : float;
+  deadline_ms : float option;
+      (** wall-clock budget, measured from [received]; expiry answers
+          P430 (or the degraded fallback) with the design rolled back *)
+  fallback : [ `Greedy ] option;
+      (** what to answer with instead of P430 when the budget expires *)
 }
 
 let op_name = function
@@ -32,10 +42,15 @@ let op_name = function
   | Shutdown -> "shutdown"
 
 let design_key = function
-  | Legalize { key } | Eco { key; _ } | Query { key } | Lint { key }
+  | Legalize { key; _ } | Eco { key; _ } | Query { key } | Lint { key }
   | Audit { key } ->
     Some key
   | Load _ | Stats | Shutdown -> None
+
+(* Ops the WAL journals: everything that changes resident state. *)
+let mutating = function
+  | Load _ | Legalize _ | Eco _ -> true
+  | Query _ | Lint _ | Audit _ | Stats | Shutdown -> false
 
 type parse_error = { err_id : string; code : string; message : string }
 
@@ -97,25 +112,48 @@ let decode_targets j =
       items
   | Some _ -> bad "P402-bad-request" "\"targets\" must be a list"
 
+let decode_greedy j =
+  match Json.member "greedy" j with
+  | None -> false
+  | Some v ->
+    (match Json.to_bool v with
+     | Some b -> b
+     | None -> bad "P402-bad-request" "\"greedy\" must be a boolean")
+
 let decode_op j =
   match Json.get_string "op" j with
   | None -> bad "P402-bad-request" "missing \"op\" field"
   | Some "load" ->
     let key = require_design j in
     Load { key; source = decode_source j }
-  | Some "legalize" -> Legalize { key = require_design j }
+  | Some "legalize" ->
+    Legalize { key = require_design j; greedy = decode_greedy j }
   | Some "eco" ->
     let key = require_design j in
     let cells = decode_cells j and targets = decode_targets j in
     if cells = [] && targets = [] then
       bad "P402-bad-request" "eco needs \"cells\" and/or \"targets\"";
-    Eco { key; cells; targets }
+    Eco { key; cells; targets; greedy = decode_greedy j }
   | Some "query" -> Query { key = require_design j }
   | Some "lint" -> Lint { key = require_design j }
   | Some "audit" -> Audit { key = require_design j }
   | Some "stats" -> Stats
   | Some "shutdown" -> Shutdown
   | Some other -> bad "P403-unknown-op" (Printf.sprintf "unknown op %S" other)
+
+let decode_deadline j =
+  match Json.member "deadline_ms" j with
+  | None -> None
+  | Some v ->
+    (match Json.to_float v with
+     | Some ms when ms > 0.0 -> Some ms
+     | _ -> bad "P402-bad-request" "\"deadline_ms\" must be a positive number")
+
+let decode_fallback j =
+  match Json.member "fallback" j with
+  | None -> None
+  | Some (Json.String "greedy") -> Some `Greedy
+  | Some _ -> bad "P402-bad-request" "\"fallback\" must be \"greedy\""
 
 let parse ~received ~default_id line =
   match Json.parse line with
@@ -125,13 +163,60 @@ let parse ~received ~default_id line =
         message = "malformed JSON: " ^ msg }
   | Ok (Json.Obj _ as j) ->
     let id = Option.value (Json.get_string "id" j) ~default:default_id in
-    (match decode_op j with
-     | op -> Ok { id; op; received }
+    (match
+       let op = decode_op j in
+       let deadline_ms = decode_deadline j in
+       let fallback = decode_fallback j in
+       { id; op; received; deadline_ms; fallback }
+     with
+     | req -> Ok req
      | exception Bad (code, message) -> Error { err_id = id; code; message })
   | Ok _ ->
     Error
       { err_id = default_id; code = "P401-parse-error";
         message = "request must be a JSON object" }
+
+(* ---------------------------------------------------------------- *)
+(* Canonical re-encoding (WAL journaling)                            *)
+(* ---------------------------------------------------------------- *)
+
+(* The journal records what was *applied*, not what was asked: a
+   deadline-degraded request journals with [greedy = true] forced and
+   with deadline/fallback stripped, so replay is deterministic and
+   reproduces the acknowledged state exactly. *)
+let to_wire req ~greedy =
+  let opt name = function None -> [] | Some v -> [ (name, v) ] in
+  let fields =
+    match req.op with
+    | Load { key; source } ->
+      [ ("op", Json.String "load"); ("design", Json.String key) ]
+      @ (match source with
+         | Suite { name; scale } ->
+           [ ("suite", Json.String name); ("scale", Json.Float scale) ]
+         | File path -> [ ("path", Json.String path) ]
+         | Generated { cells; seed } ->
+           opt "cells" (Option.map (fun c -> Json.Int c) cells)
+           @ opt "seed" (Option.map (fun s -> Json.Int s) seed))
+    | Legalize { key; greedy = g } ->
+      [ ("op", Json.String "legalize"); ("design", Json.String key) ]
+      @ (if g || greedy then [ ("greedy", Json.Bool true) ] else [])
+    | Eco { key; cells; targets; greedy = g } ->
+      [ ("op", Json.String "eco"); ("design", Json.String key) ]
+      @ (if cells = [] then []
+         else [ ("cells", Json.List (List.map (fun c -> Json.Int c) cells)) ])
+      @ (if targets = [] then []
+         else
+           [ ("targets",
+              Json.List
+                (List.map
+                   (fun (id, (x, y)) ->
+                      Json.List [ Json.Int id; Json.List [ Json.Int x; Json.Int y ] ])
+                   targets)) ])
+      @ (if g || greedy then [ ("greedy", Json.Bool true) ] else [])
+    | Query _ | Lint _ | Audit _ | Stats | Shutdown ->
+      invalid_arg "Protocol.to_wire: non-mutating op"
+  in
+  Json.to_string (Json.Obj (("id", Json.String req.id) :: fields))
 
 (* ---------------------------------------------------------------- *)
 (* Responses                                                         *)
@@ -156,14 +241,15 @@ type response = {
   resp_op : string;
   result : (Json.t, error_body) result;
   metrics : req_metrics option;
+  wal : string option;
 }
 
-let ok ?metrics ~id ~op result =
-  { resp_id = id; resp_op = op; result = Ok result; metrics }
+let ok ?metrics ?wal ~id ~op result =
+  { resp_id = id; resp_op = op; result = Ok result; metrics; wal }
 
 let error ?(diagnostics = []) ?metrics ~id ~op ~code message =
   { resp_id = id; resp_op = op;
-    result = Error { code; message; diagnostics }; metrics }
+    result = Error { code; message; diagnostics }; metrics; wal = None }
 
 let error_of_parse e =
   error ~id:e.err_id ~op:"?" ~code:e.code e.message

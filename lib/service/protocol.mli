@@ -15,7 +15,11 @@
      "cells": 500, "seed": 7,              // generated default spec
      // eco payload:
      "cells": [1,2,3],                     // cell ids to re-insert
-     "targets": [[7,[120,14]], ...]}       // (id, (x, y)) anchor moves
+     "targets": [[7,[120,14]], ...],       // (id, (x, y)) anchor moves
+     // resilience (any mutating op):
+     "greedy": true,                       // bounded-cost greedy mode
+     "deadline_ms": 250,                   // budget from receipt; P430 on expiry
+     "fallback": "greedy"}                 // degrade instead of P430
     v}
 
     Response object:
@@ -47,8 +51,15 @@ type source =
 
 type op =
   | Load of { key : string; source : source }
-  | Legalize of { key : string }
-  | Eco of { key : string; cells : int list; targets : (int * (int * int)) list }
+  | Legalize of { key : string; greedy : bool }
+      (** [greedy] answers with the bounded-cost Tetris-style baseline
+          instead of the full pipeline *)
+  | Eco of {
+      key : string;
+      cells : int list;
+      targets : (int * (int * int)) list;
+      greedy : bool;  (** first-fit re-insertion, bounded cost *)
+    }
   | Query of { key : string }
   | Lint of { key : string }
   | Audit of { key : string }
@@ -59,6 +70,11 @@ type request = {
   id : string;
   op : op;
   received : float;  (** wall-clock at read time; basis for queue-wait *)
+  deadline_ms : float option;
+      (** wall-clock budget, measured from [received]; expiry answers
+          P430 (or the degraded fallback) with the design rolled back *)
+  fallback : [ `Greedy ] option;
+      (** what to answer with instead of P430 when the budget expires *)
 }
 
 val op_name : op -> string
@@ -68,6 +84,9 @@ val op_name : op -> string
     the batch planner serializes the latter. *)
 val design_key : op -> string option
 
+(** True for ops the WAL journals ([Load], [Legalize], [Eco]). *)
+val mutating : op -> bool
+
 (** Parse failure, already shaped like a response. *)
 type parse_error = { err_id : string; code : string; message : string }
 
@@ -75,6 +94,14 @@ type parse_error = { err_id : string; code : string; message : string }
     [default_id] is used when the request carries no ["id"]. *)
 val parse :
   received:float -> default_id:string -> string -> (request, parse_error) result
+
+(** [to_wire req ~greedy] re-encodes a mutating request as the
+    canonical single-line JSON the WAL journals: what was {e applied},
+    with deadline/fallback stripped and, when [greedy] (the request
+    was answered by the degraded fallback), the greedy flag forced —
+    so replay is deterministic and reproduces the acknowledged state.
+    Raises [Invalid_argument] on non-mutating ops. *)
+val to_wire : request -> greedy:bool -> string
 
 (** Per-request observability, emitted as the response ["metrics"]. *)
 type req_metrics = {
@@ -96,9 +123,14 @@ type response = {
   resp_op : string;
   result : (Json.t, error_body) result;
   metrics : req_metrics option;
+  wal : string option;
+      (** when set, the canonical {!to_wire} line the WAL must journal
+          (fsync'd) before this response is written; never serialized *)
 }
 
-val ok : ?metrics:req_metrics -> id:string -> op:string -> Json.t -> response
+val ok :
+  ?metrics:req_metrics -> ?wal:string -> id:string -> op:string -> Json.t ->
+  response
 
 val error :
   ?diagnostics:Mcl_analysis.Diagnostic.t list -> ?metrics:req_metrics ->

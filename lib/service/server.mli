@@ -5,24 +5,72 @@
 
     Batching happens at the read edge: after blocking for the first
     line, the reader greedily drains whatever further complete lines
-    are already available (up to [max_batch]) and hands them to the
+    are already available and hands up to [max_batch] of them to the
     engine as one batch — that is what lets the engine coalesce
     adjacent eco requests and fan independent designs across domains
     under real concurrent load, while an interactive client typing one
-    line at a time still gets one-in/one-out behavior. *)
+    line at a time still gets one-in/one-out behavior.
 
-(** [serve_fd engine ~max_batch ~in_fd ~out] pumps requests from
-    [in_fd] until EOF or a [shutdown] request; responses are written
-    and flushed per batch. Returns [true] when stopped by [shutdown]
-    (the socket accept loop uses this to stop listening). *)
+    Resilience at the IO edge:
+
+    - admitted-but-unexecuted requests live in a bounded pending queue
+      ([max_pending]); a line arriving past the bound is answered
+      [P429-overloaded] immediately instead of queueing without bound;
+    - a request line longer than [max_line] bytes (default 1 MiB) is
+      discarded and answered [P400-line-too-long] — per-connection
+      memory is capped;
+    - reads and writes run through EINTR/partial-transfer-safe loops
+      over raw fds; the optional [faults] plan injects short reads,
+      short writes, EINTR storms and connection resets at exactly
+      those sites;
+    - with [wal] set, every acknowledged mutation is journaled and
+      fsync'd {e before} its response line is written: a response the
+      client has read implies the mutation already survives a crash
+      (see {!Mcl_resilience.Wal}). *)
+
+(** [serve_fd engine ?wal ?faults ?max_pending ?max_line ~max_batch
+    ~in_fd ~out_fd ()] pumps requests from [in_fd] until EOF or a
+    [shutdown] request; responses are written per batch. Returns
+    [true] when stopped by [shutdown] (the socket accept loop uses
+    this to stop listening). *)
 val serve_fd :
-  Engine.t -> max_batch:int -> in_fd:Unix.file_descr -> out:out_channel -> bool
+  Engine.t -> ?wal:Mcl_resilience.Wal.t -> ?faults:Mcl_resilience.Fault.t ->
+  ?max_pending:int -> ?max_line:int -> max_batch:int ->
+  in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> unit -> bool
 
 (** stdin/stdout loop. *)
-val serve_stdio : Engine.t -> max_batch:int -> unit
+val serve_stdio :
+  Engine.t -> ?wal:Mcl_resilience.Wal.t -> ?faults:Mcl_resilience.Fault.t ->
+  ?max_pending:int -> ?max_line:int -> max_batch:int -> unit -> unit
 
-(** [serve_socket engine ~max_batch ~path] listens on a Unix-domain
+(** [serve_socket engine ~max_batch ~path ()] listens on a Unix-domain
     socket (an existing socket file at [path] is replaced), serving
     connections sequentially until one of them issues [shutdown]; the
-    socket file is removed on exit. *)
-val serve_socket : Engine.t -> max_batch:int -> path:string -> unit
+    socket file is removed on exit. SIGPIPE is ignored for the
+    duration and a client disconnecting mid-conversation (EPIPE /
+    ECONNRESET / reset mid-read) closes that connection only — the
+    loop keeps accepting. *)
+val serve_socket :
+  Engine.t -> ?wal:Mcl_resilience.Wal.t -> ?faults:Mcl_resilience.Fault.t ->
+  ?max_pending:int -> ?max_line:int -> max_batch:int -> path:string -> unit ->
+  unit
+
+(** [execute_and_journal engine ?wal requests] is {!Engine.execute}
+    plus the journal step ([append] + fsync of every acknowledged
+    mutation, in batch order) without any socket IO — the unit the
+    recovery tests drive directly. *)
+val execute_and_journal :
+  Engine.t -> ?wal:Mcl_resilience.Wal.t -> Protocol.request array ->
+  Protocol.response array
+
+type recovery = {
+  replayed : int;  (** journaled mutations re-applied successfully *)
+  failed : int;  (** records that no longer parse or re-apply *)
+  dropped_lines : int;  (** torn tail / trailing garbage truncated *)
+}
+
+(** [recover engine ~path] replays the journal at [path] into a fresh
+    engine, restoring the pre-crash resident state (see
+    {!Mcl_resilience.Wal} for why replay is deterministic). Arm fault
+    plans only {e after} recovery. A missing file recovers as empty. *)
+val recover : Engine.t -> path:string -> recovery

@@ -9,6 +9,12 @@ type t = {
   mutable eco_coalesced : int;
   mutable cells_touched : int;
   mutable busy_s : float;
+  mutable sheds : int;
+  mutable queue_depth_max : int;
+  mutable deadline_exceeded : int;
+  mutable degraded : int;
+  mutable wal_appends : int;
+  mutable wal_replayed : int;
 }
 
 let create () =
@@ -21,7 +27,13 @@ let create () =
     errors = 0;
     eco_coalesced = 0;
     cells_touched = 0;
-    busy_s = 0.0 }
+    busy_s = 0.0;
+    sheds = 0;
+    queue_depth_max = 0;
+    deadline_exceeded = 0;
+    degraded = 0;
+    wal_appends = 0;
+    wal_replayed = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -42,6 +54,21 @@ let record_batch t ~size =
       t.batches <- t.batches + 1;
       t.max_batch <- max t.max_batch size)
 
+let record_shed t = locked t (fun () -> t.sheds <- t.sheds + 1)
+
+let record_queue_depth t ~depth =
+  locked t (fun () -> t.queue_depth_max <- max t.queue_depth_max depth)
+
+let record_deadline t ~degraded =
+  locked t (fun () ->
+      t.deadline_exceeded <- t.deadline_exceeded + 1;
+      if degraded then t.degraded <- t.degraded + 1)
+
+let record_wal_append t = locked t (fun () -> t.wal_appends <- t.wal_appends + 1)
+
+let record_wal_replay t ~count =
+  locked t (fun () -> t.wal_replayed <- t.wal_replayed + count)
+
 type snapshot = {
   uptime_s : float;
   batches : int;
@@ -52,6 +79,12 @@ type snapshot = {
   eco_coalesced : int;
   cells_touched : int;
   busy_s : float;
+  sheds : int;
+  queue_depth_max : int;
+  deadline_exceeded : int;
+  degraded : int;
+  wal_appends : int;
+  wal_replayed : int;
 }
 
 let snapshot t =
@@ -66,7 +99,13 @@ let snapshot t =
         errors = t.errors;
         eco_coalesced = t.eco_coalesced;
         cells_touched = t.cells_touched;
-        busy_s = t.busy_s })
+        busy_s = t.busy_s;
+        sheds = t.sheds;
+        queue_depth_max = t.queue_depth_max;
+        deadline_exceeded = t.deadline_exceeded;
+        degraded = t.degraded;
+        wal_appends = t.wal_appends;
+        wal_replayed = t.wal_replayed })
 
 let to_json t =
   let s = snapshot t in
@@ -80,4 +119,10 @@ let to_json t =
       ("errors", Json.Int s.errors);
       ("eco_coalesced", Json.Int s.eco_coalesced);
       ("cells_touched", Json.Int s.cells_touched);
-      ("busy_s", Json.Float s.busy_s) ]
+      ("busy_s", Json.Float s.busy_s);
+      ("sheds", Json.Int s.sheds);
+      ("queue_depth_max", Json.Int s.queue_depth_max);
+      ("deadline_exceeded", Json.Int s.deadline_exceeded);
+      ("degraded", Json.Int s.degraded);
+      ("wal_appends", Json.Int s.wal_appends);
+      ("wal_replayed", Json.Int s.wal_replayed) ]

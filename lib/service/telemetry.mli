@@ -18,6 +18,24 @@ val record :
 (** Account one incoming batch of [size] requests. *)
 val record_batch : t -> size:int -> unit
 
+(** {2 Resilience counters} *)
+
+(** One request shed by admission control (P429). *)
+val record_shed : t -> unit
+
+(** Observed pending-queue depth; the snapshot keeps the maximum. *)
+val record_queue_depth : t -> depth:int -> unit
+
+(** One deadline expiry; [degraded] when the request was answered with
+    the greedy fallback instead of P430. *)
+val record_deadline : t -> degraded:bool -> unit
+
+(** One journaled (fsync'd and acknowledged) mutation. *)
+val record_wal_append : t -> unit
+
+(** [count] mutations re-applied during [--recover] replay. *)
+val record_wal_replay : t -> count:int -> unit
+
 type snapshot = {
   uptime_s : float;
   batches : int;
@@ -28,6 +46,12 @@ type snapshot = {
   eco_coalesced : int;  (** eco requests that piggybacked on a merged run *)
   cells_touched : int;
   busy_s : float;  (** summed service time across requests *)
+  sheds : int;  (** requests rejected by admission control (P429) *)
+  queue_depth_max : int;  (** deepest pending queue observed *)
+  deadline_exceeded : int;  (** budgets that expired (P430 or degraded) *)
+  degraded : int;  (** deadline expiries answered by the greedy fallback *)
+  wal_appends : int;
+  wal_replayed : int;
 }
 
 val snapshot : t -> snapshot
