@@ -19,6 +19,10 @@ type t
 
 val create : unit -> t
 
+(** Empty the curve, keeping its buffers, so one [t] can be refilled
+    per candidate evaluation without allocating. *)
+val reset : t -> unit
+
 (** V-shaped cost [weight * |x - gp|] of the target cell itself. *)
 val add_target : t -> weight:float -> gp:int -> unit
 
@@ -36,6 +40,18 @@ val eval : t -> int -> float
     lines 3-9). Raises [Invalid_argument] if [hi < lo]. *)
 val minimize : t -> lo:int -> hi:int -> int * float
 
+(** [minimize_many t ranges] minimizes over several [(lo, hi)] ranges
+    reusing one in-place sort of the event set — the per-range result
+    is identical to calling {!minimize} on that range. Raises
+    [Invalid_argument] on a range with [hi < lo]. *)
+val minimize_many : t -> (int * int) array -> (int * float) array
+
 (** Breakpoint x positions within (lo, hi), for tests and the Fig. 4
     bench rendering. *)
 val breakpoints : t -> lo:int -> hi:int -> int list
+
+(** Current buffer capacities in words, for scratch-arena high-water
+    accounting. *)
+val int_words : t -> int
+
+val float_words : t -> int

@@ -7,9 +7,11 @@ type stats = {
   fallbacks : int;
   total_disp_rows : float;
   max_disp_rows : float;
+  kernel : Arena.counters;
 }
 
-let relegalize ?(targets = []) ?budget ?(greedy = false) config design ~cells =
+let relegalize ?(targets = []) ?budget ?(greedy = false) ?kernel config design
+    ~cells =
   let eco = List.sort_uniq compare (cells @ List.map fst targets) in
   (* validate before touching any anchor, so a rejected request leaves
      the design bit-identical (the service relies on this) *)
@@ -64,7 +66,7 @@ let relegalize ?(targets = []) ?budget ?(greedy = false) config design ~cells =
       eco
     |> Array.of_list
   in
-  let s = Mgl.run_with_ctx ?budget ~greedy ctx ~order in
+  let s = Mgl.run_with_ctx ?budget ~greedy ?kernel ctx ~order in
   let total_disp, max_disp =
     List.fold_left
       (fun (total, mx) id ->
@@ -76,4 +78,5 @@ let relegalize ?(targets = []) ?budget ?(greedy = false) config design ~cells =
     window_growths = s.Mgl.window_growths;
     fallbacks = s.Mgl.fallbacks;
     total_disp_rows = total_disp;
-    max_disp_rows = max_disp }
+    max_disp_rows = max_disp;
+    kernel = s.Mgl.kernel }

@@ -31,6 +31,8 @@ type stats = {
           anchors, in row heights (quality signal for service metrics
           and the ECO-trace bench) *)
   max_disp_rows : float;  (** worst single re-inserted cell *)
+  kernel : Arena.counters;
+      (** insertion-kernel counters for this ECO (see {!Mgl.stats}) *)
 }
 
 (** [relegalize ?targets config design ~cells] re-inserts [cells]
@@ -47,4 +49,5 @@ type stats = {
     [budget]). *)
 val relegalize :
   ?targets:(int * (int * int)) list -> ?budget:Mcl_resilience.Budget.t ->
-  ?greedy:bool -> Config.t -> Design.t -> cells:int list -> stats
+  ?greedy:bool -> ?kernel:[ `Arena | `Reference ] ->
+  Config.t -> Design.t -> cells:int list -> stats

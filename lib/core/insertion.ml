@@ -11,11 +11,26 @@ type ctx = {
   congest : Mcl_congest.Congestion.t option;
   disp_from : [ `Gp | `Current ];
   weights : float array;
+  utilization : float;
+  arena : Arena.t;
 }
 
-let make_ctx ?(disp_from = `Gp) ?congest config design ~placement ~segments
-    ~routability =
+let utilization design =
+  let fp = design.Design.floorplan in
+  let die_area = fp.Floorplan.num_sites * fp.Floorplan.num_rows in
+  let used =
+    Array.fold_left
+      (fun acc (c : Cell.t) ->
+         acc + (Design.width design c * Design.height design c))
+      0 design.Design.cells
+  in
+  float_of_int used /. float_of_int (max 1 die_area)
+
+let make_ctx ?(disp_from = `Gp) ?congest ?arena config design ~placement
+    ~segments ~routability =
+  let arena = match arena with Some a -> a | None -> Arena.create () in
   { design; placement; segments; config; routability; congest; disp_from;
+    utilization = utilization design; arena;
     weights =
       (match config.Config.objective with
        | Config.Total -> Array.make (Design.num_cells design) 1.0
@@ -555,7 +570,10 @@ let evaluate ctx ec ~cut ~target =
 
 let parity_ok h y0 = h mod 2 = 1 || y0 mod 2 = 0
 
-let best ctx ~target ~window =
+(* The original cons-list evaluation path, kept compilable as the
+   oracle for the arena kernel below: the randomized equivalence suite
+   asserts [best] below is bit-identical to this. *)
+let best_reference ctx ~target ~window =
   let design = ctx.design in
   let tgt = design.Design.cells.(target) in
   let h = Design.height design tgt in
@@ -636,6 +654,828 @@ let best ctx ~target ~window =
           (common_intervals wd ~y0 ~h)
     done;
     !best_cand
+  end
+
+(* ================================================================== *)
+(* Arena kernel: the allocation-lean evaluation path                    *)
+(*                                                                      *)
+(* Same algorithm as the reference path above, over flat scratch        *)
+(* buffers (Arena.t) instead of Hashtbls and cons lists, with binary    *)
+(* search for sub-span lookup and a cost lower bound that skips whole   *)
+(* cut evaluations. Bit-identical to [best_reference]: every float      *)
+(* operation happens in the same order on the same values.              *)
+(* ================================================================== *)
+
+module I = Arena.Ibuf
+module F = Arena.Fbuf
+
+(* last index k in [base, limit) with keys.(k) <= x, or base - 1 *)
+let bsearch_le (keys : int array) base limit x =
+  let lo = ref base and hi = ref limit in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if keys.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo - 1
+
+(* first p in [base, limit) with cur.(locs.(p)) >= x (row locs are
+   x-sorted, so this brackets a sub-span's member range) *)
+let locs_lower_bound (locs : int array) (cur : int array) base limit x =
+  let lo = ref base and hi = ref limit in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if cur.(locs.(mid)) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Fill the arena with this window's data; returns the local count.
+   Mirrors [build_window_data] exactly: same discovery order, same
+   clipping and obstacle-absorption rules. The [is_local] Hashtbl
+   becomes an epoch-stamped mark table; sub-spans, per-row locals and
+   occupancy become flat arrays with prefix offsets. *)
+let build_window_arena ctx (a : Arena.t) ~target ~(window : Rect.t) =
+  let design = ctx.design in
+  let cells = design.Design.cells in
+  let tgt = cells.(target) in
+  let reg = Segment.region_of ctx.segments tgt in
+  let row_lo = window.Rect.y.Interval.lo
+  and row_hi = window.Rect.y.Interval.hi in
+  let win_lo = window.Rect.x.Interval.lo
+  and win_hi = window.Rect.x.Interval.hi in
+  let clip_pad =
+    if ctx.config.Config.consider_routability then
+      let t = design.Design.floorplan.Floorplan.edge_spacing in
+      Array.fold_left (fun acc r -> Array.fold_left max acc r) 0 t
+    else 0
+  in
+  let nrows = max 0 (row_hi - row_lo) in
+  (* clipped free spans, computed once per window row *)
+  I.clear a.Arena.cs_off;
+  I.clear a.Arena.cs_lo;
+  I.clear a.Arena.cs_hi;
+  I.push a.Arena.cs_off 0;
+  for row = row_lo to row_hi - 1 do
+    List.iter
+      (fun (s : Interval.t) ->
+         let lo =
+           if s.Interval.lo < win_lo then win_lo + clip_pad else s.Interval.lo
+         in
+         let hi =
+           if s.Interval.hi > win_hi then win_hi - clip_pad else s.Interval.hi
+         in
+         if hi > lo then begin
+           I.push a.Arena.cs_lo lo;
+           I.push a.Arena.cs_hi hi
+         end)
+      (Segment.spans ctx.segments ~row ~region:reg);
+    I.push a.Arena.cs_off a.Arena.cs_lo.I.len
+  done;
+  let cs_off_a = a.Arena.cs_off.I.a in
+  let cs_lo_a = a.Arena.cs_lo.I.a
+  and cs_hi_a = a.Arena.cs_hi.I.a in
+  (* local-cell discovery, in placement row order *)
+  let marks = a.Arena.marks in
+  Arena.Marks.ensure marks (Array.length cells);
+  Arena.Marks.next_epoch marks;
+  I.clear a.Arena.ids;
+  let covered_in (r : Rect.t) row' =
+    let base = cs_off_a.(row' - row_lo)
+    and limit = cs_off_a.(row' - row_lo + 1) in
+    let k = bsearch_le cs_lo_a base limit r.Rect.x.Interval.lo in
+    k >= base && r.Rect.x.Interval.hi <= cs_hi_a.(k)
+  in
+  for row = row_lo to row_hi - 1 do
+    let arr, len = Placement.row_cells ctx.placement row in
+    for i = 0 to len - 1 do
+      let id = arr.(i) in
+      if (not (Arena.Marks.mem marks id)) && id <> target then begin
+        let c = cells.(id) in
+        let r = Design.cell_rect design c in
+        if (not c.Cell.is_fixed)
+           && Segment.region_of ctx.segments c = reg
+           && Rect.contains_rect window r
+           && (let ok = ref true in
+               for row' = r.Rect.y.Interval.lo to r.Rect.y.Interval.hi - 1 do
+                 if not (covered_in r row') then ok := false
+               done;
+               !ok)
+        then begin
+          Arena.Marks.set marks id a.Arena.ids.I.len;
+          I.push a.Arena.ids id
+        end
+      end
+    done
+  done;
+  let n = a.Arena.ids.I.len in
+  let ids_a = a.Arena.ids.I.a in
+  (* per-local attributes *)
+  I.set_len a.Arena.cur n;
+  I.set_len a.Arena.wid n;
+  I.set_len a.Arena.et n;
+  I.set_len a.Arena.gpx n;
+  I.set_len a.Arena.c2 n;
+  F.set_len a.Arena.wgt n;
+  let cur_a = a.Arena.cur.I.a
+  and wid_a = a.Arena.wid.I.a
+  and et_a = a.Arena.et.I.a
+  and gpx_a = a.Arena.gpx.I.a
+  and c2_a = a.Arena.c2.I.a
+  and wgt_a = a.Arena.wgt.F.a in
+  for i = 0 to n - 1 do
+    let c = cells.(ids_a.(i)) in
+    let w = Design.width design c in
+    cur_a.(i) <- c.Cell.x;
+    wid_a.(i) <- w;
+    et_a.(i) <- (Design.cell_type design c).Cell_type.edge_type;
+    gpx_a.(i) <-
+      (match ctx.disp_from with `Gp -> c.Cell.gp_x | `Current -> c.Cell.x);
+    c2_a.(i) <- (2 * c.Cell.x) + w;
+    wgt_a.(i) <- ctx.weights.(ids_a.(i))
+  done;
+  (* occupancy offsets: a local occupies [height] consecutive rows,
+     all inside the window *)
+  I.set_len a.Arena.occ_off (n + 1);
+  let occ_off_a = a.Arena.occ_off.I.a in
+  let tot = ref 0 in
+  for i = 0 to n - 1 do
+    occ_off_a.(i) <- !tot;
+    tot := !tot + Design.height design cells.(ids_a.(i))
+  done;
+  occ_off_a.(n) <- !tot;
+  I.set_len a.Arena.occ_row !tot;
+  I.set_len a.Arena.occ_pos !tot;
+  let occ_row_a = a.Arena.occ_row.I.a
+  and occ_pos_a = a.Arena.occ_pos.I.a in
+  (* per-row sub-spans and locals *)
+  I.clear a.Arena.ss_off;
+  I.clear a.Arena.ss_lo;
+  I.clear a.Arena.ss_hi;
+  I.clear a.Arena.ss_let;
+  I.clear a.Arena.ss_ret;
+  I.clear a.Arena.locs_off;
+  I.clear a.Arena.locs;
+  I.clear a.Arena.loc_ss;
+  I.push a.Arena.ss_off 0;
+  I.push a.Arena.locs_off 0;
+  for off = 0 to nrows - 1 do
+    let row = row_lo + off in
+    let arr, len = Placement.row_cells ctx.placement row in
+    let row_locs_start = a.Arena.locs.I.len in
+    let row_ss_start = a.Arena.ss_lo.I.len in
+    I.clear a.Arena.ob_lo;
+    I.clear a.Arena.ob_hi;
+    I.clear a.Arena.ob_et;
+    for i = 0 to len - 1 do
+      let id = arr.(i) in
+      let li = Arena.Marks.get marks id in
+      if li >= 0 then I.push a.Arena.locs li
+      else begin
+        let c = cells.(id) in
+        let w = Design.width design c in
+        I.push a.Arena.ob_lo c.Cell.x;
+        I.push a.Arena.ob_hi (c.Cell.x + w);
+        I.push a.Arena.ob_et (Design.cell_type design c).Cell_type.edge_type
+      end
+    done;
+    let nob = a.Arena.ob_lo.I.len in
+    let ob_lo_a = a.Arena.ob_lo.I.a
+    and ob_hi_a = a.Arena.ob_hi.I.a
+    and ob_et_a = a.Arena.ob_et.I.a in
+    (* cut the clipped spans by the obstacles; -1 edge type = none *)
+    for si = cs_off_a.(off) to cs_off_a.(off + 1) - 1 do
+      let s_lo = cs_lo_a.(si) and s_hi = cs_hi_a.(si) in
+      let cur_lo = ref s_lo and cur_et = ref (-1) and tail_et = ref (-1) in
+      for oi = 0 to nob - 1 do
+        let ox = ob_lo_a.(oi)
+        and oxhi = ob_hi_a.(oi)
+        and oet = ob_et_a.(oi) in
+        if oxhi > s_lo && ox < s_hi then begin
+          if ox > !cur_lo then begin
+            I.push a.Arena.ss_lo !cur_lo;
+            I.push a.Arena.ss_hi (min ox s_hi);
+            I.push a.Arena.ss_let !cur_et;
+            I.push a.Arena.ss_ret oet
+          end;
+          if oxhi > !cur_lo then begin
+            cur_lo := oxhi;
+            cur_et := oet
+          end
+        end
+        else if oxhi > s_lo - clip_pad && oxhi <= !cur_lo && ox < !cur_lo
+        then begin
+          (* ends at/just left of the current boundary *)
+          if !cur_et = -1 then cur_et := oet
+        end
+        else if ox >= s_hi && ox < s_hi + clip_pad then begin
+          (* begins at/just right of the span end *)
+          if !tail_et = -1 then tail_et := oet
+        end
+      done;
+      if !cur_lo < s_hi then begin
+        I.push a.Arena.ss_lo !cur_lo;
+        I.push a.Arena.ss_hi s_hi;
+        I.push a.Arena.ss_let !cur_et;
+        I.push a.Arena.ss_ret !tail_et
+      end
+    done;
+    let row_ss_end = a.Arena.ss_lo.I.len in
+    let ss_lo_a = a.Arena.ss_lo.I.a
+    and ss_hi_a = a.Arena.ss_hi.I.a in
+    (* sub-span of each local (flat index), by binary search over the
+       sorted, disjoint sub-span bounds; occupancy entries *)
+    I.set_len a.Arena.loc_ss a.Arena.locs.I.len;
+    let locs_a = a.Arena.locs.I.a
+    and loc_ss_a = a.Arena.loc_ss.I.a in
+    for p = row_locs_start to a.Arena.locs.I.len - 1 do
+      let li = locs_a.(p) in
+      let x = cur_a.(li) in
+      let k = bsearch_le ss_lo_a row_ss_start row_ss_end x in
+      loc_ss_a.(p) <- (if k >= row_ss_start && x < ss_hi_a.(k) then k else -1);
+      let slot = occ_off_a.(li) + (row - cells.(ids_a.(li)).Cell.y) in
+      occ_row_a.(slot) <- off;
+      occ_pos_a.(slot) <- p
+    done;
+    I.push a.Arena.ss_off row_ss_end;
+    I.push a.Arena.locs_off a.Arena.locs.I.len
+  done;
+  n
+
+(* Per-cut evaluation over the arena. Same DPs, same curve, same
+   routability/congestion adjustments as the reference [evaluate];
+   push distances are left in [dp_d]/[dp_dr] for the caller to
+   snapshot if this cut wins. *)
+let evaluate_arena ctx (a : Arena.t) ~n ~row_lo ~y0 ~h ~ci_base ~t_wid ~t_et
+    ~target ~cut =
+  let cur_a = a.Arena.cur.I.a
+  and wid_a = a.Arena.wid.I.a
+  and et_a = a.Arena.et.I.a
+  and gpx_a = a.Arena.gpx.I.a
+  and c2_a = a.Arena.c2.I.a
+  and wgt_a = a.Arena.wgt.F.a in
+  let occ_off_a = a.Arena.occ_off.I.a
+  and occ_row_a = a.Arena.occ_row.I.a
+  and occ_pos_a = a.Arena.occ_pos.I.a in
+  let ss_lo_a = a.Arena.ss_lo.I.a
+  and ss_hi_a = a.Arena.ss_hi.I.a
+  and ss_let_a = a.Arena.ss_let.I.a
+  and ss_ret_a = a.Arena.ss_ret.I.a in
+  let locs_a = a.Arena.locs.I.a
+  and loc_ss_a = a.Arena.loc_ss.I.a
+  and locs_off_a = a.Arena.locs_off.I.a in
+  let ci_ss_a = a.Arena.ci_ss.I.a in
+  let order_a = a.Arena.order.I.a in
+  let sp l r = spacing ctx ~l ~r in
+  (* chosen sub-span (flat index) of a window row offset, -1 when the
+     row is not a target row *)
+  let chosen off =
+    let k = off - (y0 - row_lo) in
+    if k >= 0 && k < h then ci_ss_a.(ci_base + k) else -1
+  in
+  (* --- feasibility DPs (m: left compaction, M: right compaction) --- *)
+  I.fill a.Arena.dp_m n min_int;
+  let m = a.Arena.dp_m.I.a in
+  for oi = 0 to n - 1 do
+    let i = order_a.(oi) in
+    if c2_a.(i) < cut then begin
+      let best = ref min_int in
+      for s = occ_off_a.(i) to occ_off_a.(i + 1) - 1 do
+        let pos = occ_pos_a.(s) in
+        let rbase = locs_off_a.(occ_row_a.(s)) in
+        let ssj = loc_ss_a.(pos) in
+        (* previous left cell in the same sub-span (skipping right
+           cells), -1 at the sub-span boundary *)
+        let k = ref (-1) in
+        let p = ref (pos - 1) in
+        let scan = ref true in
+        while !scan && !p >= rbase do
+          if loc_ss_a.(!p) = ssj then begin
+            let kk = locs_a.(!p) in
+            if c2_a.(kk) < cut then begin
+              k := kk;
+              scan := false
+            end
+            else decr p
+          end
+          else scan := false
+        done;
+        let cand =
+          if !k >= 0 then m.(!k) + wid_a.(!k) + sp et_a.(!k) et_a.(i)
+          else
+            ss_lo_a.(ssj)
+            + (let e = ss_let_a.(ssj) in
+               if e >= 0 then sp e et_a.(i) else 0)
+        in
+        if cand > !best then best := cand
+      done;
+      m.(i) <- !best
+    end
+  done;
+  I.fill a.Arena.dp_bigm n max_int;
+  let bigm = a.Arena.dp_bigm.I.a in
+  for oi = n - 1 downto 0 do
+    let i = order_a.(oi) in
+    if c2_a.(i) >= cut then begin
+      let best = ref max_int in
+      for s = occ_off_a.(i) to occ_off_a.(i + 1) - 1 do
+        let pos = occ_pos_a.(s) in
+        let rlimit = locs_off_a.(occ_row_a.(s) + 1) in
+        let ssj = loc_ss_a.(pos) in
+        (* next cell in the same sub-span, any side *)
+        let nr =
+          let p = pos + 1 in
+          if p >= rlimit then -1
+          else if loc_ss_a.(p) <> ssj then -1
+          else locs_a.(p)
+        in
+        let cand =
+          if nr >= 0 then bigm.(nr) - wid_a.(i) - sp et_a.(i) et_a.(nr)
+          else
+            ss_hi_a.(ssj) - wid_a.(i)
+            - (let e = ss_ret_a.(ssj) in
+               if e >= 0 then sp et_a.(i) e else 0)
+        in
+        if cand < !best then best := cand
+      done;
+      bigm.(i) <- !best
+    end
+  done;
+  (* --- feasible range of the target --- *)
+  let lo = ref min_int and hi = ref max_int in
+  for k = 0 to h - 1 do
+    let off = y0 + k - row_lo in
+    let ssk = ci_ss_a.(ci_base + k) in
+    let rbase = locs_off_a.(off) and rlimit = locs_off_a.(off + 1) in
+    let p0 = locs_lower_bound locs_a cur_a rbase rlimit ss_lo_a.(ssk) in
+    let p1 = locs_lower_bound locs_a cur_a p0 rlimit ss_hi_a.(ssk) in
+    let last_left = ref (-1) and first_right = ref (-1) in
+    for p = p0 to p1 - 1 do
+      if loc_ss_a.(p) = ssk then begin
+        let li = locs_a.(p) in
+        if c2_a.(li) < cut then last_left := li
+        else if !first_right < 0 then first_right := li
+      end
+    done;
+    let lo_r =
+      if !last_left >= 0 then
+        m.(!last_left) + wid_a.(!last_left) + sp et_a.(!last_left) t_et
+      else
+        ss_lo_a.(ssk)
+        + (let e = ss_let_a.(ssk) in if e >= 0 then sp e t_et else 0)
+    in
+    let hi_r =
+      if !first_right >= 0 then
+        bigm.(!first_right) - t_wid - sp t_et et_a.(!first_right)
+      else
+        ss_hi_a.(ssk) - t_wid
+        - (let e = ss_ret_a.(ssk) in if e >= 0 then sp t_et e else 0)
+    in
+    if lo_r > !lo then lo := lo_r;
+    if hi_r < !hi then hi := hi_r
+  done;
+  if !lo > !hi then None
+  else begin
+    (* --- push-distance DPs, only for feasible candidates --- *)
+    I.fill a.Arena.dp_d n (-1);
+    let d = a.Arena.dp_d.I.a in
+    for oi = n - 1 downto 0 do
+      let i = order_a.(oi) in
+      if c2_a.(i) < cut then begin
+        let best = ref (-1) in
+        for s = occ_off_a.(i) to occ_off_a.(i + 1) - 1 do
+          let pos = occ_pos_a.(s) in
+          let off = occ_row_a.(s) in
+          let rlimit = locs_off_a.(off + 1) in
+          let ssj = loc_ss_a.(pos) in
+          (* next neighbor only if it is a left cell; a right neighbor
+             or the boundary ends the chain at the insertion point *)
+          let nl =
+            let p = pos + 1 in
+            if p >= rlimit then -1
+            else if loc_ss_a.(p) <> ssj then -1
+            else begin
+              let kk = locs_a.(p) in
+              if c2_a.(kk) < cut then kk else -1
+            end
+          in
+          if nl >= 0 then begin
+            if d.(nl) >= 0 then begin
+              let cand = d.(nl) + wid_a.(i) + sp et_a.(i) et_a.(nl) in
+              if cand > !best then best := cand
+            end
+          end
+          else if chosen off = ssj then begin
+            let cand = wid_a.(i) + sp et_a.(i) t_et in
+            if cand > !best then best := cand
+          end
+        done;
+        d.(i) <- !best
+      end
+    done;
+    I.fill a.Arena.dp_dr n (-1);
+    let dr = a.Arena.dp_dr.I.a in
+    for oi = 0 to n - 1 do
+      let i = order_a.(oi) in
+      if c2_a.(i) >= cut then begin
+        let best = ref (-1) in
+        for s = occ_off_a.(i) to occ_off_a.(i + 1) - 1 do
+          let pos = occ_pos_a.(s) in
+          let off = occ_row_a.(s) in
+          let rbase = locs_off_a.(off) in
+          let ssj = loc_ss_a.(pos) in
+          let pr =
+            let p = pos - 1 in
+            if p < rbase then -1
+            else if loc_ss_a.(p) <> ssj then -1
+            else begin
+              let kk = locs_a.(p) in
+              if c2_a.(kk) < cut then -1 else kk
+            end
+          in
+          if pr >= 0 then begin
+            if dr.(pr) >= 0 then begin
+              let cand = dr.(pr) + wid_a.(pr) + sp et_a.(pr) et_a.(i) in
+              if cand > !best then best := cand
+            end
+          end
+          else if chosen off = ssj then begin
+            let cand = t_wid + sp t_et et_a.(i) in
+            if cand > !best then best := cand
+          end
+        done;
+        dr.(i) <- !best
+      end
+    done;
+    (* --- displacement curve (same term order as the reference) --- *)
+    let tgt = ctx.design.Design.cells.(target) in
+    let fp = ctx.design.Design.floorplan in
+    let curve = a.Arena.curve in
+    Curve.reset curve;
+    Curve.add_target curve ~weight:ctx.weights.(target) ~gp:tgt.Cell.gp_x;
+    let y_cost_per_row =
+      float_of_int fp.Floorplan.row_height
+      /. float_of_int fp.Floorplan.site_width
+    in
+    Curve.add_const curve
+      (ctx.weights.(target)
+       *. float_of_int (abs (y0 - tgt.Cell.gp_y))
+       *. y_cost_per_row);
+    for i = 0 to n - 1 do
+      let baseline () =
+        Curve.add_const curve
+          (-.(wgt_a.(i) *. float_of_int (abs (cur_a.(i) - gpx_a.(i)))))
+      in
+      if c2_a.(i) < cut then begin
+        if d.(i) >= 0 then begin
+          Curve.add_left curve ~weight:wgt_a.(i) ~cur:cur_a.(i) ~gp:gpx_a.(i)
+            ~dist:d.(i);
+          baseline ()
+        end
+      end
+      else if dr.(i) >= 0 then begin
+        Curve.add_right curve ~weight:wgt_a.(i) ~cur:cur_a.(i) ~gp:gpx_a.(i)
+          ~dist:dr.(i);
+        baseline ()
+      end
+    done;
+    let x_star, base_cost = Curve.minimize curve ~lo:!lo ~hi:!hi in
+    (* --- routability adjustments --- *)
+    let type_id = tgt.Cell.type_id in
+    let result =
+      match ctx.routability with
+      | None -> Some (x_star, base_cost)
+      | Some r ->
+        let x_final =
+          if Routability.x_ok r ~type_id ~x:x_star then Some x_star
+          else Routability.nearest_ok_x r ~type_id ~x:x_star ~lo:!lo ~hi:!hi
+        in
+        (match x_final with
+         | None -> None
+         | Some x ->
+           let cost = if x = x_star then base_cost else Curve.eval curve x in
+           let io = Routability.io_conflicts r ~type_id ~x ~y:y0 in
+           (* one IO conflict costs as much as ~12 sites of movement *)
+           let penalty = 12.0 *. ctx.weights.(target) *. float_of_int io in
+           Some (x, cost +. penalty))
+    in
+    match result with
+    | None -> None
+    | Some (x, cost) ->
+      let cost =
+        match ctx.congest with
+        | None -> cost
+        | Some cmap ->
+          let sw = fp.Floorplan.site_width and rh = fp.Floorplan.row_height in
+          let rect_dbu =
+            Rect.make ~xl:(x * sw) ~yl:(y0 * rh) ~xh:((x + t_wid) * sw)
+              ~yh:((y0 + h) * rh)
+          in
+          cost
+          +. (ctx.config.Config.congestion_weight *. ctx.weights.(target)
+              *. float_of_int t_wid
+              *. Mcl_congest.Congestion.cost cmap ~rect_dbu)
+      in
+      Some (x, cost)
+  end
+
+(* Float-safety slack for the pruning bound: the bound's prefix sums
+   associate differently than the curve's own summation, so require a
+   clear margin before skipping a cut. *)
+let prune_margin lb best = 1e-6 +. (1e-9 *. (Float.abs lb +. Float.abs best))
+
+let best ?(check_pruning = false) ?arena ctx ~target ~window =
+  let a = match arena with Some a -> a | None -> ctx.arena in
+  let design = ctx.design in
+  let tgt = design.Design.cells.(target) in
+  let h = Design.height design tgt in
+  let w_t = Design.width design tgt in
+  let t_et = (Design.cell_type design tgt).Cell_type.edge_type in
+  let fp = design.Design.floorplan in
+  let window = Rect.inter window (Floorplan.die fp) in
+  if Rect.is_empty window then None
+  else begin
+    let row_lo = window.Rect.y.Interval.lo in
+    let n = build_window_arena ctx a ~target ~window in
+    a.Arena.windows_built <- a.Arena.windows_built + 1;
+    let cur_a = a.Arena.cur.I.a
+    and wid_a = a.Arena.wid.I.a
+    and c2_a = a.Arena.c2.I.a
+    and gpx_a = a.Arena.gpx.I.a
+    and wgt_a = a.Arena.wgt.F.a in
+    (* locals by current x ascending (stable by idx) *)
+    I.set_len a.Arena.order n;
+    let order_a = a.Arena.order.I.a in
+    for i = 0 to n - 1 do
+      order_a.(i) <- i
+    done;
+    Arena.sort order_a n ~lt:(fun x y ->
+        cur_a.(x) < cur_a.(y) || (cur_a.(x) = cur_a.(y) && x < y));
+    (* pruning bound ingredients: locals by (c2, idx), with prefix
+       (left) / suffix (right) sums of the largest possible
+       displacement improvement each cell can contribute *)
+    I.set_len a.Arena.pr_idx n;
+    let pr_idx_a = a.Arena.pr_idx.I.a in
+    for i = 0 to n - 1 do
+      pr_idx_a.(i) <- i
+    done;
+    Arena.sort pr_idx_a n ~lt:(fun x y ->
+        c2_a.(x) < c2_a.(y) || (c2_a.(x) = c2_a.(y) && x < y));
+    I.set_len a.Arena.pr_c2 n;
+    F.set_len a.Arena.imp_l (n + 1);
+    F.set_len a.Arena.imp_r (n + 1);
+    let pr_c2_a = a.Arena.pr_c2.I.a in
+    let imp_l_a = a.Arena.imp_l.F.a
+    and imp_r_a = a.Arena.imp_r.F.a in
+    imp_l_a.(0) <- 0.0;
+    for t = 0 to n - 1 do
+      let i = pr_idx_a.(t) in
+      pr_c2_a.(t) <- c2_a.(i);
+      imp_l_a.(t + 1) <-
+        imp_l_a.(t)
+        +. (wgt_a.(i) *. float_of_int (max 0 (cur_a.(i) - gpx_a.(i))))
+    done;
+    imp_r_a.(n) <- 0.0;
+    for t = n - 1 downto 0 do
+      let i = pr_idx_a.(t) in
+      imp_r_a.(t) <-
+        imp_r_a.(t + 1)
+        +. (wgt_a.(i) *. float_of_int (max 0 (gpx_a.(i) - cur_a.(i))))
+    done;
+    (* largest total cost decrease any placement of this cut's local
+       cells can produce, relative to today's placement *)
+    let s_improve cut =
+      let t = bsearch_le pr_c2_a 0 n (cut - 1) + 1 in
+      imp_l_a.(t) +. imp_r_a.(t)
+    in
+    let ss_off_a = a.Arena.ss_off.I.a in
+    let ss_lo_a = a.Arena.ss_lo.I.a
+    and ss_hi_a = a.Arena.ss_hi.I.a in
+    let locs_a = a.Arena.locs.I.a
+    and loc_ss_a = a.Arena.loc_ss.I.a
+    and locs_off_a = a.Arena.locs_off.I.a in
+    let w_tf = ctx.weights.(target) in
+    let y_cost_per_row =
+      float_of_int fp.Floorplan.row_height
+      /. float_of_int fp.Floorplan.site_width
+    in
+    let gp_c2 = (2 * tgt.Cell.gp_x) + w_t in
+    (* incumbent; [rank] reproduces the reference's first-wins tie
+       break under out-of-order (lower-bound-sorted) evaluation *)
+    let found = ref false in
+    let best_cost = ref infinity and best_rank = ref max_int in
+    let best_y0 = ref 0 and best_x = ref 0 and best_cut = ref 0 in
+    let block_no = ref 0 in
+    let y_min = window.Rect.y.Interval.lo in
+    let y_max =
+      min (window.Rect.y.Interval.hi - h) (fp.Floorplan.num_rows - h)
+    in
+    for y0 = y_min to y_max do
+      let row_feasible =
+        parity_ok h y0
+        && (match ctx.routability with
+            | None -> true
+            | Some r -> Routability.row_ok r ~type_id:tgt.Cell.type_id ~y:y0)
+      in
+      if row_feasible then begin
+        (* common intervals of rows y0 .. y0+h-1: maximal x-intervals
+           where every row is covered by exactly one sub-span *)
+        I.clear a.Arena.ci_lo;
+        I.clear a.Arena.ci_hi;
+        I.clear a.Arena.ci_ss;
+        I.clear a.Arena.bounds;
+        for k = 0 to h - 1 do
+          let off = y0 + k - row_lo in
+          for j = ss_off_a.(off) to ss_off_a.(off + 1) - 1 do
+            I.push a.Arena.bounds ss_lo_a.(j);
+            I.push a.Arena.bounds ss_hi_a.(j)
+          done
+        done;
+        let bounds_a = a.Arena.bounds.I.a in
+        Arena.sort_ints bounds_a a.Arena.bounds.I.len;
+        let nb = Arena.uniq_sorted bounds_a a.Arena.bounds.I.len in
+        for b = 0 to nb - 2 do
+          let ilo = bounds_a.(b) and ihi = bounds_a.(b + 1) in
+          let start = a.Arena.ci_ss.I.len in
+          let ok = ref true in
+          for k = 0 to h - 1 do
+            if !ok then begin
+              let off = y0 + k - row_lo in
+              let base = ss_off_a.(off) and limit = ss_off_a.(off + 1) in
+              let j = bsearch_le ss_lo_a base limit ilo in
+              if j >= base && ihi <= ss_hi_a.(j) then I.push a.Arena.ci_ss j
+              else ok := false
+            end
+          done;
+          if !ok then begin
+            I.push a.Arena.ci_lo ilo;
+            I.push a.Arena.ci_hi ihi
+          end
+          else I.truncate a.Arena.ci_ss start
+        done;
+        let ci_lo_a = a.Arena.ci_lo.I.a
+        and ci_hi_a = a.Arena.ci_hi.I.a
+        and ci_ss_a = a.Arena.ci_ss.I.a in
+        for c = 0 to a.Arena.ci_lo.I.len - 1 do
+          let ci_base = c * h in
+          if ci_hi_a.(c) - ci_lo_a.(c) >= 1 then begin
+            (* quick prune: every target row must have enough free
+               width in its chosen sub-span for the target *)
+            let enough_room =
+              let ok = ref true in
+              for k = 0 to h - 1 do
+                let off = y0 + k - row_lo in
+                let ssk = ci_ss_a.(ci_base + k) in
+                let rbase = locs_off_a.(off)
+                and rlimit = locs_off_a.(off + 1) in
+                let p0 =
+                  locs_lower_bound locs_a cur_a rbase rlimit ss_lo_a.(ssk)
+                in
+                let p1 =
+                  locs_lower_bound locs_a cur_a p0 rlimit ss_hi_a.(ssk)
+                in
+                let used = ref 0 in
+                for p = p0 to p1 - 1 do
+                  if loc_ss_a.(p) = ssk then used := !used + wid_a.(locs_a.(p))
+                done;
+                if ss_hi_a.(ssk) - ss_lo_a.(ssk) - !used < w_t then ok := false
+              done;
+              !ok
+            in
+            if enough_room then begin
+              incr block_no;
+              (* cuts: around every local center in the chosen
+                 sub-spans of the target rows, plus the target's own GP
+                 center; capped to the nearest ones *)
+              I.clear a.Arena.cut_x;
+              I.push a.Arena.cut_x gp_c2;
+              for k = 0 to h - 1 do
+                let off = y0 + k - row_lo in
+                let ssk = ci_ss_a.(ci_base + k) in
+                let rbase = locs_off_a.(off)
+                and rlimit = locs_off_a.(off + 1) in
+                let p0 =
+                  locs_lower_bound locs_a cur_a rbase rlimit ss_lo_a.(ssk)
+                in
+                let p1 =
+                  locs_lower_bound locs_a cur_a p0 rlimit ss_hi_a.(ssk)
+                in
+                for p = p0 to p1 - 1 do
+                  if loc_ss_a.(p) = ssk then begin
+                    let li = locs_a.(p) in
+                    I.push a.Arena.cut_x c2_a.(li);
+                    I.push a.Arena.cut_x (c2_a.(li) + 1)
+                  end
+                done
+              done;
+              let cut_a = a.Arena.cut_x.I.a in
+              Arena.sort_ints cut_a a.Arena.cut_x.I.len;
+              let nu = Arena.uniq_sorted cut_a a.Arena.cut_x.I.len in
+              Arena.sort cut_a nu ~lt:(fun u v ->
+                  let du = abs (u - gp_c2) and dv = abs (v - gp_c2) in
+                  du < dv || (du = dv && u < v));
+              let ncuts = min 17 nu in
+              (* block-constant superset [bl, bh] of every cut's
+                 feasible range, from the chosen sub-span bounds *)
+              let bl = ref min_int and bh = ref max_int in
+              for k = 0 to h - 1 do
+                let ssk = ci_ss_a.(ci_base + k) in
+                if ss_lo_a.(ssk) > !bl then bl := ss_lo_a.(ssk);
+                if ss_hi_a.(ssk) - w_t < !bh then bh := ss_hi_a.(ssk) - w_t
+              done;
+              if !bl > !bh then
+                (* no cut of this block can be feasible *)
+                a.Arena.cuts_pruned <- a.Arena.cuts_pruned + ncuts
+              else begin
+                let y_term =
+                  w_tf
+                  *. float_of_int (abs (y0 - tgt.Cell.gp_y))
+                  *. y_cost_per_row
+                in
+                let xg =
+                  if tgt.Cell.gp_x < !bl then !bl
+                  else if tgt.Cell.gp_x > !bh then !bh
+                  else tgt.Cell.gp_x
+                in
+                let lb_base =
+                  y_term +. (w_tf *. float_of_int (abs (xg - tgt.Cell.gp_x)))
+                in
+                F.set_len a.Arena.cut_lb ncuts;
+                I.set_len a.Arena.cut_idx ncuts;
+                let lb_a = a.Arena.cut_lb.F.a
+                and cidx_a = a.Arena.cut_idx.I.a in
+                for r = 0 to ncuts - 1 do
+                  lb_a.(r) <- lb_base -. s_improve cut_a.(r);
+                  cidx_a.(r) <- r
+                done;
+                (* cheapest lower bound first, so the incumbent drops
+                   fast and later cuts prune *)
+                Arena.sort cidx_a ncuts ~lt:(fun u v ->
+                    lb_a.(u) < lb_a.(v) || (lb_a.(u) = lb_a.(v) && u < v));
+                for s = 0 to ncuts - 1 do
+                  let r = cidx_a.(s) in
+                  let cut = cut_a.(r) in
+                  if !found && lb_a.(r) > !best_cost +. prune_margin lb_a.(r) !best_cost
+                  then begin
+                    a.Arena.cuts_pruned <- a.Arena.cuts_pruned + 1;
+                    if check_pruning then begin
+                      let incumbent = !best_cost in
+                      match
+                        evaluate_arena ctx a ~n ~row_lo ~y0 ~h ~ci_base
+                          ~t_wid:w_t ~t_et ~target ~cut
+                      with
+                      | Some (_, cost) when cost <= incumbent ->
+                        failwith "Insertion.best: pruning bound violated"
+                      | Some _ | None -> ()
+                    end
+                  end
+                  else begin
+                    a.Arena.cuts_evaluated <- a.Arena.cuts_evaluated + 1;
+                    match
+                      evaluate_arena ctx a ~n ~row_lo ~y0 ~h ~ci_base
+                        ~t_wid:w_t ~t_et ~target ~cut
+                    with
+                    | None -> ()
+                    | Some (x, cost) ->
+                      let rank = (!block_no * 32) + r in
+                      if (not !found) || cost < !best_cost
+                         || (cost = !best_cost && rank < !best_rank)
+                      then begin
+                        found := true;
+                        best_cost := cost;
+                        best_rank := rank;
+                        best_y0 := y0;
+                        best_x := x;
+                        best_cut := cut;
+                        I.set_len a.Arena.best_d n;
+                        I.set_len a.Arena.best_dr n;
+                        Array.blit a.Arena.dp_d.I.a 0 a.Arena.best_d.I.a 0 n;
+                        Array.blit a.Arena.dp_dr.I.a 0 a.Arena.best_dr.I.a 0 n
+                      end
+                  end
+                done
+              end
+            end
+          end
+        done
+      end
+    done;
+    Arena.note_hiwater a;
+    if not !found then None
+    else begin
+      let ids_a = a.Arena.ids.I.a in
+      let bd = a.Arena.best_d.I.a and bdr = a.Arena.best_dr.I.a in
+      let lefts = ref [] and rights = ref [] in
+      for i = 0 to n - 1 do
+        if c2_a.(i) < !best_cut then begin
+          if bd.(i) >= 0 then
+            lefts := { cell = ids_a.(i); dist = bd.(i) } :: !lefts
+        end
+        else if bdr.(i) >= 0 then
+          rights := { cell = ids_a.(i); dist = bdr.(i) } :: !rights
+      done;
+      Some
+        { y0 = !best_y0; x = !best_x; cost = !best_cost; lefts = !lefts;
+          rights = !rights }
+    end
   end
 
 let apply ctx ~target cand =

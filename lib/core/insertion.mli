@@ -27,10 +27,18 @@ type ctx = {
       (** [`Gp] measures local-cell displacement from GP positions
           (MGL); [`Current] from current positions (the MLL baseline). *)
   weights : float array;  (** curve weight per cell id *)
+  utilization : float;    (** design utilization, computed once here *)
+  arena : Arena.t;
+      (** default scratch arena for {!best}; single-owner, so parallel
+          callers must pass their own via [?arena] *)
 }
+
+(** Placement-area utilization of a design (used area / die area). *)
+val utilization : Design.t -> float
 
 val make_ctx :
   ?disp_from:[ `Gp | `Current ] -> ?congest:Mcl_congest.Congestion.t ->
+  ?arena:Arena.t ->
   Config.t -> Design.t ->
   placement:Placement.t -> segments:Segment.t ->
   routability:Routability.t option -> ctx
@@ -46,8 +54,22 @@ type candidate = {
 }
 
 (** Cheapest insertion of [target] (an unplaced cell id) within
-    [window]; [None] when no feasible insertion point exists. *)
-val best : ctx -> target:int -> window:Mcl_geom.Rect.t -> candidate option
+    [window]; [None] when no feasible insertion point exists.
+
+    Runs the allocation-lean arena kernel: scratch comes from [?arena]
+    (default [ctx.arena]), cuts are evaluated cheapest-lower-bound
+    first, and cuts whose bound exceeds the incumbent cost are skipped
+    entirely. Bit-identical to {!best_reference}. Counters accumulate
+    on the arena used. [?check_pruning] re-evaluates every pruned cut
+    and fails if one would have beaten the incumbent (tests only). *)
+val best :
+  ?check_pruning:bool -> ?arena:Arena.t ->
+  ctx -> target:int -> window:Mcl_geom.Rect.t -> candidate option
+
+(** The original cons-list evaluation path, kept as the oracle for the
+    equivalence test suite. Same results as {!best}, more allocation. *)
+val best_reference :
+  ctx -> target:int -> window:Mcl_geom.Rect.t -> candidate option
 
 (** Commit a candidate: shifts local cells, moves the target and
     registers it in the placement. *)

@@ -6,6 +6,7 @@ type stats = {
   legalized : int;
   window_growths : int;
   fallbacks : int;
+  kernel : Arena.counters;
 }
 
 (* Emergency placement: nearest gap that fits the cell without moving
@@ -109,31 +110,13 @@ let grow_window (w : Rect.t) ~die ~factor =
   Rect.inter die
     (Rect.make ~xl:(cx - hw) ~yl:(cy - hh) ~xh:(cx + hw) ~yh:(cy + hh))
 
-(* cached by physical design identity: called once per cell *)
-let util_cache : (Design.t * float) option ref = ref None
+let utilization = Insertion.utilization
 
-let utilization design =
-  match !util_cache with
-  | Some (d, u) when d == design -> u
-  | Some _ | None ->
-    let fp = design.Design.floorplan in
-    let die_area = fp.Floorplan.num_sites * fp.Floorplan.num_rows in
-    let used =
-      Array.fold_left
-        (fun acc (c : Cell.t) ->
-           acc + (Design.width design c * Design.height design c))
-        0 design.Design.cells
-    in
-    let u = float_of_int used /. float_of_int (max 1 die_area) in
-    util_cache := Some (design, u);
-    u
-
-let initial_window config design (tgt : Cell.t) ~h ~w =
+let initial_window config design (tgt : Cell.t) ~h ~w ~util =
   let die = Floorplan.die design.Design.floorplan in
   (* dense designs need wider windows up-front: a window must contain
      roughly [w] sites of slack for the insertion to be feasible *)
-  let u = utilization design in
-  let slack_factor = 1.0 /. Float.max 0.15 (1.0 -. u) in
+  let slack_factor = 1.0 /. Float.max 0.15 (1.0 -. util) in
   let hw =
     config.Config.window_halfwidth
     + int_of_float (float_of_int w *. Float.min 8.0 slack_factor)
@@ -143,7 +126,7 @@ let initial_window config design (tgt : Cell.t) ~h ~w =
     (Rect.make ~xl:(tgt.Cell.gp_x - hw) ~yl:(tgt.Cell.gp_y - hh)
        ~xh:(tgt.Cell.gp_x + w + hw) ~yh:(tgt.Cell.gp_y + h + hh))
 
-let legalize_one ?budget ctx ~target ~growths =
+let legalize_one ?budget ?(kernel = `Arena) ctx ~target ~growths =
   let design = ctx.Insertion.design in
   let config = ctx.Insertion.config in
   let tgt = design.Design.cells.(target) in
@@ -155,7 +138,12 @@ let legalize_one ?budget ctx ~target ~growths =
      cells already re-inserted) *)
   let rec attempt window tries =
     Mcl_resilience.Budget.check budget;
-    match Insertion.best ctx ~target ~window with
+    let cand =
+      match kernel with
+      | `Arena -> Insertion.best ctx ~target ~window
+      | `Reference -> Insertion.best_reference ctx ~target ~window
+    in
+    match cand with
     | Some cand ->
       Insertion.apply ctx ~target cand;
       true
@@ -166,7 +154,7 @@ let legalize_one ?budget ctx ~target ~growths =
         attempt (grow_window window ~die ~factor:config.Config.window_growth) (tries + 1)
       end
   in
-  attempt (initial_window config design tgt ~h ~w) 0
+  attempt (initial_window config design tgt ~h ~w ~util:ctx.Insertion.utilization) 0
 
 let default_order design =
   let ids =
@@ -188,14 +176,15 @@ let default_order design =
     ids;
   ids
 
-let run_with_ctx ?budget ?(greedy = false) ctx ~order =
+let run_with_ctx ?budget ?(greedy = false) ?(kernel = `Arena) ctx ~order =
   let growths = ref 0 and fallbacks = ref 0 and legalized = ref 0 in
+  let kernel_before = Arena.counters ctx.Insertion.arena in
   Array.iter
     (fun target ->
        (* [greedy] skips the windowed search entirely: first-fit only,
           bounded cost per cell — the degraded-mode answer under
           deadline pressure, so it takes no budget itself *)
-       let ok = (not greedy) && legalize_one ?budget ctx ~target ~growths in
+       let ok = (not greedy) && legalize_one ?budget ~kernel ctx ~target ~growths in
        let ok =
          if ok then true
          else begin
@@ -214,7 +203,10 @@ let run_with_ctx ?budget ?(greedy = false) ctx ~order =
                   capacity?)" ]);
        incr legalized)
     order;
-  { legalized = !legalized; window_growths = !growths; fallbacks = !fallbacks }
+  { legalized = !legalized; window_growths = !growths; fallbacks = !fallbacks;
+    kernel =
+      Arena.diff ~before:kernel_before
+        ~after:(Arena.counters ctx.Insertion.arena) }
 
 (* Half the largest spacing rule, so cells on opposite sides of a
    region boundary always end at least one full rule apart. *)
@@ -236,7 +228,7 @@ let congest_map config design =
          ~bin_sites:config.Config.congestion_bin_sites design)
   else None
 
-let run ?(disp_from = `Gp) ?budget config design =
+let run ?(disp_from = `Gp) ?budget ?kernel config design =
   let segments =
     Segment.build ~boundary_gap:(boundary_gap config design)
       ~respect_fences:config.Config.consider_fences design
@@ -253,4 +245,4 @@ let run ?(disp_from = `Gp) ?budget config design =
     Insertion.make_ctx ~disp_from ?congest:(congest_map config design) config
       design ~placement ~segments ~routability
   in
-  run_with_ctx ?budget ctx ~order:(default_order design)
+  run_with_ctx ?budget ?kernel ctx ~order:(default_order design)

@@ -11,16 +11,23 @@ type stats = {
   legalized : int;
   window_growths : int;   (** total window enlargements *)
   fallbacks : int;        (** cells placed by the emergency first-fit *)
+  kernel : Arena.counters;
+      (** insertion-kernel counters for this run (windows built, cuts
+          evaluated/pruned, scratch high-water marks) *)
 }
 
-(** [run ?disp_from ?budget config design] legalizes all movable cells
-    in place. Raises [Failure] if some cell cannot be placed at all
-    (the design is over-capacity). [budget] is polled at every window
-    attempt; an expired budget raises
+(** [run ?disp_from ?budget ?kernel config design] legalizes all
+    movable cells in place. Raises [Failure] if some cell cannot be
+    placed at all (the design is over-capacity). [budget] is polled at
+    every window attempt; an expired budget raises
     {!Mcl_resilience.Budget.Deadline_exceeded} (the caller is expected
-    to roll back). Returns per-run statistics. *)
+    to roll back). [kernel] selects the insertion evaluation path:
+    the allocation-lean arena kernel (default) or the reference
+    cons-list path — both produce bit-identical placements. Returns
+    per-run statistics. *)
 val run :
   ?disp_from:[ `Gp | `Current ] -> ?budget:Mcl_resilience.Budget.t ->
+  ?kernel:[ `Arena | `Reference ] ->
   Config.t -> Design.t -> stats
 
 (** As {!run}, but reusing an existing context (placement must contain
@@ -30,7 +37,8 @@ val run :
     mode the service answers with under deadline pressure (it
     therefore ignores [budget]). *)
 val run_with_ctx :
-  ?budget:Mcl_resilience.Budget.t -> ?greedy:bool -> Insertion.ctx ->
+  ?budget:Mcl_resilience.Budget.t -> ?greedy:bool ->
+  ?kernel:[ `Arena | `Reference ] -> Insertion.ctx ->
   order:int array -> stats
 
 (** Boundary padding used when building segments for this config:
@@ -40,9 +48,12 @@ val boundary_gap : Config.t -> Mcl_netlist.Design.t -> int
 (** The MGL legalization order: taller, then wider, cells first. *)
 val default_order : Design.t -> int array
 
-(** Initial window around a cell's GP position. *)
+(** Initial window around a cell's GP position; [util] is the design
+    utilization (see {!utilization}), which widens windows on dense
+    designs. *)
 val initial_window :
-  Config.t -> Design.t -> Cell.t -> h:int -> w:int -> Mcl_geom.Rect.t
+  Config.t -> Design.t -> Cell.t -> h:int -> w:int -> util:float ->
+  Mcl_geom.Rect.t
 
 (** Window enlargement used after a failed insertion. *)
 val grow_window :
@@ -52,7 +63,8 @@ val grow_window :
     for the scheduler. *)
 val fallback_place : ?relax_routability:bool -> Insertion.ctx -> int -> bool
 
-(** Fraction of the die area occupied by cells (cached per design). *)
+(** Fraction of the die area occupied by cells (alias of
+    {!Insertion.utilization}; contexts hold it precomputed). *)
 val utilization : Design.t -> float
 
 (** Congestion prior for the soft insertion penalty: [Some] (built

@@ -46,11 +46,13 @@ let run ?(on_stage = fun _ -> ()) ?budget config design =
 let total_seconds r = r.mgl_seconds +. r.matching_seconds +. r.row_order_seconds
 
 let pp_report ppf r =
+  let k = r.mgl_stats.Scheduler.kernel in
   Format.fprintf ppf
-    "mgl: %d cells in %.2fs (%d growths, %d fallbacks); matching: %s in %.2fs; \
-     row-order: %s in %.2fs"
+    "mgl: %d cells in %.2fs (%d growths, %d fallbacks; %d windows, %d cuts \
+     evaluated, %d pruned); matching: %s in %.2fs; row-order: %s in %.2fs"
     r.mgl_stats.Scheduler.legalized r.mgl_seconds
     r.mgl_stats.Scheduler.window_growths r.mgl_stats.Scheduler.fallbacks
+    k.Arena.windows_built k.Arena.cuts_evaluated k.Arena.cuts_pruned
     (match r.matching_stats with
      | Some s -> Printf.sprintf "%d moved" s.Matching_opt.cells_moved
      | None -> "skipped")

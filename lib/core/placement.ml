@@ -43,14 +43,21 @@ let row_insert t row id =
 
 let row_remove t row id =
   let store = t.rows.(row) in
-  let rec find i =
-    if i >= store.len then invalid_arg "Placement.remove: cell not in row"
-    else if store.arr.(i) = id then i
-    else find (i + 1)
+  (* fast path: if x is unchanged since insertion, the binary-search
+     position is exact; a caller that moved the cell before removing it
+     falls back to the linear scan *)
+  let pos =
+    let p = find_pos t row (cell_x t id) id in
+    if p < store.len && store.arr.(p) = id then p
+    else begin
+      let rec find i =
+        if i >= store.len then invalid_arg "Placement.remove: cell not in row"
+        else if store.arr.(i) = id then i
+        else find (i + 1)
+      in
+      find 0
+    end
   in
-  (* start near the binary-search position: x may have changed, so fall
-     back to linear scan from 0 *)
-  let pos = find 0 in
   Array.blit store.arr (pos + 1) store.arr pos (store.len - pos - 1);
   store.len <- store.len - 1
 

@@ -6,6 +6,7 @@ type stats = {
   rounds : int;
   window_growths : int;
   fallbacks : int;
+  kernel : Arena.counters;
 }
 
 type pending = {
@@ -71,11 +72,24 @@ let run ?(disp_from = `Gp) ?budget config design =
        let c = design.Design.cells.(id) in
        let h = Design.height design c and w = Design.width design c in
        Queue.add
-         { cell = id; window = Mgl.initial_window config design c ~h ~w; tries = 0 }
+         { cell = id;
+           window =
+             Mgl.initial_window config design c ~h ~w
+               ~util:ctx.Insertion.utilization;
+           tries = 0 }
          waiting)
     (Mgl.default_order design);
   let growths = ref 0 and fallbacks = ref 0 and legalized = ref 0 and rounds = ref 0 in
   let threads = max 1 config.Config.threads in
+  (* one scratch arena per worker slot: arenas are single-owner, and a
+     chunk index maps to the same slot for the whole run, so buffers
+     stay warm across rounds. Slot 0 reuses the ctx arena so the
+     single-thread path shares its warm-up. *)
+  let kernel_before = Arena.counters ctx.Insertion.arena in
+  let arenas =
+    Array.init threads (fun t ->
+        if t = 0 then ctx.Insertion.arena else Arena.create ())
+  in
   while not (Queue.is_empty waiting) do
     (* round boundary: the placement is consistent here, and every
        window retry passes through this loop, so deadline cancellation
@@ -95,17 +109,19 @@ let run ?(disp_from = `Gp) ?budget config design =
     let batch = Array.of_list (List.rev !batch) in
     (* compute best candidates read-only *)
     let results = Array.make (Array.length batch) None in
-    let compute lo hi =
+    let compute arena lo hi =
       for i = lo to hi - 1 do
         (* per-candidate poll: cheap (atomic decrement), and raising
            here is safe — the compute phase is read-only, and a raise
            on a worker domain resurfaces from [run_jobs]'s join *)
         Mcl_resilience.Budget.check budget;
-        results.(i) <- Insertion.best ctx ~target:batch.(i).cell ~window:batch.(i).window
+        results.(i) <-
+          Insertion.best ~arena ctx ~target:batch.(i).cell
+            ~window:batch.(i).window
       done
     in
     if threads = 1 || Array.length batch < 2 * threads then
-      compute 0 (Array.length batch)
+      compute arenas.(0) 0 (Array.length batch)
     else begin
       let n = Array.length batch in
       let chunk = (n + threads - 1) / threads in
@@ -113,7 +129,8 @@ let run ?(disp_from = `Gp) ?budget config design =
         (List.filter_map
            (fun t ->
               let lo = t * chunk and hi = min n ((t + 1) * chunk) in
-              if lo < hi then Some (fun () -> compute lo hi) else None)
+              if lo < hi then Some (fun () -> compute arenas.(t) lo hi)
+              else None)
            (List.init threads Fun.id))
     end;
     (* apply in order; windows are disjoint so candidates stay valid *)
@@ -149,5 +166,10 @@ let run ?(disp_from = `Gp) ?budget config design =
            end)
       batch
   done;
+  let kernel = ref (Arena.diff ~before:kernel_before
+                      ~after:(Arena.counters arenas.(0))) in
+  for t = 1 to threads - 1 do
+    kernel := Arena.merge !kernel (Arena.counters arenas.(t))
+  done;
   { legalized = !legalized; rounds = !rounds; window_growths = !growths;
-    fallbacks = !fallbacks }
+    fallbacks = !fallbacks; kernel = !kernel }

@@ -18,6 +18,8 @@ type stats = {
   rounds : int;
   window_growths : int;
   fallbacks : int;
+  kernel : Arena.counters;
+      (** merged insertion-kernel counters across all worker arenas *)
 }
 
 (** [run config design] legalizes like {!Mgl.run} but batch-scheduled;

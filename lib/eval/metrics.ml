@@ -47,6 +47,12 @@ let total_displacement_sites design =
          +. (float_of_int (abs (c.y - c.gp_y)) *. ratio))
     0.0 design.Design.cells
 
+let total_displacement_rows design =
+  let fp = design.Design.floorplan in
+  total_displacement_sites design
+  *. float_of_int fp.Floorplan.site_width
+  /. float_of_int fp.Floorplan.row_height
+
 let hpwl design =
   let fp = design.Design.floorplan in
   let total = ref 0 in

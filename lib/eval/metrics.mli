@@ -20,6 +20,10 @@ val max_displacement : Design.t -> float
     site_width], the metric of the paper's Table 2. *)
 val total_displacement_sites : Design.t -> float
 
+(** {!total_displacement_sites} converted to row heights (the unit of
+    the service's [disp_delta_rows] metrics). *)
+val total_displacement_rows : Design.t -> float
+
 (** Half-perimeter wirelength of all nets, in dbu. *)
 val hpwl : Design.t -> int
 

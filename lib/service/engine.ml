@@ -53,12 +53,15 @@ let inject_stage t ~stage =
       [ Diagnostic.error ~code:"S390-injected-fault" ~stage
           (Printf.sprintf "injected fault: stage %S forced to fail" stage) ]
 
-let mk_metrics ~req ~started ~finished ~cells ~disp ~coalesced =
+let mk_metrics ?(kernel = Mcl.Arena.zero_counters) ~req ~started ~finished
+    ~cells ~disp ~coalesced () =
   { Protocol.queue_wait_s = Float.max 0.0 (started -. req.Protocol.received);
     service_s = finished -. started;
     cells_touched = cells;
     disp_delta_rows = disp;
-    coalesced }
+    coalesced;
+    cuts_evaluated = kernel.Mcl.Arena.cuts_evaluated;
+    cuts_pruned = kernel.Mcl.Arena.cuts_pruned }
 
 let account t resp ~op =
   let m = resp.Protocol.metrics in
@@ -155,11 +158,7 @@ let report_json report =
 (* Op implementations                                                *)
 (* ---------------------------------------------------------------- *)
 
-let total_disp_rows design =
-  let fp = design.Design.floorplan in
-  Mcl_eval.Metrics.total_displacement_sites design
-  *. float_of_int fp.Floorplan.site_width
-  /. float_of_int fp.Floorplan.row_height
+let total_disp_rows = Mcl_eval.Metrics.total_displacement_rows
 
 let exec_load t req ~key ~source =
   let started = now t in
@@ -189,7 +188,7 @@ let exec_load t req ~key ~source =
   | Error (code, message) ->
     let finished = now t in
     Protocol.error ~id ~op:"load" ~code
-      ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+      ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
       message
   | Ok (design, source_name) ->
     let gp_hpwl = Mcl_eval.Metrics.hpwl design in
@@ -200,7 +199,7 @@ let exec_load t req ~key ~source =
     Protocol.ok ~id ~op:"load" ~wal:(Protocol.to_wire req ~greedy:false)
       ~metrics:
         (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
-           ~disp:0.0 ~coalesced:1)
+           ~disp:0.0 ~coalesced:1 ())
       (Json.Obj
          [ ("design", Json.String key);
            ("cells", Json.Int (Design.num_cells design));
@@ -214,20 +213,27 @@ let exec_legalize t (entry : Cache.entry) req ~greedy:greedy_op =
   let before_disp = total_disp_rows design in
   (* common tail of every successful variant (full, greedy, degraded):
      refresh legality/congestion state, journal what was applied *)
-  let finish ~degraded mode_fields =
+  let finish ?kernel ~degraded mode_fields =
     let violations = Mcl_eval.Legality.check design in
     entry.Cache.legalized <- violations = [];
     (* a full pipeline moves most cells: rebuilding the tracked map is
        cheaper than diffing it move by move *)
     Option.iter Congestion.rebuild entry.Cache.congest;
     if degraded then Telemetry.record_deadline t.telemetry ~degraded:true;
+    Option.iter
+      (fun (k : Mcl.Arena.counters) ->
+         Telemetry.record_kernel t.telemetry ~windows:k.Mcl.Arena.windows_built
+           ~evaluated:k.Mcl.Arena.cuts_evaluated
+           ~pruned:k.Mcl.Arena.cuts_pruned)
+      kernel;
     let finished = now t in
     Protocol.ok ~id ~op:"legalize"
       ~wal:(Protocol.to_wire req ~greedy:(greedy_op || degraded))
       ~metrics:
-        (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
+        (mk_metrics ?kernel ~req ~started ~finished
+           ~cells:(Design.num_cells design)
            ~disp:(total_disp_rows design -. before_disp)
-           ~coalesced:1)
+           ~coalesced:1 ())
       (Json.Obj
          ([ ("design", Json.String entry.Cache.key);
             ("legal", Json.Bool (violations = []));
@@ -238,7 +244,7 @@ let exec_legalize t (entry : Cache.entry) req ~greedy:greedy_op =
     if deadline then Telemetry.record_deadline t.telemetry ~degraded:false;
     let finished = now t in
     error_of_exn ~id ~op:"legalize" exn
-      ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+      ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
   in
   let run_greedy ~degraded () =
     match
@@ -263,14 +269,18 @@ let exec_legalize t (entry : Cache.entry) req ~greedy:greedy_op =
     with
     | report ->
       let mgl = report.Mcl.Pipeline.mgl_stats in
-      finish ~degraded:false
+      let k = mgl.Mcl.Scheduler.kernel in
+      finish ~kernel:k ~degraded:false
         [ ("mode", Json.String "full");
           ("mgl",
            Json.Obj
              [ ("legalized", Json.Int mgl.Mcl.Scheduler.legalized);
                ("rounds", Json.Int mgl.Mcl.Scheduler.rounds);
                ("window_growths", Json.Int mgl.Mcl.Scheduler.window_growths);
-               ("fallbacks", Json.Int mgl.Mcl.Scheduler.fallbacks) ]);
+               ("fallbacks", Json.Int mgl.Mcl.Scheduler.fallbacks);
+               ("windows_built", Json.Int k.Mcl.Arena.windows_built);
+               ("cuts_evaluated", Json.Int k.Mcl.Arena.cuts_evaluated);
+               ("cuts_pruned", Json.Int k.Mcl.Arena.cuts_pruned) ]);
           ("matching_moved",
            match report.Mcl.Pipeline.matching_stats with
            | Some s -> Json.Int s.Mcl.Matching_opt.cells_moved
@@ -295,7 +305,7 @@ let exec_query t (entry : Cache.entry) req =
   let congest = Congestion.summarize (congest_of t entry) in
   let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"query"
-    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
     (Json.Obj
        [ ("design", Json.String entry.Cache.key);
          ("cells", Json.Int (Design.num_cells design));
@@ -319,7 +329,7 @@ let exec_lint t (entry : Cache.entry) req =
   let report = Lint.run entry.Cache.design in
   let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"lint"
-    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
     (Json.Obj
        [ ("report", report_json report);
          ("errors", Json.Bool (Diagnostic.has_errors report)) ])
@@ -333,7 +343,7 @@ let exec_audit t (entry : Cache.entry) req =
   let report = Diagnostic.report ~design:design.Design.name findings in
   let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"audit"
-    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
     (Json.Obj
        [ ("report", report_json report);
          ("errors", Json.Bool (Diagnostic.has_errors report)) ])
@@ -362,7 +372,7 @@ let exec_stats t req =
   in
   let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"stats"
-    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
     (Json.Obj
        [ ("counters", Telemetry.to_json t.telemetry);
          ("threads", Json.Int t.threads);
@@ -437,6 +447,9 @@ let rec exec_eco_run t (entry : Cache.entry) run =
      | Some m, Some before -> Congestion.sync m ~before
      | _ -> ());
     if degraded then Telemetry.record_deadline t.telemetry ~degraded:true;
+    let k = stats.Mcl.Eco.kernel in
+    Telemetry.record_kernel t.telemetry ~windows:k.Mcl.Arena.windows_built
+      ~evaluated:k.Mcl.Arena.cuts_evaluated ~pruned:k.Mcl.Arena.cuts_pruned;
     (* the journal records the run as it was applied: one merged eco,
        greedy iff the placement actually used the greedy path — replay
        re-executes that single request and lands on identical bits *)
@@ -465,15 +478,22 @@ let rec exec_eco_run t (entry : Cache.entry) run =
            Protocol.ok ~id:req.Protocol.id ~op:"eco"
              ?wal:(if rank = 0 then Some wal_line else None)
              ~metrics:
-               (mk_metrics ~req ~started ~finished ~cells:(List.length mine)
-                  ~disp ~coalesced)
+               (* kernel work belongs to the merged run, not each
+                  member: only the journaled rank-0 response carries it
+                  so aggregation never double counts *)
+               (mk_metrics
+                  ?kernel:(if rank = 0 then Some k else None)
+                  ~req ~started ~finished ~cells:(List.length mine)
+                  ~disp ~coalesced ())
              (Json.Obj
                 ([ ("design", Json.String entry.Cache.key);
                    ("relegalized", Json.Int stats.Mcl.Eco.relegalized);
                    ("window_growths", Json.Int stats.Mcl.Eco.window_growths);
                    ("fallbacks", Json.Int stats.Mcl.Eco.fallbacks);
                    ("total_disp_rows", Json.Float stats.Mcl.Eco.total_disp_rows);
-                   ("max_disp_rows", Json.Float stats.Mcl.Eco.max_disp_rows) ]
+                   ("max_disp_rows", Json.Float stats.Mcl.Eco.max_disp_rows);
+                   ("cuts_evaluated", Json.Int k.Mcl.Arena.cuts_evaluated);
+                   ("cuts_pruned", Json.Int k.Mcl.Arena.cuts_pruned) ]
                  @ (if degraded then
                       [ ("mode", Json.String "greedy");
                         ("degraded", Json.Bool true) ]
@@ -490,7 +510,7 @@ let rec exec_eco_run t (entry : Cache.entry) run =
              ~metrics:
                (mk_metrics ~req ~started ~finished
                   ~cells:(List.length (own_cells req))
-                  ~disp:0.0 ~coalesced) ))
+                  ~disp:0.0 ~coalesced ()) ))
       run
   in
   match attempt ~greedy:greedy_op () with
@@ -569,7 +589,7 @@ let exec_global t (i, req) =
       t.shutdown <- true;
       let finished = now t in
       Protocol.ok ~id:req.Protocol.id ~op:"shutdown"
-        ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1)
+        ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
         (Json.Obj [ ("stopping", Json.Bool true) ])
     | _ -> assert false
   in

@@ -228,6 +228,8 @@ type req_metrics = {
   cells_touched : int;
   disp_delta_rows : float;
   coalesced : int;
+  cuts_evaluated : int;
+  cuts_pruned : int;
 }
 
 type error_body = {
@@ -285,7 +287,9 @@ let json_of_metrics m =
       ("service_s", Json.Float m.service_s);
       ("cells_touched", Json.Int m.cells_touched);
       ("disp_delta_rows", Json.Float m.disp_delta_rows);
-      ("coalesced", Json.Int m.coalesced) ]
+      ("coalesced", Json.Int m.coalesced);
+      ("cuts_evaluated", Json.Int m.cuts_evaluated);
+      ("cuts_pruned", Json.Int m.cuts_pruned) ]
 
 let to_line r =
   let base =

@@ -29,7 +29,8 @@
      "error": {"code": "S302-...", "message": "...",
                "diagnostics": [...]},       // on error
      "metrics": {"queue_wait_s":…, "service_s":…, "cells_touched":…,
-                 "disp_delta_rows":…, "coalesced":…}}
+                 "disp_delta_rows":…, "coalesced":…,
+                 "cuts_evaluated":…, "cuts_pruned":…}}
     v}
 
     [query] results carry a ["congestion"] object (bins, max/avg
@@ -110,6 +111,10 @@ type req_metrics = {
   cells_touched : int;
   disp_delta_rows : float;  (** displacement added by this mutation *)
   coalesced : int;  (** >1 when the eco ran as part of a merged batch *)
+  cuts_evaluated : int;
+      (** insertion cuts fully evaluated by this request's legalization
+          (0 for non-legalizing ops) *)
+  cuts_pruned : int;  (** cuts skipped by the kernel's lower bound *)
 }
 
 type error_body = {

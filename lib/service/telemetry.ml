@@ -15,6 +15,9 @@ type t = {
   mutable degraded : int;
   mutable wal_appends : int;
   mutable wal_replayed : int;
+  mutable windows_built : int;
+  mutable cuts_evaluated : int;
+  mutable cuts_pruned : int;
 }
 
 let create () =
@@ -33,7 +36,10 @@ let create () =
     deadline_exceeded = 0;
     degraded = 0;
     wal_appends = 0;
-    wal_replayed = 0 }
+    wal_replayed = 0;
+    windows_built = 0;
+    cuts_evaluated = 0;
+    cuts_pruned = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -64,6 +70,12 @@ let record_deadline t ~degraded =
       t.deadline_exceeded <- t.deadline_exceeded + 1;
       if degraded then t.degraded <- t.degraded + 1)
 
+let record_kernel t ~windows ~evaluated ~pruned =
+  locked t (fun () ->
+      t.windows_built <- t.windows_built + windows;
+      t.cuts_evaluated <- t.cuts_evaluated + evaluated;
+      t.cuts_pruned <- t.cuts_pruned + pruned)
+
 let record_wal_append t = locked t (fun () -> t.wal_appends <- t.wal_appends + 1)
 
 let record_wal_replay t ~count =
@@ -85,6 +97,9 @@ type snapshot = {
   degraded : int;
   wal_appends : int;
   wal_replayed : int;
+  windows_built : int;
+  cuts_evaluated : int;
+  cuts_pruned : int;
 }
 
 let snapshot t =
@@ -105,7 +120,10 @@ let snapshot t =
         deadline_exceeded = t.deadline_exceeded;
         degraded = t.degraded;
         wal_appends = t.wal_appends;
-        wal_replayed = t.wal_replayed })
+        wal_replayed = t.wal_replayed;
+        windows_built = t.windows_built;
+        cuts_evaluated = t.cuts_evaluated;
+        cuts_pruned = t.cuts_pruned })
 
 let to_json t =
   let s = snapshot t in
@@ -125,4 +143,7 @@ let to_json t =
       ("deadline_exceeded", Json.Int s.deadline_exceeded);
       ("degraded", Json.Int s.degraded);
       ("wal_appends", Json.Int s.wal_appends);
-      ("wal_replayed", Json.Int s.wal_replayed) ]
+      ("wal_replayed", Json.Int s.wal_replayed);
+      ("windows_built", Json.Int s.windows_built);
+      ("cuts_evaluated", Json.Int s.cuts_evaluated);
+      ("cuts_pruned", Json.Int s.cuts_pruned) ]

@@ -30,6 +30,10 @@ val record_queue_depth : t -> depth:int -> unit
     the greedy fallback instead of P430. *)
 val record_deadline : t -> degraded:bool -> unit
 
+(** Insertion-kernel work done by one legalize/eco execution: windows
+    built, cuts fully evaluated, cuts skipped by the lower bound. *)
+val record_kernel : t -> windows:int -> evaluated:int -> pruned:int -> unit
+
 (** One journaled (fsync'd and acknowledged) mutation. *)
 val record_wal_append : t -> unit
 
@@ -52,6 +56,9 @@ type snapshot = {
   degraded : int;  (** deadline expiries answered by the greedy fallback *)
   wal_appends : int;
   wal_replayed : int;
+  windows_built : int;  (** insertion windows built by the MGL kernel *)
+  cuts_evaluated : int;  (** cuts fully evaluated (DPs + curve) *)
+  cuts_pruned : int;  (** cuts skipped by the kernel's lower bound *)
 }
 
 val snapshot : t -> snapshot

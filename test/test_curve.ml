@@ -122,6 +122,91 @@ let test_breakpoints_in_range () =
   Alcotest.(check (list int)) "breakpoints" [ 7; 12 ] bps;
   Alcotest.(check (list int)) "clipped" [ 12 ] (Curve.breakpoints c ~lo:8 ~hi:20)
 
+(* minimize_many shares one sort of the event set across ranges; each
+   per-range answer must equal a standalone minimize *)
+let test_minimize_many_matches_minimize () =
+  let c = Curve.create () in
+  Curve.add_target c ~weight:1.5 ~gp:12;
+  Curve.add_left c ~weight:1.0 ~cur:9 ~gp:4 ~dist:3;
+  Curve.add_left c ~weight:2.5 ~cur:21 ~gp:30 ~dist:1;
+  Curve.add_right c ~weight:2.0 ~cur:15 ~gp:20 ~dist:4;
+  Curve.add_const c 0.75;
+  let ranges = [| (0, 30); (-5, 12); (17, 50); (3, 3); (40, 45) |] in
+  let many = Curve.minimize_many c ranges in
+  Array.iteri
+    (fun i (lo, hi) ->
+       let x, v = Curve.minimize c ~lo ~hi in
+       let x', v' = many.(i) in
+       Alcotest.(check int) (Printf.sprintf "x of range %d" i) x x';
+       feq (Printf.sprintf "cost of range %d" i) v v')
+    ranges
+
+let prop_minimize_many_matches_minimize =
+  QCheck.Test.make ~name:"minimize_many == minimize per range" ~count:200
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+       let rng = Mcl_geom.Prng.create seed in
+       let c = Curve.create () in
+       Curve.add_target c ~weight:(1.0 +. Mcl_geom.Prng.float rng 2.0)
+         ~gp:(Mcl_geom.Prng.int rng 60);
+       for _ = 1 to Mcl_geom.Prng.int rng 10 do
+         Curve.add_left c
+           ~weight:(0.5 +. Mcl_geom.Prng.float rng 2.0)
+           ~cur:(Mcl_geom.Prng.int rng 60)
+           ~gp:(Mcl_geom.Prng.int rng 60)
+           ~dist:(Mcl_geom.Prng.int rng 20)
+       done;
+       for _ = 1 to Mcl_geom.Prng.int rng 10 do
+         Curve.add_right c
+           ~weight:(0.5 +. Mcl_geom.Prng.float rng 2.0)
+           ~cur:(Mcl_geom.Prng.int rng 60)
+           ~gp:(Mcl_geom.Prng.int rng 60)
+           ~dist:(Mcl_geom.Prng.int rng 20)
+       done;
+       let ranges =
+         Array.init
+           (1 + Mcl_geom.Prng.int rng 4)
+           (fun _ ->
+              let lo = Mcl_geom.Prng.int rng 70 - 10 in
+              (lo, lo + Mcl_geom.Prng.int rng 40))
+       in
+       let many = Curve.minimize_many c ranges in
+       Array.for_all2
+         (fun (lo, hi) (x', v') ->
+            let x, v = Curve.minimize c ~lo ~hi in
+            x = x' && Float.equal v v')
+         ranges many)
+
+(* reset must leave no residue: a reused curve evaluates and minimizes
+   exactly like a freshly created one *)
+let test_reset_reuse_equals_fresh () =
+  let fill c =
+    Curve.add_target c ~weight:1.25 ~gp:7;
+    Curve.add_right c ~weight:0.5 ~cur:11 ~gp:3 ~dist:2;
+    Curve.add_left c ~weight:3.0 ~cur:18 ~gp:25 ~dist:5;
+    Curve.add_const c 0.5
+  in
+  let reused = Curve.create () in
+  (* dirty it thoroughly first: pieces, events, a sorted sweep *)
+  Curve.add_target reused ~weight:9.0 ~gp:50;
+  Curve.add_left reused ~weight:4.0 ~cur:2 ~gp:44 ~dist:13;
+  ignore (Curve.minimize reused ~lo:(-20) ~hi:80);
+  Curve.reset reused;
+  fill reused;
+  let fresh = Curve.create () in
+  fill fresh;
+  for x = -10 to 40 do
+    feq (Printf.sprintf "eval at %d" x) (Curve.eval fresh x)
+      (Curve.eval reused x)
+  done;
+  let xf, vf = Curve.minimize fresh ~lo:(-10) ~hi:40 in
+  let xr, vr = Curve.minimize reused ~lo:(-10) ~hi:40 in
+  Alcotest.(check int) "argmin" xf xr;
+  feq "min cost" vf vr;
+  Alcotest.(check (list int)) "breakpoints"
+    (Curve.breakpoints fresh ~lo:(-10) ~hi:40)
+    (Curve.breakpoints reused ~lo:(-10) ~hi:40)
+
 let () =
   Alcotest.run "curve"
     [ ("shapes",
@@ -132,4 +217,10 @@ let () =
       ("minimize",
        [ Alcotest.test_case "matches grid scan" `Quick test_minimize_equals_grid_scan;
          QCheck_alcotest.to_alcotest prop_minimize_matches_scan;
-         Alcotest.test_case "theorem 1 convexity" `Quick test_theorem1_convexity ]) ]
+         Alcotest.test_case "theorem 1 convexity" `Quick test_theorem1_convexity ]);
+      ("reuse",
+       [ Alcotest.test_case "minimize_many matches minimize" `Quick
+           test_minimize_many_matches_minimize;
+         QCheck_alcotest.to_alcotest prop_minimize_many_matches_minimize;
+         Alcotest.test_case "reset reuse equals fresh" `Quick
+           test_reset_reuse_equals_fresh ]) ]

@@ -171,8 +171,198 @@ let prop_apply_consistent =
             Mcl_eval.Legality.is_legal design
             && abs_float (after -. before -. cand.Mcl.Insertion.cost) < 1e-6))
 
+(* ---------------------------------------------------------------- *)
+(* Arena kernel vs reference oracle.                                  *)
+(*                                                                    *)
+(* The optimized Insertion.best must be bit-identical to              *)
+(* Insertion.best_reference: same candidate, float-equal cost, same   *)
+(* shift lists — across the whole config matrix (routability, fences, *)
+(* congestion, MGL/MLL displacement). The walk replicates the real    *)
+(* MGL flow (order, window growth, apply) so every window the flow    *)
+(* would evaluate gets cross-checked, and ~check_pruning re-evaluates *)
+(* every pruned cut to prove the lower bound never discards a winner. *)
+(* ---------------------------------------------------------------- *)
+
+module Rect = Mcl_geom.Rect
+
+let same_candidate a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    a.Mcl.Insertion.y0 = b.Mcl.Insertion.y0
+    && a.Mcl.Insertion.x = b.Mcl.Insertion.x
+    && Float.equal a.Mcl.Insertion.cost b.Mcl.Insertion.cost
+    && a.Mcl.Insertion.lefts = b.Mcl.Insertion.lefts
+    && a.Mcl.Insertion.rights = b.Mcl.Insertion.rights
+  | _ -> false
+
+let mk_flow_ctx ~disp_from cfg d =
+  let segments =
+    Mcl.Segment.build ~boundary_gap:(Mcl.Mgl.boundary_gap cfg d)
+      ~respect_fences:cfg.Mcl.Config.consider_fences d
+  in
+  let routability =
+    if cfg.Mcl.Config.consider_routability then Some (Mcl.Routability.create d)
+    else None
+  in
+  let placement = Mcl.Placement.create d in
+  Array.iter
+    (fun (c : Cell.t) ->
+       if c.Cell.is_fixed then Mcl.Placement.add placement c.Cell.id)
+    d.Design.cells;
+  Mcl.Insertion.make_ctx ~disp_from ?congest:(Mcl.Mgl.congest_map cfg d) cfg d
+    ~placement ~segments ~routability
+
+(* Legalize [d] like Mgl.run_with_ctx, calling BOTH kernels on every
+   window; returns false on the first divergence. *)
+let lockstep_equiv ~disp_from cfg d =
+  let ctx = mk_flow_ctx ~disp_from cfg d in
+  let die = Floorplan.die d.Design.floorplan in
+  let ok = ref true in
+  Array.iter
+    (fun target ->
+       if !ok then begin
+         let tgt = d.Design.cells.(target) in
+         let h = Design.height d tgt and w = Design.width d tgt in
+         let rec attempt window tries =
+           let r = Mcl.Insertion.best_reference ctx ~target ~window in
+           let a = Mcl.Insertion.best ~check_pruning:true ctx ~target ~window in
+           if not (same_candidate a r) then ok := false
+           else
+             match r with
+             | Some cand -> Mcl.Insertion.apply ctx ~target cand
+             | None ->
+               if
+                 tries < cfg.Mcl.Config.max_window_tries
+                 && not (Rect.equal window die)
+               then
+                 attempt
+                   (Mcl.Mgl.grow_window window ~die
+                      ~factor:cfg.Mcl.Config.window_growth)
+                   (tries + 1)
+               else
+                 ignore
+                   (Mcl.Mgl.fallback_place ctx target
+                    || Mcl.Mgl.fallback_place ~relax_routability:true ctx target)
+         in
+         attempt
+           (Mcl.Mgl.initial_window cfg d tgt ~h ~w
+              ~util:ctx.Mcl.Insertion.utilization)
+           0
+       end)
+    (Mcl.Mgl.default_order d);
+  (!ok, ctx)
+
+let matrix_spec ~fences ~seed =
+  { Mcl_gen.Spec.default with
+    Mcl_gen.Spec.name = "equiv";
+    num_cells = 120;
+    seed;
+    num_fences = (if fences then 2 else 0);
+    fence_cell_frac = (if fences then 0.3 else 0.0) }
+
+let test_kernel_matches_reference () =
+  List.iter
+    (fun routability ->
+       List.iter
+         (fun fences ->
+            List.iter
+              (fun cw ->
+                 List.iter
+                   (fun disp_from ->
+                      List.iter
+                        (fun seed ->
+                           let d =
+                             Mcl_gen.Generator.generate (matrix_spec ~fences ~seed)
+                           in
+                           let cfg =
+                             { Mcl.Config.default with
+                               Mcl.Config.consider_routability = routability;
+                               consider_fences = fences;
+                               congestion_weight = cw }
+                           in
+                           let ok, _ = lockstep_equiv ~disp_from cfg d in
+                           Alcotest.(check bool)
+                             (Printf.sprintf
+                                "kernel == reference (rout=%b fences=%b cw=%.1f \
+                                 %s seed=%d)"
+                                routability fences cw
+                                (match disp_from with
+                                 | `Gp -> "gp"
+                                 | `Current -> "cur")
+                                seed)
+                             true ok)
+                        [ 11; 42 ])
+                   [ `Gp; `Current ])
+              [ 0.0; 0.5 ])
+         [ false; true ])
+    [ false; true ]
+
+(* a dense design exercises the pruner hard; ~check_pruning (above and
+   here) fails the run if a pruned cut would have won, and the counters
+   must show the pruner actually fired *)
+let test_pruning_fires_and_is_sound () =
+  let spec =
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.name = "dense";
+      num_cells = 150;
+      density = 0.85;
+      seed = 7 }
+  in
+  let d = Mcl_gen.Generator.generate spec in
+  let ok, ctx = lockstep_equiv ~disp_from:`Gp Mcl.Config.default d in
+  Alcotest.(check bool) "dense equivalence" true ok;
+  let k = Mcl.Arena.counters ctx.Mcl.Insertion.arena in
+  Alcotest.(check bool) "pruner fired" true (k.Mcl.Arena.cuts_pruned > 0);
+  Alcotest.(check bool) "windows counted" true (k.Mcl.Arena.windows_built > 0)
+
+(* scratch reuse must not leak state between windows: evaluating two
+   targets from one warm arena equals evaluating each from a fresh one *)
+let test_arena_reuse_is_stateless () =
+  let spec =
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.name = "reuse"; num_cells = 100; seed = 23 }
+  in
+  let d = Mcl_gen.Generator.generate spec in
+  let cfg = Mcl.Config.default in
+  let ctx = mk_flow_ctx ~disp_from:`Gp cfg d in
+  let order = Mcl.Mgl.default_order d in
+  let window target =
+    let tgt = d.Design.cells.(target) in
+    Mcl.Mgl.initial_window cfg d tgt ~h:(Design.height d tgt)
+      ~w:(Design.width d tgt) ~util:ctx.Mcl.Insertion.utilization
+  in
+  let shared = Mcl.Arena.create () in
+  Array.iteri
+    (fun i target ->
+       if i < 8 then begin
+         let fresh =
+           Mcl.Insertion.best ~arena:(Mcl.Arena.create ()) ctx ~target
+             ~window:(window target)
+         in
+         let warm =
+           Mcl.Insertion.best ~arena:shared ctx ~target ~window:(window target)
+         in
+         Alcotest.(check bool)
+           (Printf.sprintf "warm arena == fresh arena (target %d)" target)
+           true
+           (same_candidate warm fresh);
+         (* leave the design state as the real flow would *)
+         match fresh with
+         | Some cand -> Mcl.Insertion.apply ctx ~target cand
+         | None -> ()
+       end)
+    order
+
 let () =
   Alcotest.run "insertion"
     [ ("brute-force",
        [ QCheck_alcotest.to_alcotest prop_insertion_matches_brute_force;
-         QCheck_alcotest.to_alcotest prop_apply_consistent ]) ]
+         QCheck_alcotest.to_alcotest prop_apply_consistent ]);
+      ("arena-kernel",
+       [ Alcotest.test_case "matches reference across config matrix" `Quick
+           test_kernel_matches_reference;
+         Alcotest.test_case "pruning fires and is sound" `Quick
+           test_pruning_fires_and_is_sound;
+         Alcotest.test_case "arena reuse is stateless" `Quick
+           test_arena_reuse_is_stateless ]) ]
