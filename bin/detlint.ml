@@ -1,0 +1,73 @@
+(* detlint — determinism & domain-safety static analysis over this
+   repo's OCaml sources. See DESIGN.md §12 and the K-code table in
+   README.md. Exit codes: 0 clean, 1 unsuppressed findings under
+   [--check], 2 usage errors. *)
+
+open Cmdliner
+
+let run roots check json_out allowlist entries timing =
+  let config =
+    { Mcl_staticcheck.Checks.entries =
+        (match entries with
+         | [] -> Mcl_staticcheck.Checks.default_config.entries
+         | es -> es);
+      timing_modules =
+        (match timing with
+         | [] -> Mcl_staticcheck.Checks.default_config.timing_modules
+         | ts -> List.map String.lowercase_ascii ts) }
+  in
+  let report = Mcl_staticcheck.Detlint.run ~config ~allowlist ~roots () in
+  (match json_out with
+   | Some "-" -> print_string (Mcl_staticcheck.Detlint.render_json report)
+   | Some path ->
+     let oc = open_out path in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+          output_string oc (Mcl_staticcheck.Detlint.render_json report))
+   | None -> ());
+  if json_out <> Some "-" then
+    print_string (Mcl_staticcheck.Detlint.render_pretty report);
+  if check && Mcl_staticcheck.Detlint.has_findings report then 1 else 0
+
+let roots =
+  Arg.(value & pos_all string [ "lib" ]
+       & info [] ~docv:"ROOT" ~doc:"Directories (or files) to scan.")
+
+let check =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Exit nonzero when any unsuppressed finding remains (the CI \
+                 gate mode).")
+
+let json_out =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable findings report to $(docv) (or \
+                 stdout when $(docv) is '-').")
+
+let allowlist =
+  Arg.(value & opt string "detlint.allow"
+       & info [ "allowlist" ] ~docv:"FILE"
+           ~doc:"Checked-in suppression list; every entry carries a \
+                 mandatory justification. A missing file is an empty list.")
+
+let entries =
+  Arg.(value & opt_all string []
+       & info [ "entry" ] ~docv:"MODULE"
+           ~doc:"Scheduler-dispatched entry module (repeatable); overrides \
+                 the built-in set.")
+
+let timing =
+  Arg.(value & opt_all string []
+       & info [ "timing-module" ] ~docv:"MODULE"
+           ~doc:"Module exempt from K103 wall-clock findings (repeatable); \
+                 overrides the built-in telemetry/budget/fault set.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "detlint"
+       ~doc:"Determinism & domain-safety static analysis (K1xx codes)")
+    Term.(const run $ roots $ check $ json_out $ allowlist $ entries $ timing)
+
+let () = exit (Cmd.eval' cmd)

@@ -7,6 +7,7 @@ type location =
   | Row of int
   | Blockage of int
   | Node of int
+  | Source of { file : string; line : int }
   | Design_wide
 
 type t = {
@@ -39,16 +40,21 @@ let pp_location ppf = function
   | Row r -> Format.fprintf ppf "row %d" r
   | Blockage i -> Format.fprintf ppf "blockage %d" i
   | Node n -> Format.fprintf ppf "node %d" n
+  | Source { file; line } -> Format.fprintf ppf "%s:%d" file line
   | Design_wide -> Format.fprintf ppf "design"
 
+(* Source locations carry a string key, so the rank is a triple of a
+   group index, a string key, and two int keys; non-source locations
+   use the empty string. *)
 let location_rank = function
-  | Design_wide -> (0, 0, 0)
-  | Region f -> (1, f, 0)
-  | Row r -> (2, r, 0)
-  | Blockage i -> (3, i, 0)
-  | Cell c -> (4, c, 0)
-  | Cell_pair (a, b) -> (5, a, b)
-  | Node n -> (6, n, 0)
+  | Design_wide -> (0, "", 0, 0)
+  | Region f -> (1, "", f, 0)
+  | Row r -> (2, "", r, 0)
+  | Blockage i -> (3, "", i, 0)
+  | Cell c -> (4, "", c, 0)
+  | Cell_pair (a, b) -> (5, "", a, b)
+  | Node n -> (6, "", n, 0)
+  | Source { file; line } -> (7, file, line, 0)
 
 let pp ppf d =
   Format.fprintf ppf "%-7s %s @@ %a: %s" (severity_string d.severity) d.code
@@ -107,6 +113,9 @@ let json_location = function
   | Row r -> Printf.sprintf {|{"kind":"row","id":%d}|} r
   | Blockage i -> Printf.sprintf {|{"kind":"blockage","index":%d}|} i
   | Node n -> Printf.sprintf {|{"kind":"node","id":%d}|} n
+  | Source { file; line } ->
+    Printf.sprintf {|{"kind":"source","file":"%s","line":%d}|}
+      (json_escape file) line
   | Design_wide -> {|{"kind":"design"}|}
 
 let json_diag d =

@@ -16,7 +16,11 @@
     - [R2xx] routability soft-constraint findings (audit)
     - [N2xx] flow-network invariants (audit)
     - [S3xx] stage/scheduler/ECO failures ([S301-unplaceable-cell],
-      [S302-eco-unknown-cell], [S303-eco-fixed-cell])
+      [S302-eco-unknown-cell], [S303-eco-fixed-cell],
+      [S304-pruning-bound-violated])
+    - [K1xx] determinism & domain-safety findings from the [detlint]
+      static analyzer ({!Mcl_staticcheck}); these use {!Source}
+      locations
 
     The resident service ({!Mcl_service}) adds a [P4xx] family for
     wire-protocol errors (parse failures, unknown ops/designs); those
@@ -32,6 +36,8 @@ type location =
   | Row of int
   | Blockage of int          (** index into [floorplan.blockages] *)
   | Node of int              (** flow-network node id *)
+  | Source of { file : string; line : int }
+                             (** source position (static analysis) *)
   | Design_wide
 
 type t = {

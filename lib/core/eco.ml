@@ -12,7 +12,7 @@ type stats = {
 
 let relegalize ?(targets = []) ?budget ?(greedy = false) ?kernel config design
     ~cells =
-  let eco = List.sort_uniq compare (cells @ List.map fst targets) in
+  let eco = List.sort_uniq Int.compare (cells @ List.map fst targets) in
   (* validate before touching any anchor, so a rejected request leaves
      the design bit-identical (the service relies on this) *)
   List.iter

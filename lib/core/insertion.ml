@@ -109,7 +109,7 @@ let build_window_data ctx ~target ~(window : Rect.t) =
   let clip_pad =
     if ctx.config.Config.consider_routability then
       let t = design.Design.floorplan.Floorplan.edge_spacing in
-      Array.fold_left (fun acc r -> Array.fold_left max acc r) 0 t
+      Array.fold_left (fun acc r -> Array.fold_left Int.max acc r) 0 t
     else 0
   in
   let clip (s : Interval.t) =
@@ -265,7 +265,7 @@ let common_intervals wd ~y0 ~h =
             bounds := ss.ss_lo :: ss.ss_hi :: !bounds)
          info.subspans)
     infos;
-  let bounds = List.sort_uniq compare !bounds in
+  let bounds = List.sort_uniq Int.compare !bounds in
   let rec pairs acc = function
     | a :: (b :: _ as rest) ->
       let covering =
@@ -635,7 +635,7 @@ let best_reference ctx ~target ~window =
                           cuts := wd.c2.(li) :: (wd.c2.(li) + 1) :: !cuts)
                      ri.locs
                  done;
-                 let cuts = List.sort_uniq compare !cuts in
+                 let cuts = List.sort_uniq Int.compare !cuts in
                  let cuts =
                    let arr = Array.of_list cuts in
                    Array.sort
@@ -705,7 +705,7 @@ let build_window_arena ctx (a : Arena.t) ~target ~(window : Rect.t) =
   let clip_pad =
     if ctx.config.Config.consider_routability then
       let t = design.Design.floorplan.Floorplan.edge_spacing in
-      Array.fold_left (fun acc r -> Array.fold_left max acc r) 0 t
+      Array.fold_left (fun acc r -> Array.fold_left Int.max acc r) 0 t
     else 0
   in
   let nrows = max 0 (row_hi - row_lo) in
@@ -1423,7 +1423,14 @@ let best ?(check_pruning = false) ?arena ctx ~target ~window =
                           ~t_wid:w_t ~t_et ~target ~cut
                       with
                       | Some (_, cost) when cost <= incumbent ->
-                        failwith "Insertion.best: pruning bound violated"
+                        Mcl_analysis.Diagnostic.(
+                          fail
+                            [ error ~code:"S304-pruning-bound-violated"
+                                ~stage:"mgl" ~loc:(Cell target)
+                                (Printf.sprintf
+                                   "check_pruning: pruned cut admits cost \
+                                    %.17g <= incumbent %.17g"
+                                   cost incumbent) ])
                       | Some _ | None -> ()
                     end
                   end

@@ -107,17 +107,24 @@ let run ?budget config design =
   let phi_before = total_phi () in
   let moved = ref 0 in
   let ngroups = ref 0 in
-  Hashtbl.iter
-    (fun _key cells ->
-       if List.length cells >= 2 then begin
-         (* matching-round boundary: each group either trades all of
-            its positions or none, so cancellation between groups
-            leaves a consistent (and still legal) placement *)
-         Mcl_resilience.Budget.check_now budget;
-         incr ngroups;
-         optimize_group ~delta0 design moved config (Array.of_list cells)
-       end)
-    groups;
+  (* Groups are disjoint by cell and each trade permutes a group's own
+     positions, so the final placement is independent of processing
+     order — but a deadline can expire mid-loop, and then *which*
+     groups ran would depend on Hashtbl iteration order. Sorting the
+     (type_id, region) keys keeps every partial prefix deterministic
+     (detlint K102). *)
+  Hashtbl.fold (fun key cells acc -> (key, cells) :: acc) groups []
+  |> List.sort (fun ((ta, ra), _) ((tb, rb), _) ->
+      match Int.compare ta tb with 0 -> Int.compare ra rb | c -> c)
+  |> List.iter (fun (_key, cells) ->
+      if List.length cells >= 2 then begin
+        (* matching-round boundary: each group either trades all of
+           its positions or none, so cancellation between groups
+           leaves a consistent (and still legal) placement *)
+        Mcl_resilience.Budget.check_now budget;
+        incr ngroups;
+        optimize_group ~delta0 design moved config (Array.of_list cells)
+      end);
   { groups = !ngroups;
     cells_moved = !moved;
     phi_before;

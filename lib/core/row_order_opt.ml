@@ -154,11 +154,16 @@ let build_and_solve ?budget config design =
        ignore (Graph.add_arc g ~src:vz ~dst:pc.node ~cap:cap_inf ~cost:(-pc.lo));
        ignore (Graph.add_arc g ~src:pc.node ~dst:vz ~cap:cap_inf ~cost:pc.hi))
     pcs;
-  Hashtbl.iter
-    (fun (i, j) gap ->
-       let pi = Hashtbl.find node_of i and pj = Hashtbl.find node_of j in
-       ignore (Graph.add_arc g ~src:pi.node ~dst:pj.node ~cap:cap_inf ~cost:(-gap)))
-    pairs;
+  (* Arc insertion order fixes the solver's internal arc ids and hence
+     its tie-breaking among equal-cost pivots; iterate the pair keys
+     sorted so the network — and the recovered dual — is identical on
+     every run (detlint K102). *)
+  Hashtbl.fold (fun key gap acc -> (key, gap) :: acc) pairs []
+  |> List.sort (fun (((ia, ja), _) : (int * int) * int) (((ib, jb), _)) ->
+      match Int.compare ia ib with 0 -> Int.compare ja jb | c -> c)
+  |> List.iter (fun ((i, j), gap) ->
+      let pi = Hashtbl.find node_of i and pj = Hashtbl.find node_of j in
+      ignore (Graph.add_arc g ~src:pi.node ~dst:pj.node ~cap:cap_inf ~cost:(-gap)));
   (* --- max-displacement extension (Eq. 8/9) --- *)
   if config.Config.n0_factor > 0.0 && Array.length pcs > 0 then begin
     let vp = Graph.add_node g ~supply:0 in

@@ -26,8 +26,11 @@ let put t entry = locked t (fun () -> Hashtbl.replace t.table entry.key entry)
 
 let find t key = locked t (fun () -> Hashtbl.find_opt t.table key)
 
+(* the fold feeds a keyed sort directly, so the listing is independent
+   of Hashtbl iteration order (byte-stable across runs) *)
 let entries t =
-  locked t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
-  |> List.sort (fun a b -> compare a.key b.key)
+  locked t (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+      |> List.sort (fun a b -> String.compare a.key b.key))
 
 let count t = locked t (fun () -> Hashtbl.length t.table)

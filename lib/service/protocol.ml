@@ -268,6 +268,10 @@ let json_of_location loc =
   | Blockage i ->
     Json.Obj [ ("kind", Json.String "blockage"); ("index", Json.Int i) ]
   | Node n -> Json.Obj [ ("kind", Json.String "node"); ("id", Json.Int n) ]
+  | Source { file; line } ->
+    Json.Obj
+      [ ("kind", Json.String "source"); ("file", Json.String file);
+        ("line", Json.Int line) ]
   | Design_wide -> Json.Obj [ ("kind", Json.String "design") ]
 
 let json_of_diag (d : Diagnostic.t) =

@@ -107,9 +107,11 @@ let snapshot t =
       { uptime_s = Unix.gettimeofday () -. t.started_at;
         batches = t.batches;
         max_batch = t.max_batch;
+        (* keyed sort: op names are unique, so ordering by key alone
+           makes the stats listing byte-stable across runs *)
         requests =
           Hashtbl.fold (fun op n acc -> (op, n) :: acc) t.per_op []
-          |> List.sort compare;
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b);
         requests_total = t.requests_total;
         errors = t.errors;
         eco_coalesced = t.eco_coalesced;

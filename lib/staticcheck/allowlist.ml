@@ -1,0 +1,114 @@
+(* Checked-in allowlist: the second suppression mechanism next to
+   [[@detlint.allow]] attributes, for findings in code that cannot
+   carry the attribute (e.g. a module that must not depend on the
+   checker's vocabulary) or for repo-wide policy decisions. Every
+   entry carries a mandatory justification; entries that match no
+   finding are themselves reported (K108) so the list cannot rot. *)
+
+type entry = {
+  code : string;       (* short, e.g. "K103" *)
+  path : string;       (* suffix-matched against finding files *)
+  line : int option;
+  reason : string;
+  at_line : int;       (* line in the allowlist file, for reports *)
+  mutable used : bool;
+}
+
+type t = {
+  file : string;
+  entries : entry list;
+  malformed : (int * string) list; (* line, message — K109 *)
+}
+
+let is_short_code c =
+  String.length c = 4
+  && c.[0] = 'K'
+  && String.for_all (function '0' .. '9' -> true | _ -> false)
+       (String.sub c 1 3)
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_target tok =
+  match String.rindex_opt tok ':' with
+  | Some i ->
+    (match int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1)) with
+     | Some line -> (String.sub tok 0 i, Some line)
+     | None -> (tok, None))
+  | None -> (tok, None)
+
+let parse_string ~file text =
+  let entries = ref [] and malformed = ref [] in
+  List.iteri
+    (fun i raw ->
+       let at_line = i + 1 in
+       let line = String.trim raw in
+       if line <> "" && line.[0] <> '#' then
+         match split_ws line with
+         | code :: target :: (_ :: _ as reason_toks) when is_short_code code ->
+           let path, lno = parse_target target in
+           entries :=
+             { code; path; line = lno;
+               reason = String.concat " " reason_toks; at_line; used = false }
+             :: !entries
+         | code :: _ when not (is_short_code code) ->
+           malformed :=
+             (at_line, Printf.sprintf "bad code %S: expected K1xx" code)
+             :: !malformed
+         | _ ->
+           malformed :=
+             ( at_line,
+               "expected `KXXX path[:line] justification...` with a \
+                non-empty justification" )
+             :: !malformed)
+    (String.split_on_char '\n' text);
+  { file; entries = List.rev !entries; malformed = List.rev !malformed }
+
+let load path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse_string ~file:path text
+  end
+  else { file = path; entries = []; malformed = [] }
+
+let empty = { file = ""; entries = []; malformed = [] }
+
+(* normalized suffix match: "lib/core/mgl.ml" matches findings in
+   "./lib/core/mgl.ml", "/abs/path/lib/core/mgl.ml", ... *)
+let path_matches ~entry_path ~finding_file =
+  let strip s =
+    if String.length s > 1 && String.sub s 0 2 = "./" then
+      String.sub s 2 (String.length s - 2)
+    else s
+  in
+  let e = strip entry_path and f = strip finding_file in
+  e = f
+  || (String.length f > String.length e
+      && String.sub f (String.length f - String.length e - 1)
+           (String.length e + 1)
+         = "/" ^ e)
+
+(* First matching entry for (full code, file, line), marking it used. *)
+let claim t ~code ~file ~line =
+  let short = if String.length code >= 4 then String.sub code 0 4 else code in
+  List.find_map
+    (fun e ->
+       if
+         e.code = short
+         && path_matches ~entry_path:e.path ~finding_file:file
+         && (match e.line with None -> true | Some l -> l = line)
+       then begin
+         e.used <- true;
+         Some e.reason
+       end
+       else None)
+    t.entries
+
+let stale t = List.filter (fun e -> not e.used) t.entries

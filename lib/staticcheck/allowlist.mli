@@ -1,0 +1,40 @@
+(** Checked-in suppression list. Line format:
+
+    {v
+    # comment
+    K103 lib/core/pipeline.ml stage wall-times feed the report only
+    K106 lib/eval/legality.ml:105 test-only assertion helper
+    v}
+
+    code, suffix-matched path (optionally [:line]), then a mandatory
+    justification. Malformed lines surface as K109 findings; entries
+    that match nothing surface as K108 so the list cannot rot. *)
+
+type entry = {
+  code : string;
+  path : string;
+  line : int option;
+  reason : string;
+  at_line : int;
+  mutable used : bool;
+}
+
+type t = {
+  file : string;
+  entries : entry list;
+  malformed : (int * string) list;
+}
+
+val parse_string : file:string -> string -> t
+
+(** Missing file parses as empty. *)
+val load : string -> t
+
+val empty : t
+
+(** First matching entry's justification for a finding with the given
+    full code / file / line; marks the entry used. *)
+val claim : t -> code:string -> file:string -> line:int -> string option
+
+(** Entries never claimed by any finding. *)
+val stale : t -> entry list

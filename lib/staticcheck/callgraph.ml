@@ -1,0 +1,39 @@
+(* Module-granularity call-edge approximation.
+
+   Summaries record every module name a file references (value paths,
+   constructors, type constructors, opens, module aliases). Restricted
+   to the modules in the scanned set, those references form a
+   conservative over-approximation of the call graph: if any function
+   in A can call into B, then A references B. Reachability from the
+   scheduler-dispatched entry modules is therefore sound for the
+   "could this state be touched from a dispatched job?" question the
+   checker asks, at the cost of false positives (a reference used only
+   from a cold path still marks the module reachable). *)
+
+module SS = Set.Make (String)
+
+type t = { reachable : SS.t }
+
+let build ~entries (summaries : Summary.t list) =
+  let known =
+    List.fold_left (fun s (m : Summary.t) -> SS.add m.modname s) SS.empty
+      summaries
+  in
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Summary.t) ->
+       Hashtbl.replace edges m.modname
+         (List.filter (fun r -> SS.mem r known) m.refs))
+    summaries;
+  let reachable = ref SS.empty in
+  let rec visit m =
+    if SS.mem m known && not (SS.mem m !reachable) then begin
+      reachable := SS.add m !reachable;
+      List.iter visit (Option.value (Hashtbl.find_opt edges m) ~default:[])
+    end
+  in
+  List.iter visit entries;
+  { reachable = !reachable }
+
+let is_reachable t m = SS.mem m t.reachable
+let reachable_modules t = SS.elements t.reachable

@@ -1,0 +1,16 @@
+(** Module-granularity call-edge approximation over {!Summary.t}
+    references, with reachability from the scheduler-dispatched entry
+    modules. Conservative: module references over-approximate call
+    edges, so reachability has false positives but no false
+    negatives. *)
+
+type t
+
+(** [build ~entries summaries]; [entries] are capitalized module
+    names. Entries not present in [summaries] are ignored. *)
+val build : entries:string list -> Summary.t list -> t
+
+val is_reachable : t -> string -> bool
+
+(** Sorted. *)
+val reachable_modules : t -> string list

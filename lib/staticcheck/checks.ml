@@ -1,0 +1,140 @@
+(* Turns summaries + the reachability approximation into diagnostics.
+
+   Severity policy:
+   - K101/K102/K106 are [Error] in modules reachable from a
+     scheduler-dispatched entry module and [Warning] elsewhere —
+     hazard classes that break the parallel-determinism story outright
+     when a dispatched job can touch them.
+   - K104 (unseeded randomness) is always [Error]: there is no path on
+     which it is acceptable in this codebase (seeded [Prng]/
+     [Random.State] are the sanctioned APIs and are not flagged).
+   - K103/K105 are [Warning]: real hazards, but with legitimate
+     justifiable uses (telemetry clocks, keyed compares).
+   - K100/K107/K108/K109 are checker-hygiene findings.
+
+   [detlint --check] gates on *any* unsuppressed finding regardless of
+   severity, so the distinction matters for reading reports, not for
+   the CI gate. *)
+
+module D = Mcl_analysis.Diagnostic
+
+type config = {
+  entries : string list;
+      (* capitalized module names whose code the scheduler dispatches *)
+  timing_modules : string list;
+      (* lowercase stems exempt from K103 — the modules whose purpose
+         is reading the clock *)
+}
+
+let default_config =
+  { entries =
+      [ "Pipeline"; "Scheduler"; "Mgl"; "Insertion"; "Eco"; "Matching_opt";
+        "Row_order_opt"; "Engine"; "Batch"; "Server" ];
+    timing_modules = [ "telemetry"; "budget"; "fault" ] }
+
+type suppressed = {
+  diag : D.t;
+  via : string;    (* "attribute" | "allowlist" | "timing-module" *)
+  reason : string;
+}
+
+type result = {
+  findings : D.t list;        (* active, Diagnostic.sort order *)
+  suppressed : suppressed list;
+  reachable : string list;
+  files_scanned : int;
+}
+
+let severity_for graph (m : Summary.t) kind =
+  let reachable = Callgraph.is_reachable graph m.modname in
+  match (kind : Summary.kind) with
+  | Toplevel_mutable | Unsorted_iteration | Bare_exception ->
+    if reachable then D.Error else D.Warning
+  | Unseeded_random -> D.Error
+  | Clock_read | Poly_compare -> D.Warning
+  | Malformed_suppression -> D.Error
+
+let diag_of_finding graph (m : Summary.t) (f : Summary.finding) =
+  let code = Summary.code_of_kind f.kind in
+  let severity = severity_for graph m f.kind in
+  let reach_note =
+    if Callgraph.is_reachable graph m.modname then
+      " (reachable from scheduler-dispatched entries)"
+    else ""
+  in
+  D.make ~code ~severity
+    ~loc:(D.Source { file = f.site.file; line = f.site.line })
+    (f.site.detail ^ reach_note)
+
+let is_timing_module cfg (m : Summary.t) =
+  List.mem (String.lowercase_ascii m.modname) cfg.timing_modules
+
+let run cfg allow (parsed : Source.parsed list) =
+  let summaries =
+    List.filter_map
+      (fun (p : Source.parsed) ->
+         Option.map (Extract.run ~file:p.path ~modname:p.modname) p.ast)
+      parsed
+  in
+  let graph = Callgraph.build ~entries:cfg.entries summaries in
+  let active = ref [] and suppressed = ref [] in
+  let add d = active := d :: !active in
+  let add_suppressed diag via reason =
+    suppressed := { diag; via; reason } :: !suppressed
+  in
+  (* K100: files the compiler's parser rejected *)
+  List.iter
+    (fun (p : Source.parsed) ->
+       match p.parse_error with
+       | Some (line, msg) ->
+         add
+           (D.warning ~code:"K100-parse-error"
+              ~loc:(D.Source { file = p.path; line })
+              msg)
+       | None -> ())
+    parsed;
+  (* per-module findings *)
+  List.iter
+    (fun (m : Summary.t) ->
+       List.iter
+         (fun (f : Summary.finding) ->
+            let diag = diag_of_finding graph m f in
+            match f.site.suppressed with
+            | Some (_, reason) when f.kind <> Summary.Malformed_suppression ->
+              add_suppressed diag "attribute" reason
+            | _ ->
+              if f.kind = Summary.Clock_read && is_timing_module cfg m then
+                add_suppressed diag "timing-module"
+                  "built-in exemption: module's purpose is timekeeping"
+              else
+                (match
+                   Allowlist.claim allow ~code:diag.D.code ~file:f.site.file
+                     ~line:f.site.line
+                 with
+                 | Some reason -> add_suppressed diag "allowlist" reason
+                 | None -> add diag))
+         m.findings)
+    summaries;
+  (* K109: malformed allowlist lines; K108: stale entries *)
+  List.iter
+    (fun (line, msg) ->
+       add
+         (D.error ~code:"K109-malformed-allowlist"
+            ~loc:(D.Source { file = allow.Allowlist.file; line })
+            msg))
+    allow.Allowlist.malformed;
+  List.iter
+    (fun (e : Allowlist.entry) ->
+       add
+         (D.warning ~code:"K108-stale-allowlist"
+            ~loc:(D.Source { file = allow.Allowlist.file; line = e.at_line })
+            (Printf.sprintf "entry %s %s matches no finding" e.code e.path)))
+    (Allowlist.stale allow);
+  { findings = D.sort !active;
+    suppressed =
+      List.sort
+        (fun a b -> compare (a.diag.D.code, a.diag.D.location)
+            (b.diag.D.code, b.diag.D.location))
+        !suppressed;
+    reachable = Callgraph.reachable_modules graph;
+    files_scanned = List.length parsed }

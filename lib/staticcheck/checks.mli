@@ -1,0 +1,30 @@
+(** Assigns K-codes and severities to summary findings, applies the
+    three suppression mechanisms (lexical [[@detlint.allow]]
+    attributes, the checked-in allowlist, and the built-in
+    timing-module exemption for K103) and folds in checker-hygiene
+    findings (K100 parse errors, K108 stale / K109 malformed allowlist
+    entries). *)
+
+type config = {
+  entries : string list;
+      (** capitalized names of scheduler-dispatched entry modules *)
+  timing_modules : string list;
+      (** lowercase stems exempt from K103 *)
+}
+
+val default_config : config
+
+type suppressed = {
+  diag : Mcl_analysis.Diagnostic.t;
+  via : string;  (** ["attribute"] / ["allowlist"] / ["timing-module"] *)
+  reason : string;
+}
+
+type result = {
+  findings : Mcl_analysis.Diagnostic.t list; (** active, sorted *)
+  suppressed : suppressed list;
+  reachable : string list;
+  files_scanned : int;
+}
+
+val run : config -> Allowlist.t -> Source.parsed list -> result

@@ -1,0 +1,91 @@
+(* Top-level driver: scan → parse → summarize → check → render.
+   [run] works on the filesystem; [run_strings] on in-memory sources
+   (the test harness feeds fixture files through it). *)
+
+module D = Mcl_analysis.Diagnostic
+
+type report = {
+  result : Checks.result;
+  design : string; (* report label, e.g. "lib" *)
+}
+
+let run ?(config = Checks.default_config) ?(allowlist = "detlint.allow")
+    ~roots () =
+  let allow = Allowlist.load allowlist in
+  let parsed = List.map Source.load (Source.scan roots) in
+  { result = Checks.run config allow parsed;
+    design = String.concat "," roots }
+
+let run_strings ?(config = Checks.default_config) ?(allowlist_text = "")
+    files =
+  let allow =
+    if allowlist_text = "" then Allowlist.empty
+    else Allowlist.parse_string ~file:"detlint.allow" allowlist_text
+  in
+  let parsed =
+    List.map (fun (path, text) -> Source.parse_string ~path text) files
+  in
+  { result = Checks.run config allow parsed; design = "inline" }
+
+let codes t = List.map (fun d -> d.D.code) t.result.findings
+
+let has_findings t = t.result.findings <> []
+
+let diagnostic_report t = D.report ~design:t.design t.result.findings
+
+let render_pretty t =
+  let buf = Buffer.create 1024 in
+  let r = t.result in
+  Buffer.add_string buf
+    (Format.asprintf "%a@." D.pp_report (diagnostic_report t));
+  Buffer.add_string buf
+    (Printf.sprintf "%d file(s) scanned, %d reachable module(s), %d suppressed\n"
+       r.files_scanned
+       (List.length r.reachable)
+       (List.length r.suppressed));
+  List.iter
+    (fun (s : Checks.suppressed) ->
+       Buffer.add_string buf
+         (Format.asprintf "  allowed %s @@ %a via %s: %s\n" s.diag.D.code
+            D.pp_location s.diag.D.location s.via s.reason))
+    r.suppressed;
+  Buffer.contents buf
+
+(* JSON envelope around the Diagnostic report schema:
+   {"files", "reachable", "report": <Diagnostic.to_json>,
+    "suppressed": [{"code","location","via","reason"}]} *)
+let render_json t =
+  let r = t.result in
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+         match c with
+         | '"' -> Buffer.add_string buf "\\\""
+         | '\\' -> Buffer.add_string buf "\\\\"
+         | '\n' -> Buffer.add_string buf "\\n"
+         | '\t' -> Buffer.add_string buf "\\t"
+         | '\r' -> Buffer.add_string buf "\\r"
+         | c when Char.code c < 0x20 ->
+           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+         | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let suppressed =
+    List.map
+      (fun (s : Checks.suppressed) ->
+         Printf.sprintf
+           {|{"code":"%s","location":"%s","via":"%s","reason":"%s"}|}
+           (json_escape s.diag.D.code)
+           (json_escape (Format.asprintf "%a" D.pp_location s.diag.D.location))
+           (json_escape s.via) (json_escape s.reason))
+      r.suppressed
+  in
+  Printf.sprintf
+    {|{"files":%d,"reachable":[%s],"suppressed":[%s],"report":%s}|}
+    r.files_scanned
+    (String.concat ","
+       (List.map (fun m -> Printf.sprintf {|"%s"|} (json_escape m)) r.reachable))
+    (String.concat "," suppressed)
+    (D.to_json (diagnostic_report t))

@@ -1,0 +1,28 @@
+(** Driver for the determinism & domain-safety checker. See
+    [bin/detlint.ml] for the CLI and DESIGN.md §12 for the
+    architecture (parse → per-module summaries → call-edge
+    reachability → coded findings). *)
+
+type report = {
+  result : Checks.result;
+  design : string;
+}
+
+(** [run ~roots ()] scans the [.ml] files under [roots]. [allowlist]
+    defaults to ["detlint.allow"]; a missing file is an empty list. *)
+val run :
+  ?config:Checks.config -> ?allowlist:string -> roots:string list -> unit ->
+  report
+
+(** In-memory variant for tests: [(path, source)] pairs. *)
+val run_strings :
+  ?config:Checks.config -> ?allowlist_text:string -> (string * string) list ->
+  report
+
+(** Active finding codes, in report order. *)
+val codes : report -> string list
+
+val has_findings : report -> bool
+val diagnostic_report : report -> Mcl_analysis.Diagnostic.report
+val render_pretty : report -> string
+val render_json : report -> string

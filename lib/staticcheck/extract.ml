@@ -1,0 +1,407 @@
+(* Builds a {!Summary.t} from a parsed structure.
+
+   The walk is a Parsetree [Ast_iterator] restricted to constructors
+   whose shape is stable across compiler versions (applications,
+   identifiers, constructs, attributes, type declarations) — in
+   particular it never matches the lambda constructors, whose
+   representation changed between 4.14/5.1 and 5.2. "Top level" is
+   tracked as expression depth zero instead: a value binding reached
+   while no enclosing expression is being visited is module-level
+   state, including bindings inside nested [module M = struct .. end],
+   while [let x = ref 0 in ..] inside a function body is not.
+
+   Suppression is lexical: a [[@detlint.allow K103 "reason"]]
+   attribute on an expression or value binding covers the findings in
+   that subtree; a floating [[@@@detlint.allow ...]] at the top level
+   of the module covers the whole file. *)
+
+open Parsetree
+
+module SS = Set.Make (String)
+
+type state = {
+  file : string;
+  mutable refs : SS.t;
+  mutable findings : Summary.finding list; (* reversed *)
+  mutable poly_candidates : Summary.finding list; (* reversed *)
+  mutable scopes : (string * string) list; (* short code, reason *)
+  mutable module_allows : (string * string) list;
+  mutable depth : int; (* enclosing-expression nesting *)
+  mutable hazardous_types : bool;
+  sanctioned : (int, unit) Hashtbl.t; (* folds piped into a sort *)
+}
+
+let line_of loc = loc.Location.loc_start.Lexing.pos_lnum
+
+(* ---------------- suppression attributes ---------------- *)
+
+let is_short_code c =
+  String.length c = 4
+  && c.[0] = 'K'
+  && String.for_all (function '0' .. '9' -> true | _ -> false)
+       (String.sub c 1 3)
+
+(* [@detlint.allow K103 "reason"] — payload is the constructor
+   application [K103 "reason"]. *)
+let allow_payload (attr : attribute) =
+  if attr.attr_name.Location.txt <> "detlint.allow" then None
+  else
+    match attr.attr_payload with
+    | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] ->
+      (match e.pexp_desc with
+       | Pexp_construct ({ txt = Longident.Lident code; _ }, Some arg)
+         when is_short_code code ->
+         (match arg.pexp_desc with
+          | Pexp_constant (Pconst_string (reason, _, _))
+            when String.trim reason <> "" ->
+            Some (`Allow (code, String.trim reason))
+          | _ -> Some `Malformed)
+       | _ -> Some `Malformed)
+    | _ -> Some `Malformed
+
+let suppression_for st kind =
+  let code = Summary.code_of_kind kind in
+  let short = String.sub code 0 4 in
+  List.find_map
+    (fun (c, reason) -> if c = short then Some (code, reason) else None)
+    (st.scopes @ st.module_allows)
+
+let record st kind loc detail =
+  let f =
+    Summary.finding ?suppressed:(suppression_for st kind) kind ~file:st.file
+      ~line:(line_of loc) detail
+  in
+  match kind with
+  | Summary.Poly_compare -> st.poly_candidates <- f :: st.poly_candidates
+  | _ -> st.findings <- f :: st.findings
+
+(* Pushes the allow-scopes found in [attrs]; malformed [detlint.allow]
+   attributes become K107 findings on the spot. Returns the number of
+   scopes to pop. *)
+let handle_attrs st attrs =
+  List.fold_left
+    (fun pushed attr ->
+       match allow_payload attr with
+       | Some (`Allow (code, reason)) ->
+         st.scopes <- (code, reason) :: st.scopes;
+         pushed + 1
+       | Some `Malformed ->
+         record st Summary.Malformed_suppression attr.attr_loc
+           "detlint.allow payload must be `CODE \"justification\"` with a \
+            non-empty justification";
+         pushed
+       | None -> pushed)
+    0 attrs
+
+let pop_scopes st n =
+  for _ = 1 to n do
+    match st.scopes with [] -> () | _ :: tl -> st.scopes <- tl
+  done
+
+(* ---------------- identifier classification ---------------- *)
+
+let add_refs st ?(drop_last = true) lid =
+  let comps = Longident.flatten lid in
+  let comps =
+    if drop_last then match List.rev comps with
+      | [] -> []
+      | _ :: tl -> List.rev tl
+    else comps
+  in
+  List.iter
+    (fun c ->
+       if c <> "" && c.[0] >= 'A' && c.[0] <= 'Z' then
+         st.refs <- SS.add c st.refs)
+    comps
+
+let last2 comps =
+  match List.rev comps with
+  | x :: y :: _ -> Some (y, x)
+  | _ -> None
+
+let clock_reads =
+  [ ("Unix", "gettimeofday"); ("Unix", "time"); ("Unix", "gmtime");
+    ("Unix", "localtime"); ("Sys", "time") ]
+
+(* module-level initializers that allocate shared mutable state *)
+let mutable_makers =
+  [ ("Hashtbl", "create"); ("Array", "make"); ("Array", "init");
+    ("Array", "create_float"); ("Array", "make_matrix"); ("Bytes", "create");
+    ("Bytes", "make"); ("Buffer", "create"); ("Queue", "create");
+    ("Stack", "create"); ("Atomic", "make"); ("Weak", "create");
+    ("Mutex", "create"); ("Condition", "create"); ("Dynarray", "create") ]
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Longident.flatten txt)
+  | _ -> None
+
+let apply_head_path e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> ident_path f
+  | _ -> ident_path e
+
+(* [Hashtbl.fold]/[Hashtbl.iter] application? *)
+let fold_kind e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) ->
+    (match ident_path f with
+     | Some comps ->
+       (match last2 comps with
+        | Some ("Hashtbl", "fold") -> Some `Fold
+        | Some ("Hashtbl", "iter") -> Some `Iter
+        | _ -> None)
+     | None -> None)
+  | _ -> None
+
+let sort_names = [ "sort"; "stable_sort"; "fast_sort"; "sort_uniq" ]
+
+(* an expression whose head is List/Array sort — either the bare
+   function or a partial application like [List.sort cmp] *)
+let is_sort_expr e =
+  match apply_head_path e with
+  | Some comps ->
+    (match last2 comps with
+     | Some (("List" | "Array" | "ListLabels" | "ArrayLabels"), fn) ->
+       List.mem fn sort_names
+     | _ -> false)
+  | None -> false
+
+let sanction st e = Hashtbl.replace st.sanctioned e.pexp_loc.loc_start.pos_cnum ()
+let sanctioned st e = Hashtbl.mem st.sanctioned e.pexp_loc.loc_start.pos_cnum
+
+(* Does [e] evaluate to freshly allocated mutable state? Descends only
+   through value-position constructors; anything unrecognized —
+   lambdas in particular — answers [None]. *)
+let rec mutable_maker e =
+  match e.pexp_desc with
+  | Pexp_array _ -> Some "array literal"
+  | Pexp_apply (f, _) ->
+    (match ident_path f with
+     | Some comps ->
+       (match List.rev comps with
+        | "ref" :: _ -> Some "ref"
+        | fn :: m :: _ when List.mem (m, fn) mutable_makers ->
+          Some (m ^ "." ^ fn)
+        | _ -> None)
+     | None -> None)
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) | Pexp_open (_, body)
+  | Pexp_constraint (body, _) | Pexp_lazy body ->
+    mutable_maker body
+  | Pexp_ifthenelse (_, a, b) ->
+    (match mutable_maker a with
+     | Some _ as r -> r
+     | None -> Option.bind b mutable_maker)
+  | Pexp_tuple es -> List.find_map mutable_maker es
+  | Pexp_construct (_, Some arg) -> mutable_maker arg
+  | Pexp_record (fields, _) ->
+    List.find_map (fun (_, v) -> mutable_maker v) fields
+  | _ -> None
+
+let binding_name vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | _ -> "_"
+
+(* bare polymorphic comparison passed point-free as an argument;
+   [String.compare] etc. are module-qualified and therefore fine *)
+let poly_compare_arg e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident ("compare" | "=" | "<>" | "min" | "max" as f); _ } ->
+    Some f
+  | Pexp_ident
+      { txt = Longident.Ldot (Longident.Lident "Stdlib",
+                              ("compare" | "min" | "max" as f)); _ } ->
+    Some ("Stdlib." ^ f)
+  | _ -> None
+
+(* ---------------- per-expression checks ---------------- *)
+
+let check_expr st e =
+  (match e.pexp_desc with
+   | Pexp_ident { txt; _ } ->
+     add_refs st txt;
+     let comps = Longident.flatten txt in
+     (match last2 comps with
+      | Some pair when List.mem pair clock_reads ->
+        record st Summary.Clock_read e.pexp_loc
+          (String.concat "." comps)
+      | _ -> ());
+     (match List.rev comps with
+      | fn :: "Random" :: _ ->
+        record st Summary.Unseeded_random e.pexp_loc
+          (if fn = "self_init" then "Random.self_init"
+           else "global Random state: Random." ^ fn)
+      | "make_self_init" :: "State" :: "Random" :: _ ->
+        record st Summary.Unseeded_random e.pexp_loc
+          "Random.State.make_self_init"
+      | _ -> ())
+   | Pexp_construct ({ txt; _ }, _) -> add_refs st txt
+   | Pexp_field (_, { txt; _ }) | Pexp_setfield (_, { txt; _ }, _) ->
+     add_refs st txt
+   | Pexp_record (fields, _) ->
+     List.iter (fun ({ Location.txt; _ }, _) -> add_refs st txt) fields
+   | _ -> ());
+  (* K102: sanction folds that feed a sort before visiting them *)
+  (match e.pexp_desc with
+   | Pexp_apply (f, args) ->
+     (match ident_path f with
+      | Some [ op ] when op = "|>" || op = "@@" ->
+        (match args with
+         | [ (_, a); (_, b) ] ->
+           let fold_side, sort_side = if op = "|>" then (a, b) else (b, a) in
+           if fold_kind fold_side = Some `Fold && is_sort_expr sort_side then
+             sanction st fold_side
+         | _ -> ())
+      | _ ->
+        (* the sort may also be written applied:
+           [List.sort cmp (Hashtbl.fold ...)] *)
+        if is_sort_expr f then
+          List.iter
+            (fun (_, arg) ->
+               if fold_kind arg = Some `Fold then sanction st arg)
+            args);
+     (* K105 candidates *)
+     List.iter
+       (fun (_, arg) ->
+          match poly_compare_arg arg with
+          | Some f ->
+            record st Summary.Poly_compare arg.pexp_loc
+              ("polymorphic " ^ f ^ " passed in a module declaring float- \
+                or function-bearing types")
+          | None -> ())
+       args;
+     (* K106 *)
+     (match ident_path f with
+      | Some [ "failwith" ] | Some [ "Stdlib"; "failwith" ] ->
+        record st Summary.Bare_exception e.pexp_loc "failwith"
+      | Some ([ "raise" ] | [ "Stdlib"; "raise" ] | [ "raise_notrace" ]) ->
+        (match args with
+         | (_, { pexp_desc = Pexp_construct ({ txt; _ }, _); _ }) :: _ ->
+           (match List.rev (Longident.flatten txt) with
+            | "Failure" :: _ ->
+              record st Summary.Bare_exception e.pexp_loc "raise Failure"
+            | _ -> ())
+         | _ -> ())
+      | _ -> ())
+   | _ -> ());
+  (* K102 proper *)
+  match fold_kind e with
+  | Some k when not (sanctioned st e) ->
+    record st Summary.Unsorted_iteration e.pexp_loc
+      (match k with
+       | `Fold -> "Hashtbl.fold"
+       | `Iter -> "Hashtbl.iter")
+  | _ -> ()
+
+(* ---------------- hazardous type declarations ---------------- *)
+
+let rec type_is_hazardous ct =
+  match ct.ptyp_desc with
+  | Ptyp_arrow _ -> true
+  | Ptyp_constr ({ txt; _ }, args) ->
+    (match List.rev (Longident.flatten txt) with
+     | "float" :: _ -> true
+     | _ -> List.exists type_is_hazardous args)
+  | Ptyp_tuple ts -> List.exists type_is_hazardous ts
+  | Ptyp_alias (t, _) | Ptyp_poly (_, t) -> type_is_hazardous t
+  | _ -> false
+
+let decl_is_hazardous d =
+  let manifest =
+    match d.ptype_manifest with
+    | Some t -> type_is_hazardous t
+    | None -> false
+  in
+  manifest
+  || (match d.ptype_kind with
+      | Ptype_record labels ->
+        List.exists (fun l -> type_is_hazardous l.pld_type) labels
+      | Ptype_variant constrs ->
+        List.exists
+          (fun c ->
+             match c.pcd_args with
+             | Pcstr_tuple ts -> List.exists type_is_hazardous ts
+             | Pcstr_record labels ->
+               List.exists (fun l -> type_is_hazardous l.pld_type) labels)
+          constrs
+      | _ -> false)
+
+(* ---------------- the iterator ---------------- *)
+
+let iterator st =
+  let open Ast_iterator in
+  { default_iterator with
+    expr =
+      (fun it e ->
+         let pushed = handle_attrs st e.pexp_attributes in
+         check_expr st e;
+         st.depth <- st.depth + 1;
+         default_iterator.expr it e;
+         st.depth <- st.depth - 1;
+         pop_scopes st pushed);
+    value_binding =
+      (fun it vb ->
+         let pushed = handle_attrs st vb.pvb_attributes in
+         (if st.depth = 0 then
+            match mutable_maker vb.pvb_expr with
+            | Some what ->
+              record st Summary.Toplevel_mutable vb.pvb_loc
+                (Printf.sprintf "top-level binding %s = %s" (binding_name vb)
+                   what)
+            | None -> ());
+         default_iterator.value_binding it vb;
+         pop_scopes st pushed);
+    typ =
+      (fun it ct ->
+         (match ct.ptyp_desc with
+          | Ptyp_constr ({ txt; _ }, _) -> add_refs st txt
+          | _ -> ());
+         default_iterator.typ it ct);
+    type_declaration =
+      (fun it d ->
+         if decl_is_hazardous d then st.hazardous_types <- true;
+         default_iterator.type_declaration it d);
+    module_expr =
+      (fun it me ->
+         (match me.pmod_desc with
+          | Pmod_ident { txt; _ } -> add_refs st ~drop_last:false txt
+          | _ -> ());
+         default_iterator.module_expr it me) }
+
+let run ~file ~modname str =
+  let st =
+    { file; refs = SS.empty; findings = []; poly_candidates = []; scopes = [];
+      module_allows = []; depth = 0; hazardous_types = false;
+      sanctioned = Hashtbl.create 16 }
+  in
+  (* pre-pass: module-wide floating [@@@detlint.allow ...] apply to the
+     whole file, wherever they appear *)
+  List.iter
+    (fun item ->
+       match item.pstr_desc with
+       | Pstr_attribute attr ->
+         (match allow_payload attr with
+          | Some (`Allow (code, reason)) ->
+            st.module_allows <- (code, reason) :: st.module_allows
+          | Some `Malformed ->
+            record st Summary.Malformed_suppression attr.attr_loc
+              "detlint.allow payload must be `CODE \"justification\"` with \
+               a non-empty justification"
+          | None -> ())
+       | _ -> ())
+    str;
+  let it = iterator st in
+  it.Ast_iterator.structure it str;
+  let findings =
+    (if st.hazardous_types then st.poly_candidates else []) @ st.findings
+  in
+  let findings =
+    List.sort
+      (fun (a : Summary.finding) b ->
+         compare
+           (a.site.line, Summary.code_of_kind a.kind, a.site.detail)
+           (b.site.line, Summary.code_of_kind b.kind, b.site.detail))
+      findings
+  in
+  { Summary.modname; file; refs = SS.elements st.refs; findings }

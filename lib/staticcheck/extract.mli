@@ -1,0 +1,10 @@
+(** Builds a {!Summary.t} from a parsed implementation.
+
+    The walk matches only Parsetree constructors whose shape is stable
+    across the compiler versions we build on (5.1/5.2): applications,
+    identifiers, constructs, attributes and type declarations.
+    Module-level state is detected positionally (a value binding
+    visited at expression depth zero), not by matching lambda
+    constructors. *)
+
+val run : file:string -> modname:string -> Parsetree.structure -> Summary.t

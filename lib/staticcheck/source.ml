@@ -1,0 +1,69 @@
+(* Source discovery and parsing. Uses the compiler's own parser
+   (compiler-libs.common, shipped with the toolchain — no external
+   dependency), so the checker sees exactly the AST the build sees. *)
+
+type parsed = {
+  path : string;
+  modname : string;
+  ast : Parsetree.structure option;  (* [None] on parse failure *)
+  parse_error : (int * string) option; (* line, message *)
+}
+
+let modname_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* [scan roots] lists the .ml files under each root (a file root names
+   itself), depth-first, skipping [_build], [_opam] and dot
+   directories. The result is sorted so every downstream listing is
+   deterministic regardless of readdir order. *)
+let scan roots =
+  let acc = ref [] in
+  let skip_dir name =
+    name = "_build" || name = "_opam"
+    || (String.length name > 0 && name.[0] = '.')
+  in
+  let rec walk path =
+    if Sys.is_directory path then begin
+      if not (skip_dir (Filename.basename path)) then
+        Array.iter
+          (fun entry -> walk (Filename.concat path entry))
+          (let entries = Sys.readdir path in
+           Array.sort String.compare entries;
+           entries)
+    end
+    else if Filename.check_suffix path ".ml" then acc := path :: !acc
+  in
+  List.iter
+    (fun root -> if Sys.file_exists root then walk root)
+    roots;
+  List.sort String.compare !acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_string ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast ->
+    { path; modname = modname_of_path path; ast = Some ast; parse_error = None }
+  | exception exn ->
+    let line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum in
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+      | _ -> Printexc.to_string exn
+    in
+    (* collapse the (possibly multi-line) compiler report to one line
+       so it fits a diagnostic message *)
+    let msg =
+      String.concat " " (String.split_on_char '\n' msg)
+      |> String.trim
+    in
+    { path; modname = modname_of_path path; ast = None;
+      parse_error = Some (line, msg) }
+
+let load path = parse_string ~path (read_file path)

@@ -1,0 +1,21 @@
+(** Source discovery and parsing via the compiler's own parser
+    ([compiler-libs.common]). *)
+
+type parsed = {
+  path : string;
+  modname : string;                    (** capitalized file stem *)
+  ast : Parsetree.structure option;    (** [None] on parse failure *)
+  parse_error : (int * string) option; (** line, one-line message *)
+}
+
+val modname_of_path : string -> string
+
+(** [.ml] files under each root (a root that is a file names itself),
+    sorted; [_build], [_opam] and dot-directories are skipped. *)
+val scan : string list -> string list
+
+(** Parse from a string; [path] is used for locations and the module
+    name. Never raises: parser errors land in [parse_error]. *)
+val parse_string : path:string -> string -> parsed
+
+val load : string -> parsed

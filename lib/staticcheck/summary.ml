@@ -1,0 +1,47 @@
+(* Per-module analysis summary. One value of [t] per parsed source
+   file; the checker ({!Checks}) turns summaries plus the module
+   reference graph ({!Callgraph}) into diagnostics. Summaries are pure
+   data so they can be built once and queried by several checks. *)
+
+type kind =
+  | Toplevel_mutable      (* K101 *)
+  | Unsorted_iteration    (* K102 *)
+  | Clock_read            (* K103 *)
+  | Unseeded_random       (* K104 *)
+  | Poly_compare          (* K105 *)
+  | Bare_exception        (* K106 *)
+  | Malformed_suppression (* K107 *)
+
+let code_of_kind = function
+  | Toplevel_mutable -> "K101-toplevel-mutable-state"
+  | Unsorted_iteration -> "K102-unsorted-hashtbl-iteration"
+  | Clock_read -> "K103-wall-clock-read"
+  | Unseeded_random -> "K104-unseeded-random"
+  | Poly_compare -> "K105-polymorphic-compare"
+  | Bare_exception -> "K106-bare-exception"
+  | Malformed_suppression -> "K107-malformed-suppression"
+
+type site = {
+  file : string;
+  line : int;
+  detail : string;
+  (* [(code, reason)] when a [[@detlint.allow]] attribute in scope
+     covers the finding; resolved during extraction because attribute
+     scopes are lexical. *)
+  suppressed : (string * string) option;
+}
+
+type finding = {
+  kind : kind;
+  site : site;
+}
+
+type t = {
+  modname : string;   (* capitalized module name, e.g. [Telemetry] *)
+  file : string;
+  refs : string list; (* referenced module names, sorted, unique *)
+  findings : finding list; (* in source order *)
+}
+
+let finding ?suppressed kind ~file ~line detail =
+  { kind; site = { file; line; detail; suppressed } }

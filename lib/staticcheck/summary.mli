@@ -1,0 +1,41 @@
+(** Per-module analysis summary: the hazard sites and module
+    references {!Extract} found in one source file. Pure data shared
+    by {!Checks} (which assigns codes and severities) and
+    {!Callgraph} (which consumes [refs]). *)
+
+type kind =
+  | Toplevel_mutable      (** K101 *)
+  | Unsorted_iteration    (** K102 *)
+  | Clock_read            (** K103 *)
+  | Unseeded_random       (** K104 *)
+  | Poly_compare          (** K105 *)
+  | Bare_exception        (** K106 *)
+  | Malformed_suppression (** K107 *)
+
+(** Stable code for the kind, e.g. ["K101-toplevel-mutable-state"]. *)
+val code_of_kind : kind -> string
+
+type site = {
+  file : string;
+  line : int;
+  detail : string;
+  suppressed : (string * string) option;
+      (** [(code, reason)] when an in-scope [[@detlint.allow]]
+          attribute covers the site. *)
+}
+
+type finding = {
+  kind : kind;
+  site : site;
+}
+
+type t = {
+  modname : string;        (** capitalized, e.g. [Telemetry] *)
+  file : string;
+  refs : string list;      (** referenced modules, sorted, unique *)
+  findings : finding list; (** in source order *)
+}
+
+val finding :
+  ?suppressed:string * string ->
+  kind -> file:string -> line:int -> string -> finding

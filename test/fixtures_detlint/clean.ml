@@ -1,0 +1,15 @@
+(* detlint fixture: no findings expected. *)
+
+type t = { name : string; count : int }
+
+let compare_t a b = String.compare a.name b.name
+
+let listing tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* function-local mutable state is fine *)
+let tally items =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun { name; count } -> Hashtbl.replace tbl name count) items;
+  listing tbl

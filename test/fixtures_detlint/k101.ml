@@ -1,0 +1,12 @@
+(* detlint fixture: K101 top-level mutable state. *)
+
+let cache = Hashtbl.create 16
+let total = ref 0
+let scratch = Array.make 8 0.0
+let lazy_shared = lazy (ref 0)
+let tucked = if true then Buffer.create 8 else Buffer.create 16
+
+(* not flagged: allocation happens per call *)
+let fresh () = ref 0
+
+let use () = (cache, total, scratch, lazy_shared, tucked, fresh ())

@@ -1,0 +1,19 @@
+(* detlint fixture: K102 order-dependent Hashtbl iteration. *)
+
+let listing tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let sum tbl =
+  let s = ref 0 in
+  Hashtbl.iter (fun _ v -> s := !s + v) tbl;
+  !s
+
+(* not flagged: the fold feeds a sort directly *)
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let compare_ints (a : int) b = Int.compare a b
+
+(* not flagged: applied-sort spelling *)
+let sorted2 tbl =
+  List.sort compare_ints (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])

@@ -1,0 +1,4 @@
+(* detlint fixture: K103 wall-clock reads. *)
+
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

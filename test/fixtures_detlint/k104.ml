@@ -1,0 +1,8 @@
+(* detlint fixture: K104 unseeded / global randomness. *)
+
+let init () = Random.self_init ()
+let pick n = Random.int n
+let state () = Random.State.make_self_init ()
+
+(* not flagged: explicitly seeded state *)
+let seeded () = Random.State.make [| 42 |]

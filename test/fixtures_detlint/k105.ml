@@ -1,0 +1,9 @@
+(* detlint fixture: K105 polymorphic compare in a float-bearing module. *)
+
+type sample = { value : float; tag : string }
+
+let sort_samples l = List.sort compare l
+let fold_max x ys = List.fold_left max x ys
+
+(* not flagged: keyed comparison *)
+let by_tag a b = String.compare a.tag b.tag

@@ -1,0 +1,4 @@
+(* detlint fixture: K106 bare exceptions. *)
+
+let run x = if x < 0 then failwith "negative input" else x
+let boom () = raise (Failure "boom")

@@ -1,0 +1,4 @@
+(* detlint fixture: suppression without a justification is itself a
+   finding (K107) and does not suppress. *)
+
+let now () = Unix.gettimeofday () [@@detlint.allow K103]

@@ -1,0 +1,8 @@
+(* detlint fixture: attribute suppression with justification. *)
+
+let now () = Unix.gettimeofday () [@@detlint.allow K103 "fixture: telemetry only"]
+
+let counter = ref 0 [@@detlint.allow K101 "fixture: guarded by a lock elsewhere"]
+
+(* suppression is per-code: the K103 attribute does not cover K106 *)
+let nope () = failwith "still flagged" [@@detlint.allow K103 "wrong code"]

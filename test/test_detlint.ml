@@ -1,0 +1,247 @@
+(* Tests for the detlint static checker (lib/staticcheck).
+
+   The K-code fixtures live in fixtures_detlint/ — real .ml files fed
+   through the same path CI uses — and each test asserts the checker
+   reports exactly the expected codes: no false negatives on the
+   seeded violations, no findings on the clean fixture. *)
+
+module D = Mcl_analysis.Diagnostic
+module SC = Mcl_staticcheck
+
+let fixture name = Filename.concat "fixtures_detlint" name
+
+let check_fixture ?config ?(allowlist = "/nonexistent-allowlist") names =
+  SC.Detlint.run ?config ~allowlist
+    ~roots:(List.map fixture names) ()
+
+let codes report = SC.Detlint.codes report
+
+let short c = String.sub c 0 4
+
+let assert_codes ~expected report =
+  Alcotest.(check (list string)) "codes" expected (List.map short (codes report))
+
+(* --- per-fixture exactness ----------------------------------------- *)
+
+let test_k101 () =
+  let r = check_fixture [ "k101.ml" ] in
+  assert_codes ~expected:[ "K101"; "K101"; "K101"; "K101"; "K101" ] r;
+  (* fixture modules are not reachable from entry points: Warning *)
+  List.iter
+    (fun d -> Alcotest.(check bool) "warning" true (d.D.severity = D.Warning))
+    r.SC.Detlint.result.SC.Checks.findings
+
+let test_k102 () =
+  let r = check_fixture [ "k102.ml" ] in
+  assert_codes ~expected:[ "K102"; "K102" ] r;
+  (* the two flagged sites are the raw fold and the iter, not the
+     sorted listings *)
+  let lines =
+    List.filter_map
+      (fun d ->
+         match d.D.location with
+         | D.Source { line; _ } -> Some line
+         | _ -> None)
+      r.SC.Detlint.result.SC.Checks.findings
+    |> List.sort Int.compare
+  in
+  Alcotest.(check (list int)) "lines" [ 3; 7 ] lines
+
+let test_k103 () = assert_codes ~expected:[ "K103"; "K103" ] (check_fixture [ "k103.ml" ])
+
+let test_k104 () =
+  let r = check_fixture [ "k104.ml" ] in
+  assert_codes ~expected:[ "K104"; "K104"; "K104" ] r;
+  List.iter
+    (fun d -> Alcotest.(check bool) "error" true (d.D.severity = D.Error))
+    r.SC.Detlint.result.SC.Checks.findings
+
+let test_k105 () = assert_codes ~expected:[ "K105"; "K105" ] (check_fixture [ "k105.ml" ])
+
+let test_k106 () = assert_codes ~expected:[ "K106"; "K106" ] (check_fixture [ "k106.ml" ])
+
+let test_clean () =
+  let r = check_fixture [ "clean.ml" ] in
+  assert_codes ~expected:[] r;
+  Alcotest.(check bool) "no findings" false (SC.Detlint.has_findings r)
+
+let test_all_fixtures_at_once () =
+  (* scanning the directory finds every seeded violation and nothing
+     else; counts per code pin against false negatives *)
+  let r = check_fixture [ "" ] in
+  let count c =
+    List.length (List.filter (fun x -> short x = c) (codes r))
+  in
+  Alcotest.(check int) "k101" 5 (count "K101");
+  Alcotest.(check int) "k102" 2 (count "K102");
+  (* k103.ml (2) + the unsuppressed half of suppressed/malformed (1) *)
+  Alcotest.(check int) "k103" 3 (count "K103");
+  Alcotest.(check int) "k104" 3 (count "K104");
+  Alcotest.(check int) "k105" 2 (count "K105");
+  (* k106.ml (2) + the wrong-code suppression in suppressed.ml (1) *)
+  Alcotest.(check int) "k106" 3 (count "K106");
+  Alcotest.(check int) "k107" 1 (count "K107")
+
+(* --- suppression --------------------------------------------------- *)
+
+let test_attribute_suppression () =
+  let r = check_fixture [ "suppressed.ml" ] in
+  (* the K103 and K101 are suppressed; the wrong-code K106 is not *)
+  assert_codes ~expected:[ "K106" ] r;
+  let sup = r.SC.Detlint.result.SC.Checks.suppressed in
+  Alcotest.(check int) "suppressed count" 2 (List.length sup);
+  List.iter
+    (fun (s : SC.Checks.suppressed) ->
+       Alcotest.(check string) "via" "attribute" s.via;
+       Alcotest.(check bool) "reason nonempty" true (String.length s.reason > 0))
+    sup
+
+let test_module_allow () =
+  let r = check_fixture [ "module_allow.ml" ] in
+  assert_codes ~expected:[] r;
+  Alcotest.(check int) "suppressed"
+    2 (List.length r.SC.Detlint.result.SC.Checks.suppressed)
+
+let test_malformed_attribute () =
+  let r = check_fixture [ "malformed.ml" ] in
+  (* K107 is an Error so it sorts first; the K103 stays unsuppressed *)
+  assert_codes ~expected:[ "K107"; "K103" ] r
+
+(* --- allowlist ----------------------------------------------------- *)
+
+let test_allowlist_claims () =
+  let src = "let now () = Unix.gettimeofday ()\n" in
+  let allowlist_text = "K103 shim.ml:1 fixture clock shim\n" in
+  let r = SC.Detlint.run_strings ~allowlist_text [ ("shim.ml", src) ] in
+  assert_codes ~expected:[] r;
+  match r.SC.Detlint.result.SC.Checks.suppressed with
+  | [ s ] ->
+    Alcotest.(check string) "via" "allowlist" s.via;
+    Alcotest.(check string) "reason" "fixture clock shim" s.reason
+  | l -> Alcotest.failf "expected 1 suppressed, got %d" (List.length l)
+
+let test_allowlist_stale_and_malformed () =
+  let allowlist_text =
+    "# comment\n\
+     K103 nothing_matches.ml justified but stale\n\
+     K103 missing_justification.ml\n\
+     Q999 bad.ml not a K code\n"
+  in
+  let r = SC.Detlint.run_strings ~allowlist_text [ ("empty.ml", "let x = 1\n") ] in
+  (* K109s are Errors (sort first), the stale K108 is a Warning *)
+  assert_codes ~expected:[ "K109"; "K109"; "K108" ] r
+
+let test_allowlist_line_scoping () =
+  (* an entry pinned to line 1 does not cover line 2 *)
+  let src = "let a () = Unix.gettimeofday ()\nlet b () = Sys.time ()\n" in
+  let allowlist_text = "K103 shim.ml:1 only the first read\n" in
+  let r = SC.Detlint.run_strings ~allowlist_text [ ("shim.ml", src) ] in
+  assert_codes ~expected:[ "K103" ] r
+
+(* --- reachability -------------------------------------------------- *)
+
+let hazard_files =
+  [ ("hazard.ml", "let shared = ref 0\nlet get () = !shared\n");
+    ("entry.ml", "let dispatch () = Hazard.get ()\n");
+    ("island.ml", "let lonely = ref 1\nlet peek () = !lonely\n") ]
+
+let config_with_entries entries =
+  { SC.Checks.default_config with entries }
+
+let severity_of r file =
+  List.find_map
+    (fun d ->
+       match d.D.location with
+       | D.Source { file = f; _ } when f = file -> Some d.D.severity
+       | _ -> None)
+    r.SC.Detlint.result.SC.Checks.findings
+
+let test_reachability_escalates () =
+  let r =
+    SC.Detlint.run_strings ~config:(config_with_entries [ "Entry" ])
+      hazard_files
+  in
+  (* Hazard is referenced by the entry module: Error. Island is not:
+     Warning. *)
+  Alcotest.(check bool) "hazard is error" true
+    (severity_of r "hazard.ml" = Some D.Error);
+  Alcotest.(check bool) "island is warning" true
+    (severity_of r "island.ml" = Some D.Warning);
+  Alcotest.(check (list string)) "reachable modules"
+    [ "Entry"; "Hazard" ] r.SC.Detlint.result.SC.Checks.reachable
+
+let test_reachability_respects_entries () =
+  let r =
+    SC.Detlint.run_strings ~config:(config_with_entries [ "Island" ])
+      hazard_files
+  in
+  Alcotest.(check bool) "island now error" true
+    (severity_of r "island.ml" = Some D.Error);
+  Alcotest.(check bool) "hazard now warning" true
+    (severity_of r "hazard.ml" = Some D.Warning)
+
+(* --- misc ---------------------------------------------------------- *)
+
+let test_parse_error () =
+  let r = SC.Detlint.run_strings [ ("broken.ml", "let x = = 3\n") ] in
+  assert_codes ~expected:[ "K100" ] r
+
+let test_timing_module_exemption () =
+  let files = [ ("telemetry.ml", "let now () = Unix.gettimeofday ()\n") ] in
+  let r = SC.Detlint.run_strings files in
+  assert_codes ~expected:[] r;
+  match r.SC.Detlint.result.SC.Checks.suppressed with
+  | [ s ] -> Alcotest.(check string) "via" "timing-module" s.via
+  | l -> Alcotest.failf "expected 1 suppressed, got %d" (List.length l)
+
+let test_json_render_parses () =
+  (* the JSON report must be valid per the service's own codec *)
+  let r = check_fixture [ "k101.ml"; "k103.ml" ] in
+  match Mcl_service.Json.parse (SC.Detlint.render_json r) with
+  | Ok j ->
+    Alcotest.(check bool) "has report" true (Mcl_service.Json.member "report" j <> None);
+    Alcotest.(check bool) "files" true
+      (Mcl_service.Json.get_int "files" j = Some 2)
+  | Error e -> Alcotest.failf "render_json unparseable: %s" e
+
+let test_deterministic_output () =
+  let once () = SC.Detlint.render_json (check_fixture [ "" ]) in
+  Alcotest.(check string) "byte-stable report" (once ()) (once ())
+
+let () =
+  Alcotest.run "detlint"
+    [ ( "fixtures",
+        [ Alcotest.test_case "k101 toplevel mutable" `Quick test_k101;
+          Alcotest.test_case "k102 unsorted iteration" `Quick test_k102;
+          Alcotest.test_case "k103 wall clock" `Quick test_k103;
+          Alcotest.test_case "k104 unseeded random" `Quick test_k104;
+          Alcotest.test_case "k105 polymorphic compare" `Quick test_k105;
+          Alcotest.test_case "k106 bare exception" `Quick test_k106;
+          Alcotest.test_case "clean fixture" `Quick test_clean;
+          Alcotest.test_case "directory sweep counts" `Quick
+            test_all_fixtures_at_once ] );
+      ( "suppression",
+        [ Alcotest.test_case "attribute with justification" `Quick
+            test_attribute_suppression;
+          Alcotest.test_case "module-wide floating attribute" `Quick
+            test_module_allow;
+          Alcotest.test_case "malformed attribute is K107" `Quick
+            test_malformed_attribute;
+          Alcotest.test_case "allowlist claims finding" `Quick
+            test_allowlist_claims;
+          Alcotest.test_case "stale + malformed allowlist" `Quick
+            test_allowlist_stale_and_malformed;
+          Alcotest.test_case "line-scoped allowlist entry" `Quick
+            test_allowlist_line_scoping ] );
+      ( "reachability",
+        [ Alcotest.test_case "entry refs escalate severity" `Quick
+            test_reachability_escalates;
+          Alcotest.test_case "entry set drives reachability" `Quick
+            test_reachability_respects_entries ] );
+      ( "misc",
+        [ Alcotest.test_case "parse error is K100" `Quick test_parse_error;
+          Alcotest.test_case "timing-module exemption" `Quick
+            test_timing_module_exemption;
+          Alcotest.test_case "json report parses" `Quick test_json_render_parses;
+          Alcotest.test_case "deterministic output" `Quick
+            test_deterministic_output ] ) ]

@@ -1,0 +1,194 @@
+(* Property tests for the service's hand-rolled Json codec
+   (lib/service/json.ml): print/parse round-trips over generated
+   values, plus directed edge cases — escape sequences, deep nesting,
+   and large / negative / scientific-notation numbers. *)
+
+module Json = Mcl_service.Json
+
+let rec equal (a : Json.t) (b : Json.t) =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y ->
+    (* bit-compare so 0.0 <> -0.0 and nan = nan are both exact *)
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Json.String x, Json.String y -> String.equal x y
+  | Json.List x, Json.List y ->
+    List.length x = List.length y && List.for_all2 equal x y
+  | Json.Obj x, Json.Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+         x y
+  | _ -> false
+
+let round_trip v =
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "round-trip parse failed: %s on %s" e (Json.to_string v)
+
+let check_rt v = Alcotest.(check bool) "round trip" true (equal v (round_trip v))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* strings biased toward escape-relevant characters *)
+let gen_string =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" cs)
+      (list_size (int_bound 12)
+         (oneof
+            [ map (String.make 1) (char_range 'a' 'z');
+              oneofl
+                [ "\""; "\\"; "\n"; "\t"; "\r"; "\b"; "\012"; "\000"; "\031";
+                  "/"; "é"; "日"; " " ] ])))
+
+(* finite floats, including scientific-notation magnitudes *)
+let gen_float =
+  QCheck.Gen.(
+    oneof
+      [ float;
+        oneofl
+          [ 0.1; -0.1; 1e300; -1e300; 1e-300; 4.5e-7; -4.5e7; 1.5;
+            3.141592653589793; 0.30000000000000004; max_float; min_float;
+            -. max_float; 4503599627370497.0 ] ])
+
+let gen_json =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [ return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) int;
+              map (fun f -> Json.Float f) gen_float;
+              map (fun s -> Json.String s) gen_string ]
+        in
+        if n <= 0 then scalar
+        else
+          frequency
+            [ (2, scalar);
+              (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (int_bound 4)
+                     (pair gen_string (self (n / 2)))) ) ]))
+
+let arbitrary_json =
+  QCheck.make gen_json ~print:(fun v -> Json.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* printer emits non-finite floats as null, so restrict the value
+   round-trip property to finite trees and test non-finite directedly *)
+let rec finite = function
+  | Json.Float f -> Float.is_finite f
+  | Json.List l -> List.for_all finite l
+  | Json.Obj kvs -> List.for_all (fun (_, v) -> finite v) kvs
+  | _ -> true
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"parse (to_string v) == v" ~count:1000 arbitrary_json
+    (fun v ->
+       QCheck.assume (finite v);
+       equal v (round_trip v))
+
+let prop_second_print_stable =
+  QCheck.Test.make ~name:"to_string is a fixpoint after one round trip"
+    ~count:500 arbitrary_json (fun v ->
+        QCheck.assume (finite v);
+        let s1 = Json.to_string (round_trip v) in
+        let s2 = Json.to_string (round_trip (round_trip v)) in
+        String.equal s1 s2)
+
+let prop_no_newlines =
+  QCheck.Test.make ~name:"NDJSON-safe: no raw newline in output" ~count:500
+    arbitrary_json (fun v ->
+        not (String.contains (Json.to_string v) '\n'))
+
+(* ------------------------------------------------------------------ *)
+(* Directed edge cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_escape_sequences () =
+  List.iter
+    (fun s -> check_rt (Json.String s))
+    [ "plain"; "quote\"inside"; "back\\slash"; "new\nline"; "tab\there";
+      "ret\rhere"; "bell\b"; "form\012feed"; "nul\000byte"; "ctrl\031char";
+      "slash/forward"; "mixed\"\\\n\t\r\000end"; "" ];
+  (* parser-side escapes the printer never emits *)
+  List.iter
+    (fun (wire, expected) ->
+       match Json.parse wire with
+       | Ok (Json.String s) -> Alcotest.(check string) wire expected s
+       | Ok _ -> Alcotest.failf "%s: not a string" wire
+       | Error e -> Alcotest.failf "%s: %s" wire e)
+    [ ({|"A"|}, "A"); ({|"é"|}, "é"); ({|"日"|}, "日");
+      ({|"\/"|}, "/"); ({|"\b\f"|}, "\b\012") ]
+
+let test_deep_nesting () =
+  let rec deep n = if n = 0 then Json.Int 7 else Json.List [ deep (n - 1) ] in
+  check_rt (deep 200);
+  let rec deep_obj n =
+    if n = 0 then Json.String "leaf" else Json.Obj [ ("k", deep_obj (n - 1)) ]
+  in
+  check_rt (deep_obj 200)
+
+let test_numbers () =
+  List.iter
+    (fun v -> check_rt v)
+    [ Json.Int 0; Json.Int 1; Json.Int (-1); Json.Int max_int;
+      Json.Int min_int; Json.Int 4611686018427387903;
+      Json.Float 0.0; Json.Float (-0.0); Json.Float 1e300;
+      Json.Float (-1e300); Json.Float 1e-300; Json.Float 4.5e-7;
+      Json.Float (-4.5e7); Json.Float max_float; Json.Float min_float;
+      Json.Float 0.30000000000000004; Json.Float 3.141592653589793 ];
+  (* scientific notation on the wire *)
+  List.iter
+    (fun (wire, expected) ->
+       match Json.parse wire with
+       | Ok v -> Alcotest.(check bool) wire true (equal v expected)
+       | Error e -> Alcotest.failf "%s: %s" wire e)
+    [ ("1e3", Json.Float 1000.0); ("-2.5E-2", Json.Float (-0.025));
+      ("1.5e+2", Json.Float 150.0); ("-0.0", Json.Float (-0.0));
+      ("123456789012345678901234567890", Json.Float 1.2345678901234568e+29) ];
+  (* non-finite floats print as null by design *)
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  (* ints round-trip as ints, floats stay self-identifying *)
+  (match Json.parse "42" with
+   | Ok (Json.Int 42) -> ()
+   | _ -> Alcotest.fail "42 should parse as Int");
+  match Json.parse (Json.to_string (Json.Float 2.0)) with
+  | Ok (Json.Float 2.0) -> ()
+  | _ -> Alcotest.fail "2.0 should stay a Float through a round trip"
+
+let test_malformed_rejected () =
+  List.iter
+    (fun s ->
+       match Json.parse s with
+       | Ok _ -> Alcotest.failf "%s should be rejected" s
+       | Error _ -> ())
+    [ ""; "{"; "}"; "[1,"; "[1 2]"; {|{"a" 1}|}; {|{"a":}|}; "tru"; "01e";
+      "1."; ".5"; "+1"; "--1"; "1ee3"; {|"unterminated|}; "\"raw\nnewline\"";
+      {|"bad \q escape"|}; "[1],"; "1 2" ]
+
+let () =
+  Alcotest.run "json"
+    [ ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_round_trip;
+          QCheck_alcotest.to_alcotest prop_second_print_stable;
+          QCheck_alcotest.to_alcotest prop_no_newlines ] );
+      ( "edge-cases",
+        [ Alcotest.test_case "escape sequences" `Quick test_escape_sequences;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "malformed rejected" `Quick
+            test_malformed_rejected ] ) ]

@@ -145,6 +145,44 @@ let prop_row_order_legal_full =
        let np_after, ne_after = Mcl_eval.Routability_check.counts d in
        Mcl_eval.Legality.check d = [] && np_after <= np_before && ne_after <= ne_before)
 
+(* ---------- determinism ---------- *)
+
+(* Both post-passes used to walk their work tables with Hashtbl.iter;
+   they now iterate in sorted key order. Pin the resulting positions:
+   two runs over identical inputs must agree cell-for-cell, including
+   under a deadline that can expire mid-loop (a partial prefix of an
+   unsorted iteration is where the order-dependence would show). *)
+let positions d =
+  Array.map (fun (cl : Cell.t) -> (cl.Cell.x, cl.Cell.y)) d.Design.cells
+
+let check_same_positions what a b =
+  Array.iteri
+    (fun i (x, y) ->
+       let x', y' = b.(i) in
+       if x <> x' || y <> y' then
+         Alcotest.failf "%s: cell %d diverged (%d,%d) vs (%d,%d)" what i x y x' y')
+    a
+
+let test_matching_deterministic () =
+  let run () =
+    let d = gen ~cells:250 ~fences:2 ~routability:true 17 in
+    let c = cfg ~routability:true ~fences:true in
+    ignore (Mcl.Mgl.run c d);
+    ignore (Mcl.Matching_opt.run c d);
+    positions d
+  in
+  check_same_positions "matching" (run ()) (run ())
+
+let test_row_order_deterministic () =
+  let run () =
+    let d = gen ~cells:250 ~fences:2 ~routability:true 19 in
+    let c = cfg ~routability:true ~fences:true in
+    ignore (Mcl.Mgl.run c d);
+    ignore (Mcl.Row_order_opt.run c d);
+    positions d
+  in
+  check_same_positions "row-order" (run ()) (run ())
+
 (* ---------- scheduler (Sec 3.5) ---------- *)
 
 let test_scheduler_matches_sequential_quality () =
@@ -210,6 +248,11 @@ let () =
          Alcotest.test_case "preserves order" `Quick test_row_order_preserves_order;
          QCheck_alcotest.to_alcotest prop_row_order_strong_duality;
          QCheck_alcotest.to_alcotest prop_row_order_legal_full ]);
+      ("determinism",
+       [ Alcotest.test_case "matching positions repeatable" `Quick
+           test_matching_deterministic;
+         Alcotest.test_case "row-order positions repeatable" `Quick
+           test_row_order_deterministic ]);
       ("scheduler",
        [ Alcotest.test_case "parallel deterministic" `Quick
            test_scheduler_matches_sequential_quality ]);

@@ -313,6 +313,61 @@ let test_batch_plan () =
     Alcotest.failf "unexpected plan shape (%d segments)" (List.length other)
 
 (* ---------------------------------------------------------------- *)
+(* stats determinism                                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* The per-op request listing must not depend on the order ops were
+   first seen (it used to come straight out of Hashtbl.fold). *)
+let test_telemetry_stats_order_independent () =
+  let feed t ops =
+    List.iter
+      (fun op ->
+         Mcl_service.Telemetry.record t ~op ~ok:true ~service_s:0.0 ~cells:1
+           ~coalesced_extra:0)
+      ops
+  in
+  let t1 = Mcl_service.Telemetry.create () in
+  let t2 = Mcl_service.Telemetry.create () in
+  feed t1 [ "query"; "eco"; "load"; "eco"; "legalize" ];
+  feed t2 [ "legalize"; "eco"; "query"; "eco"; "load" ];
+  let reqs t = (Mcl_service.Telemetry.snapshot t).Mcl_service.Telemetry.requests in
+  Alcotest.(check (list (pair string int)))
+    "sorted by op name"
+    [ ("eco", 2); ("legalize", 1); ("load", 1); ("query", 1) ]
+    (reqs t1);
+  Alcotest.(check (list (pair string int))) "insertion-order independent"
+    (reqs t1) (reqs t2);
+  (* and the JSON listing is byte-identical across the two instances *)
+  let requests_json t =
+    match Json.member "requests" (Mcl_service.Telemetry.to_json t) with
+    | Some j -> Json.to_string j
+    | None -> Alcotest.fail "no requests field"
+  in
+  Alcotest.(check string) "byte-stable requests JSON" (requests_json t1)
+    (requests_json t2)
+
+let test_cache_entries_sorted () =
+  let design () =
+    Mcl_gen.Generator.generate
+      { Mcl_gen.Spec.default with Mcl_gen.Spec.seed = 1; num_cells = 10 }
+  in
+  let entry key =
+    { Mcl_service.Cache.key; design = design (); gp_hpwl = 0; source = "test";
+      loaded_at = 0.0; legalized = false; eco_count = 0; congest = None }
+  in
+  let keys cache =
+    List.map
+      (fun (e : Mcl_service.Cache.entry) -> e.Mcl_service.Cache.key)
+      (Mcl_service.Cache.entries cache)
+  in
+  let c1 = Mcl_service.Cache.create () in
+  List.iter (fun k -> Mcl_service.Cache.put c1 (entry k)) [ "zeta"; "alpha"; "mid" ];
+  let c2 = Mcl_service.Cache.create () in
+  List.iter (fun k -> Mcl_service.Cache.put c2 (entry k)) [ "mid"; "zeta"; "alpha" ];
+  Alcotest.(check (list string)) "sorted by key" [ "alpha"; "mid"; "zeta" ] (keys c1);
+  Alcotest.(check (list string)) "insertion-order independent" (keys c1) (keys c2)
+
+(* ---------------------------------------------------------------- *)
 
 let () =
   Alcotest.run "service"
@@ -327,4 +382,9 @@ let () =
          Alcotest.test_case "coalesced failure retries individually" `Quick
            test_coalesced_failure_retries_individually;
          Alcotest.test_case "parallel designs" `Quick test_parallel_designs;
-         Alcotest.test_case "plan shape" `Quick test_batch_plan ]) ]
+         Alcotest.test_case "plan shape" `Quick test_batch_plan ]);
+      ("stats",
+       [ Alcotest.test_case "telemetry per-op listing deterministic" `Quick
+           test_telemetry_stats_order_independent;
+         Alcotest.test_case "cache entries sorted by key" `Quick
+           test_cache_entries_sorted ]) ]
