@@ -603,6 +603,404 @@ let service ~scale () =
   Printf.printf "\nwrote BENCH_service.json\n\n"
 
 (* ---------------------------------------------------------------- *)
+(* Service load: the multi-client event loop under production-shaped  *)
+(* traffic (lib/netserve). Four parts:                                *)
+(*   1. WAL group-commit sweep — durable mutations/s at group sizes   *)
+(*      1/8/64/256; size 1 is the fsync-per-request baseline the      *)
+(*      event loop replaces.                                          *)
+(*   2. closed-loop saturation sweep — N socketpair clients, each on  *)
+(*      its own design, one request in flight per client; p50/p95/p99 *)
+(*      from the shared log-bucketed histogram.                       *)
+(*   3. open-loop arrivals — requests paced at a fixed rate           *)
+(*      regardless of completions, latency measured from the          *)
+(*      scheduled arrival (no coordinated omission).                  *)
+(*   4. snapshot-truncated recovery — replay after a long trace must  *)
+(*      be O(delta since snapshot) and fingerprint-exact.             *)
+(* Emits BENCH_service_load.json.                                     *)
+(* ---------------------------------------------------------------- *)
+
+let service_load ~scale () =
+  let module Json = Mcl_service.Json in
+  let module H = Mcl_service.Histogram in
+  let module Wal = Mcl_resilience.Wal in
+  let module N = Mcl_netserve.Netserve in
+  Printf.printf "== Service load: event loop, group commit, recovery ==\n\n";
+  let tmp suffix = Filename.temp_file "mcl_service_load" suffix in
+  (* -- IO helpers for the bench clients (blocking fds) ------------- *)
+  let write_line fd line =
+    let s = line ^ "\n" in
+    let b = Bytes.unsafe_of_string s in
+    let n = String.length s in
+    let off = ref 0 in
+    while !off < n do
+      match Unix.write fd b !off (n - !off) with
+      | w -> off := !off + w
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [] [ fd ] [] 1.0)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  let read_line_fd fd pend =
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      match String.index_opt (Buffer.contents pend) '\n' with
+      | Some i ->
+        let all = Buffer.contents pend in
+        let line = String.sub all 0 i in
+        Buffer.clear pend;
+        Buffer.add_substring pend all (i + 1) (String.length all - i - 1);
+        line
+      | None ->
+        (match Unix.read fd chunk 0 (Bytes.length chunk) with
+         | 0 -> failwith "service_load: unexpected EOF from server"
+         | n ->
+           Buffer.add_subbytes pend chunk 0 n;
+           go ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+    in
+    go ()
+  in
+  let expect_status line what =
+    match Json.parse line with
+    | Ok j when Json.get_string "status" j = Some "ok" -> ()
+    | Ok j ->
+      failwith
+        (Printf.sprintf "service_load %s: %s" what
+           (Option.value ~default:line (Json.get_string "code" j)))
+    | Error e -> failwith (Printf.sprintf "service_load %s: bad json: %s" what e)
+  in
+  (* ---- part 1: WAL group-commit sweep ---------------------------- *)
+  Printf.printf
+    "-- group commit: durable mutations/s vs fsync group size --\n";
+  let payload = {|{"id":"w","op":"eco","design":"bench","cells":[17]}|} in
+  let group_sizes = [ 1; 8; 64; 256 ] in
+  let group_results =
+    List.map
+      (fun size ->
+         (* size 1 pays one fsync per mutation: cap its count so the
+            baseline doesn't dominate the bench wall time *)
+         let muts =
+           if size = 1 then max 100 (int_of_float (400.0 *. scale))
+           else
+             max size
+               (int_of_float (float_of_int (size * 400) *. scale))
+         in
+         let muts = muts - (muts mod size) in
+         let path = tmp ".wal" in
+         let w = Wal.open_ ~path () in
+         let group = List.init size (fun _ -> payload) in
+         let t0 = Unix.gettimeofday () in
+         for _ = 1 to muts / size do
+           ignore (Wal.append_all w group)
+         done;
+         let wall = Unix.gettimeofday () -. t0 in
+         Wal.close w;
+         Sys.remove path;
+         let per_s = float_of_int muts /. wall in
+         Printf.printf
+           "  group %4d : %7d durable mutations in %6.3fs | %10.0f muts/s | %6d fsyncs\n%!"
+           size muts wall per_s (muts / size);
+         (size, muts, wall, per_s))
+      group_sizes
+  in
+  let rate_of_size s =
+    List.assoc s (List.map (fun (g, _, _, r) -> (g, r)) group_results)
+  in
+  let baseline_per_s = rate_of_size 1 in
+  let best_group_per_s =
+    List.fold_left (fun acc (_, _, _, r) -> Float.max acc r) 0.0 group_results
+  in
+  Printf.printf "  speedup over fsync-per-request baseline: %.1fx\n\n%!"
+    (best_group_per_s /. baseline_per_s);
+  (* ---- shared harness: an event loop over socketpair clients ----- *)
+  let fresh_engine () =
+    Mcl_service.Engine.create ~threads:1 ~config:Mcl.Config.default ()
+  in
+  (* closed-loop client: one request in flight; every eco latency goes
+     into the client's own histogram (merged after the join) *)
+  let closed_loop_client fd ~key ~cells ~seed ~reqs hist =
+    let pend = Buffer.create 256 in
+    write_line fd
+      (Printf.sprintf
+         {|{"id":"l","op":"load","design":"%s","cells":%d,"seed":%d}|} key
+         cells seed);
+    expect_status (read_line_fd fd pend) "load";
+    write_line fd
+      (Printf.sprintf {|{"id":"g","op":"legalize","design":"%s"}|} key);
+    expect_status (read_line_fd fd pend) "legalize";
+    for j = 0 to reqs - 1 do
+      let cell = (j * 7 + seed) mod cells in
+      let t0 = Unix.gettimeofday () in
+      write_line fd
+        (Printf.sprintf
+           {|{"id":"e%d","op":"eco","design":"%s","cells":[%d]}|} j key cell);
+      expect_status (read_line_fd fd pend) "eco";
+      H.add hist (Unix.gettimeofday () -. t0)
+    done;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND
+  in
+  (* ---- part 2: closed-loop saturation sweep ---------------------- *)
+  Printf.printf "-- saturation: closed-loop clients over one event loop --\n";
+  let cells = max 60 (int_of_float (120.0 *. scale)) in
+  let reqs_per_client = max 40 (int_of_float (250.0 *. scale)) in
+  let sweep_counts = [ 1; 2; 4; 8 ] in
+  let saturation =
+    List.map
+      (fun nclients ->
+         let engine = fresh_engine () in
+         let wal_path = tmp ".wal" in
+         let wal = Wal.open_ ~path:wal_path () in
+         let t =
+           N.create engine ~wal ~wal_path ~snapshot_every:1000 ~max_batch:64 ()
+         in
+         let pairs =
+           List.init nclients (fun _ ->
+               Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+         in
+         List.iter (fun (server_end, _) -> ignore (N.add_conn t server_end)) pairs;
+         let t0 = Unix.gettimeofday () in
+         let clients =
+           List.mapi
+             (fun i (_, client_end) ->
+                let hist = H.create () in
+                ( hist,
+                  Domain.spawn (fun () ->
+                      closed_loop_client client_end ~key:(Printf.sprintf "sat%d" i)
+                        ~cells ~seed:(100 + i) ~reqs:reqs_per_client hist;
+                      Unix.close client_end) ))
+             pairs
+         in
+         N.run t;
+         List.iter (fun (_, d) -> Domain.join d) clients;
+         let wall = Unix.gettimeofday () -. t0 in
+         Wal.close wal;
+         Sys.remove wal_path;
+         (try Sys.remove (Mcl_service.Snapshot.path_for wal_path)
+          with Sys_error _ -> ());
+         let hist = H.create () in
+         List.iter (fun (h, _) -> H.merge_into ~into:hist h) clients;
+         let ecos = nclients * reqs_per_client in
+         let per_s = float_of_int ecos /. wall in
+         Printf.printf
+           "  %2d client(s): %6d ecos in %6.2fs | %9.1f eco/s | p50 %6.2fms p95 %6.2fms p99 %6.2fms\n%!"
+           nclients ecos wall per_s
+           (H.quantile hist 0.50 *. 1000.0)
+           (H.quantile hist 0.95 *. 1000.0)
+           (H.quantile hist 0.99 *. 1000.0);
+         (nclients, ecos, wall, per_s, hist))
+      sweep_counts
+  in
+  let peak_eco_per_s =
+    List.fold_left (fun acc (_, _, _, r, _) -> Float.max acc r) 0.0 saturation
+  in
+  print_newline ();
+  (* ---- part 3: open-loop arrivals -------------------------------- *)
+  Printf.printf
+    "-- open loop: paced arrivals, latency from scheduled arrival --\n";
+  let open_loop_rates =
+    List.filter_map
+      (fun frac ->
+         let r = frac *. peak_eco_per_s in
+         if r >= 1.0 then Some (frac, r) else None)
+      [ 0.25; 0.5; 0.8 ]
+  in
+  let open_loop =
+    List.map
+      (fun (frac, rate) ->
+         let engine = fresh_engine () in
+         let t = N.create engine ~max_batch:64 () in
+         let server_end, client_end =
+           Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+         in
+         ignore (N.add_conn t server_end);
+         let hist = H.create () in
+         let n =
+           min
+             (max 50 (int_of_float (rate *. 1.5)))
+             (max 200 (int_of_float (4000.0 *. scale)))
+         in
+         let client =
+           Domain.spawn (fun () ->
+               let pend = Buffer.create 256 in
+               write_line client_end
+                 (Printf.sprintf
+                    {|{"id":"l","op":"load","design":"ol","cells":%d,"seed":77}|}
+                    cells);
+               expect_status (read_line_fd client_end pend) "load";
+               write_line client_end
+                 {|{"id":"g","op":"legalize","design":"ol"}|};
+               expect_status (read_line_fd client_end pend) "legalize";
+               (* open loop: the send schedule never waits for
+                  responses; latency is measured from the scheduled
+                  arrival, so sender lag counts against the server *)
+               let scheduled = Queue.create () in
+               let received = ref 0 in
+               let drain ~block =
+                 let rec pump () =
+                   let ready =
+                     match Unix.select [ client_end ] [] []
+                             (if block then 1.0 else 0.0)
+                   with
+                     | [ _ ], _, _ -> true
+                     | _ -> false
+                     | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+                   in
+                   if ready then begin
+                     let line = read_line_fd client_end pend in
+                     expect_status line "eco";
+                     H.add hist (Unix.gettimeofday () -. Queue.take scheduled);
+                     incr received;
+                     (* consume buffered siblings without re-selecting *)
+                     while Buffer.length pend > 0
+                           && String.contains (Buffer.contents pend) '\n' do
+                       let line = read_line_fd client_end pend in
+                       expect_status line "eco";
+                       H.add hist
+                         (Unix.gettimeofday () -. Queue.take scheduled);
+                       incr received
+                     done;
+                     if not block then pump ()
+                   end
+                 in
+                 pump ()
+               in
+               let t0 = Unix.gettimeofday () in
+               for j = 0 to n - 1 do
+                 let target = t0 +. (float_of_int j /. rate) in
+                 while Unix.gettimeofday () < target do
+                   let slack = target -. Unix.gettimeofday () in
+                   if slack > 0.0 then
+                     ignore (Unix.select [] [] [] (Float.min slack 0.002))
+                 done;
+                 Queue.add target scheduled;
+                 write_line client_end
+                   (Printf.sprintf
+                      {|{"id":"o%d","op":"eco","design":"ol","cells":[%d]}|} j
+                      ((j * 11 + 3) mod cells));
+                 drain ~block:false
+               done;
+               while !received < n do
+                 drain ~block:true
+               done;
+               Unix.shutdown client_end Unix.SHUTDOWN_SEND;
+               Unix.close client_end)
+         in
+         N.run t;
+         Domain.join client;
+         Printf.printf
+           "  %4.0f%% of peak (%8.1f/s): %5d reqs | p50 %7.2fms p95 %7.2fms p99 %7.2fms\n%!"
+           (frac *. 100.0) rate n
+           (H.quantile hist 0.50 *. 1000.0)
+           (H.quantile hist 0.95 *. 1000.0)
+           (H.quantile hist 0.99 *. 1000.0);
+         (frac, rate, n, hist))
+      open_loop_rates
+  in
+  print_newline ();
+  (* ---- part 4: snapshot-truncated recovery ----------------------- *)
+  Printf.printf "-- recovery: replay is O(delta since last snapshot) --\n";
+  let wal_path = tmp ".wal" in
+  let snapshot_every = 64 in
+  let trace_ecos = max 200 (int_of_float (600.0 *. scale)) in
+  let engine = fresh_engine () in
+  let wal = Wal.open_ ~path:wal_path () in
+  let t = N.create engine ~wal ~wal_path ~snapshot_every ~max_batch:64 () in
+  let server_end, client_end = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore (N.add_conn t server_end);
+  let hist = H.create () in
+  let client =
+    Domain.spawn (fun () ->
+        closed_loop_client client_end ~key:"rec" ~cells ~seed:7
+          ~reqs:trace_ecos hist;
+        Unix.close client_end)
+  in
+  N.run t;
+  Domain.join client;
+  Wal.close wal;
+  let fingerprint_before = Mcl_service.Engine.state_fingerprint engine in
+  let leftover_records = List.length (fst (Wal.read ~path:wal_path)) in
+  let t0 = Unix.gettimeofday () in
+  let engine2 = fresh_engine () in
+  let r = Mcl_service.Server.recover engine2 ~path:wal_path in
+  let recover_wall = Unix.gettimeofday () -. t0 in
+  let fingerprint_equal =
+    Mcl_service.Engine.state_fingerprint engine2 = fingerprint_before
+  in
+  Sys.remove wal_path;
+  (try Sys.remove (Mcl_service.Snapshot.path_for wal_path)
+   with Sys_error _ -> ());
+  let total_mutations = trace_ecos + 2 in
+  Printf.printf
+    "  %d journaled mutations, snapshot at seq %d: replayed %d (%.0f%% skipped \
+     via snapshot) in %.3fs; fingerprint %s\n\n%!"
+    total_mutations r.Mcl_service.Server.snapshot_seq r.replayed
+    (100.0
+     *. float_of_int (total_mutations - r.replayed)
+     /. float_of_int total_mutations)
+    recover_wall
+    (if fingerprint_equal then "EXACT" else "MISMATCH");
+  if not fingerprint_equal then
+    failwith "service_load: recovered state fingerprint mismatch";
+  if r.replayed <> leftover_records then
+    failwith "service_load: recovery replayed a different record count";
+  (* ---- JSON ------------------------------------------------------ *)
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "service_load");
+        ("scale", Json.Float scale);
+        ( "group_commit",
+          Json.Obj
+            [ ( "sizes",
+                Json.List
+                  (List.map
+                     (fun (size, muts, wall, per_s) ->
+                        Json.Obj
+                          [ ("group", Json.Int size);
+                            ("mutations", Json.Int muts);
+                            ("wall_s", Json.Float wall);
+                            ("durable_muts_per_s", Json.Float per_s);
+                            ("fsyncs", Json.Int (muts / size)) ])
+                     group_results) );
+              ("baseline_per_s", Json.Float baseline_per_s);
+              ("best_group_per_s", Json.Float best_group_per_s) ] );
+        ( "saturation",
+          Json.List
+            (List.map
+               (fun (nclients, ecos, wall, per_s, hist) ->
+                  Json.Obj
+                    [ ("clients", Json.Int nclients);
+                      ("ecos", Json.Int ecos);
+                      ("wall_s", Json.Float wall);
+                      ("eco_per_s", Json.Float per_s);
+                      ("latency", H.to_json hist) ])
+               saturation) );
+        ("peak_eco_per_s", Json.Float peak_eco_per_s);
+        ( "open_loop",
+          Json.List
+            (List.map
+               (fun (frac, rate, n, hist) ->
+                  Json.Obj
+                    [ ("fraction_of_peak", Json.Float frac);
+                      ("arrival_rate_per_s", Json.Float rate);
+                      ("requests", Json.Int n);
+                      ("latency", H.to_json hist) ])
+               open_loop) );
+        ( "recovery",
+          Json.Obj
+            [ ("total_mutations", Json.Int total_mutations);
+              ("snapshot_every", Json.Int snapshot_every);
+              ("snapshot_seq", Json.Int r.Mcl_service.Server.snapshot_seq);
+              ("replayed", Json.Int r.replayed);
+              ("recover_wall_s", Json.Float recover_wall);
+              ("fingerprint_equal", Json.Bool fingerprint_equal) ] ) ]
+  in
+  let oc = open_out "BENCH_service_load.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_service_load.json\n\n"
+
+(* ---------------------------------------------------------------- *)
 (* Congestion: incremental-map throughput and the weight trade-off.   *)
 (* Part 1 races apply_move/undo against full rebuilds on a hotspotted *)
 (* design and cross-checks the incremental map against a fresh one.   *)
@@ -1045,6 +1443,7 @@ let () =
     threads ~scale ();
     ablation ~scale ();
     service ~scale ();
+    service_load ~scale ();
     congest ~scale ();
     resilience ~scale ();
     mgl_kernel ~scale ();
@@ -1062,12 +1461,13 @@ let () =
   | "ablation" -> ablation ~scale ()
   | "micro" -> micro ()
   | "service" -> service ~scale ()
+  | "service_load" -> service_load ~scale ()
   | "congest" -> congest ~scale ()
   | "resilience" -> resilience ~scale ()
   | "mgl_kernel" -> mgl_kernel ~scale ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|congest|resilience|mgl_kernel|micro|all)\n"
+      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|service_load|congest|resilience|mgl_kernel|micro|all)\n"
       other;
     exit 2

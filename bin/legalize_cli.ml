@@ -189,13 +189,28 @@ let run input suite scale algo threads window_halfwidth window_halfheight
    newline-delimited JSON requests from stdin (or a Unix-domain socket)
    and answers one response line per request; see README §Service. *)
 let run_serve socket threads max_batch no_fences no_routability wal_path
-    recover_path max_pending fault_seed fault_kinds =
+    recover_path max_pending max_designs max_conns snapshot_every fault_seed
+    fault_kinds =
   if threads <= 0 then
     usage_error (Printf.sprintf "--threads must be >= 1 (got %d)" threads);
   if max_batch <= 0 then
     usage_error (Printf.sprintf "--max-batch must be >= 1 (got %d)" max_batch);
   if max_pending <= 0 then
     usage_error (Printf.sprintf "--max-pending must be >= 1 (got %d)" max_pending);
+  if max_conns <= 0 then
+    usage_error (Printf.sprintf "--max-conns must be >= 1 (got %d)" max_conns);
+  (match max_designs with
+   | Some n when n < 1 ->
+     usage_error (Printf.sprintf "--max-designs must be >= 1 (got %d)" n)
+   | _ -> ());
+  (match snapshot_every with
+   | Some n when n < 1 ->
+     usage_error (Printf.sprintf "--snapshot-every must be >= 1 (got %d)" n)
+   | Some _ when wal_path = None ->
+     usage_error "--snapshot-every requires --wal PATH"
+   | Some _ when socket = None ->
+     usage_error "--snapshot-every requires --socket PATH (event-loop mode)"
+   | _ -> ());
   let faults =
     match fault_kinds with
     | None ->
@@ -219,19 +234,30 @@ let run_serve socket threads max_batch no_fences no_routability wal_path
      really happened, and replay must reproduce it exactly *)
   if faults <> None && recover_path <> None then
     usage_error "--fault-kinds cannot be combined with --recover";
-  let engine = Mcl_service.Engine.create ~threads ?faults ~config () in
-  (match recover_path with
-   | None -> ()
-   | Some path ->
-     let r = Mcl_service.Server.recover engine ~path in
-     Printf.eprintf "recovered %d mutation(s) from %s%s%s\n%!" r.replayed path
-       (if r.failed > 0 then Printf.sprintf ", %d failed" r.failed else "")
-       (if r.dropped_lines > 0 then
-          Printf.sprintf ", %d torn line(s) dropped" r.dropped_lines
-        else ""));
+  let engine =
+    Mcl_service.Engine.create ~threads ?max_designs ?faults ~config ()
+  in
+  let recovered_seq =
+    match recover_path with
+    | None -> 0
+    | Some path ->
+      let r = Mcl_service.Server.recover engine ~path in
+      Printf.eprintf "recovered %d mutation(s) from %s%s%s%s\n%!" r.replayed
+        path
+        (if r.snapshot_seq > 0 then
+           Printf.sprintf " (snapshot up to seq %d)" r.snapshot_seq
+         else "")
+        (if r.failed > 0 then Printf.sprintf ", %d failed" r.failed else "")
+        (if r.dropped_lines > 0 then
+           Printf.sprintf ", %d torn line(s) dropped" r.dropped_lines
+         else "");
+      r.snapshot_seq
+  in
   let wal =
     Option.map
-      (fun path -> Mcl_resilience.Wal.open_ ~path ())
+      (* after snapshot-truncated recovery the journal file may be empty;
+         the hint keeps the sequence numbering monotone across restarts *)
+      (fun path -> Mcl_resilience.Wal.open_ ~next_seq:(recovered_seq + 1) ~path ())
       wal_path
   in
   Fun.protect
@@ -239,8 +265,8 @@ let run_serve socket threads max_batch no_fences no_routability wal_path
     (fun () ->
        match socket with
        | Some path ->
-         Mcl_service.Server.serve_socket engine ?wal ?faults ~max_pending
-           ~max_batch ~path ()
+         Mcl_netserve.Netserve.serve engine ?wal ?wal_path ?faults ~max_pending
+           ~max_conns ?snapshot_every ~max_batch ~path ()
        | None ->
          Mcl_service.Server.serve_stdio engine ?wal ?faults ~max_pending
            ~max_batch ())
@@ -287,6 +313,28 @@ let serve_cmd =
              ~doc:"Admission-control bound on queued-but-unexecuted \
                    requests; lines past it are answered P429-overloaded.")
   in
+  let max_designs =
+    Arg.(value & opt (some int) None
+         & info [ "max-designs" ] ~docv:"N"
+             ~doc:"Bound the resident design cache to N entries; the \
+                   least-recently-used entry whose state is already durable \
+                   (snapshot-clean, not mid-batch) is evicted when a load \
+                   would exceed the bound. Unbounded by default.")
+  in
+  let max_conns =
+    Arg.(value & opt int 64
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Accept at most N concurrent socket connections; further \
+                   clients wait in the listen backlog (socket mode only).")
+  in
+  let snapshot_every =
+    Arg.(value & opt (some int) None
+         & info [ "snapshot-every" ] ~docv:"N"
+             ~doc:"Write an atomic placement snapshot and truncate the \
+                   write-ahead log every N journaled mutations, so --recover \
+                   replays only the delta since the last snapshot. Requires \
+                   --wal and --socket.")
+  in
   let fault_seed =
     Arg.(value & opt (some int) None
          & info [ "fault-seed" ] ~docv:"N"
@@ -304,7 +352,8 @@ let serve_cmd =
        ~doc:"Run the resident legalization service (NDJSON request loop; ops: \
              load, legalize, eco, query, lint, audit, stats, shutdown).")
     Term.(const run_serve $ socket $ threads $ max_batch $ no_fences $ no_rout
-          $ wal $ recover $ max_pending $ fault_seed $ fault_kinds)
+          $ wal $ recover $ max_pending $ max_designs $ max_conns
+          $ snapshot_every $ fault_seed $ fault_kinds)
 
 let cmd =
   let input =

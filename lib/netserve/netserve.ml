@@ -1,0 +1,418 @@
+open Mcl_service
+module Fault = Mcl_resilience.Fault
+module Wal = Mcl_resilience.Wal
+
+(* ---------------------------------------------------------------- *)
+(* Connections                                                       *)
+(* ---------------------------------------------------------------- *)
+
+type conn = {
+  id : int;  (* accept order; the scheduling and reporting key *)
+  fd : Unix.file_descr;
+  r : Server.reader;
+  out : string Queue.t;  (* response lines awaiting the socket *)
+  mutable out_off : int;  (* bytes of the head already written *)
+  pending : (string * float) Queue.t;  (* admitted lines + read stamp *)
+  mutable counter : int;  (* per-connection default request ids *)
+  mutable dead : bool;  (* IO error: close and drop, service lives on *)
+}
+
+type t = {
+  engine : Engine.t;
+  wal : Wal.t option;
+  wal_path : string option;
+  faults : Fault.t option;
+  max_batch : int;
+  max_pending : int;
+  max_line : int;
+  max_conns : int;
+  snapshot_every : int option;
+  mutable conns : conn list;  (* ascending id = accept order *)
+  mutable next_id : int;
+  mutable rr : int;  (* round-robin: id to favor in the next sweep *)
+  mutable appends_since_snapshot : int;
+}
+
+let create engine ?wal ?wal_path ?faults ?(max_pending = 256)
+    ?(max_line = 1 lsl 20) ?(max_conns = 64) ?snapshot_every ~max_batch () =
+  (match snapshot_every with
+   | Some k ->
+     if k < 1 then invalid_arg "Netserve.create: snapshot_every must be >= 1";
+     if wal = None || wal_path = None then
+       invalid_arg "Netserve.create: snapshot_every requires wal and wal_path"
+   | None -> ());
+  { engine; wal; wal_path; faults;
+    max_batch = max 1 max_batch;
+    max_pending = max 1 max_pending;
+    max_line; max_conns = max 1 max_conns; snapshot_every;
+    conns = []; next_id = 0; rr = 0; appends_since_snapshot = 0 }
+
+let add_conn t fd =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let c =
+    { id; fd;
+      r = Server.reader ?faults:t.faults ~max_line:t.max_line fd;
+      out = Queue.create (); out_off = 0;
+      pending = Queue.create (); counter = 0; dead = false }
+  in
+  t.conns <- t.conns @ [ c ];
+  id
+
+(* ---------------------------------------------------------------- *)
+(* Per-connection IO                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let enqueue c resp = Queue.add (Protocol.to_line resp ^ "\n") c.out
+
+let next_id c =
+  c.counter <- c.counter + 1;
+  Printf.sprintf "req-%d" c.counter
+
+(* Drain the head of the out queue into the socket until it would
+   block. Same fault sites as {!Server.write_all} (short write, EINTR,
+   injected reset-as-EPIPE), but EAGAIN parks the rest for the next
+   writable wakeup instead of spinning. *)
+let flush_conn t c =
+  let continue = ref true in
+  while (not c.dead) && !continue && not (Queue.is_empty c.out) do
+    let s = Queue.peek c.out in
+    let len = String.length s in
+    if Fault.conn_reset t.faults then
+      raise (Unix.Unix_error (Unix.EPIPE, "write", "injected connection reset"));
+    if Fault.eintr t.faults then () (* injected interrupted attempt; retry *)
+    else begin
+      let want = Fault.short_write t.faults (len - c.out_off) in
+      match Unix.write c.fd (Bytes.unsafe_of_string s) c.out_off want with
+      | n ->
+        c.out_off <- c.out_off + n;
+        if c.out_off >= len then begin
+          ignore (Queue.pop c.out);
+          c.out_off <- 0
+        end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+  done
+
+let kill_conn c =
+  if not c.dead then begin
+    c.dead <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* IO against one connection, with that connection's death contained:
+   a reset/EPIPE kills it and the loop carries on serving the rest. *)
+let guarded c f =
+  try f () with
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+  | Sys_error _ ->
+    kill_conn c
+
+let shed t c line ~received =
+  Telemetry.record_shed (Engine.telemetry t.engine);
+  let default_id = next_id c in
+  let resp =
+    match Protocol.parse ~received ~default_id line with
+    | Ok req ->
+      Protocol.error ~id:req.Protocol.id
+        ~op:(Protocol.op_name req.Protocol.op)
+        ~code:"P429-overloaded"
+        (Printf.sprintf
+           "pending queue full (%d requests) on this connection; request shed"
+           t.max_pending)
+    | Error e -> Protocol.error_of_parse e
+  in
+  enqueue c resp
+
+let overlong c =
+  enqueue c
+    (Protocol.error ~id:(next_id c) ~op:"?" ~code:"P400-line-too-long"
+       (Printf.sprintf "request line exceeds %d bytes; line discarded"
+          (Server.reader_max_line c.r)))
+
+(* Admit every complete buffered line; past the per-connection bound a
+   line is answered P429 immediately (the shed response may overtake
+   admitted-but-unanswered requests — sheds are not ordered work). *)
+let drain t c =
+  let continue = ref true in
+  while !continue do
+    match Server.pop_line c.r with
+    | Some (`Line line) ->
+      if String.trim line <> "" then begin
+        let received = Fault.now t.faults in
+        if Queue.length c.pending >= t.max_pending then
+          shed t c line ~received
+        else Queue.add (line, received) c.pending
+      end
+    | Some `Overlong -> overlong c
+    | None -> continue := false
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Scheduling and execution                                          *)
+(* ---------------------------------------------------------------- *)
+
+(* Fair round-robin: sweep the connections in accept order starting
+   from the rotation cursor, taking one pending request per connection
+   per sweep, until the batch is full or the queues are empty. One
+   chatty connection therefore gets at most ceil(max_batch / active)
+   slots ahead of anyone — no starvation. The cursor then advances one
+   position, so the head-of-sweep advantage itself rotates. Given one
+   arrival trace the batch composition is a pure function of queue
+   states: the interleaving is deterministic. *)
+let build_batch t =
+  let rotated =
+    let before, after = List.partition (fun c -> c.id < t.rr) t.conns in
+    after @ before
+  in
+  (match rotated with
+   | [] -> ()
+   | first :: _ -> t.rr <- first.id + 1);
+  let taken = ref [] and total = ref 0 in
+  let progress = ref true in
+  while !progress && !total < t.max_batch do
+    progress := false;
+    List.iter
+      (fun c ->
+         if !total < t.max_batch && not (Queue.is_empty c.pending) then begin
+           taken := (c, Queue.take c.pending) :: !taken;
+           incr total;
+           progress := true
+         end)
+      rotated
+  done;
+  List.rev !taken
+
+(* Group commit: one [append_all] (one fsync) covers every journaled
+   mutation of the batch; only after it returns are the responses
+   released to their connections' output queues — a response a client
+   can read implies its group is already durable. *)
+let commit_batch t responses =
+  match t.wal with
+  | None ->
+    ignore (Engine.mark_cache_clean t.engine);
+    0
+  | Some w ->
+    let lines =
+      Array.to_list responses |> List.filter_map (fun r -> r.Protocol.wal)
+    in
+    if lines = [] then 0
+    else begin
+      ignore (Wal.append_all w lines);
+      Telemetry.record_wal_group (Engine.telemetry t.engine)
+        ~appends:(List.length lines);
+      List.length lines
+    end
+
+let maybe_snapshot t =
+  match (t.snapshot_every, t.wal, t.wal_path) with
+  | Some every, Some w, Some wal_path
+    when t.appends_since_snapshot >= every ->
+    let upto_seq = Wal.last_seq w in
+    Snapshot.write ~cache:(Engine.cache t.engine) ~upto_seq
+      ~path:(Snapshot.path_for wal_path);
+    let dropped = Wal.truncate w in
+    Telemetry.record_snapshot (Engine.telemetry t.engine) ~seq:upto_seq
+      ~truncated_bytes:dropped;
+    ignore (Engine.mark_cache_clean t.engine);
+    t.appends_since_snapshot <- 0
+  | _ -> ()
+
+let run_one_batch t ~on_commit =
+  let batch = build_batch t in
+  if batch <> [] then begin
+    Telemetry.record_queue_depth (Engine.telemetry t.engine)
+      ~depth:
+        (List.fold_left
+           (fun acc c -> max acc (Queue.length c.pending))
+           0 t.conns);
+    Telemetry.set_connections (Engine.telemetry t.engine)
+      (List.map (fun c -> (c.id, Queue.length c.pending)) t.conns);
+    (* parse now, answer malformed lines immediately (they precede the
+       batch responses on their connection, so per-connection order
+       still matches request order) *)
+    let parsed =
+      List.filter_map
+        (fun (c, (line, received)) ->
+           match Protocol.parse ~received ~default_id:(next_id c) line with
+           | Error e ->
+             enqueue c (Protocol.error_of_parse e);
+             None
+           | Ok req -> Some (c, req))
+        batch
+    in
+    let requests = Array.of_list (List.map snd parsed) in
+    let origins = Array.of_list (List.map fst parsed) in
+    let responses = Engine.execute t.engine requests in
+    let appended = commit_batch t responses in
+    t.appends_since_snapshot <- t.appends_since_snapshot + appended;
+    maybe_snapshot t;
+    on_commit ();
+    Array.iteri (fun i resp -> enqueue origins.(i) resp) responses;
+    (* opportunistic flush: most responses leave without waiting for
+       the next select round *)
+    List.iter (fun c -> guarded c (fun () -> flush_conn t c)) t.conns
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Event loop                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let accept_ready t listen_fd =
+  let continue = ref true in
+  while !continue && List.length t.conns < t.max_conns do
+    match Unix.accept listen_fd with
+    | fd, _ -> ignore (add_conn t fd)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let have_pending t =
+  List.exists (fun c -> not (Queue.is_empty c.pending)) t.conns
+
+(* Drop connections that are finished (EOF seen, nothing queued in
+   either direction) or dead. *)
+let sweep_conns t =
+  t.conns <-
+    List.filter
+      (fun c ->
+         if c.dead then false
+         else if
+           Server.reader_eof c.r
+           && Queue.is_empty c.pending
+           && Queue.is_empty c.out
+         then begin
+           kill_conn c;
+           false
+         end
+         else true)
+      t.conns
+
+(* After shutdown executes, give every surviving connection a bounded
+   chance to receive its queued responses: rounds of writable-select
+   with a short timeout, giving up after [max_rounds] without full
+   drain (a peer that stopped reading must not wedge shutdown). The
+   bound is counted in rounds, not wall time, so the loop stays
+   clock-free. *)
+let drain_outputs t ~max_rounds =
+  let rounds = ref 0 in
+  let remaining () =
+    List.filter (fun c -> (not c.dead) && not (Queue.is_empty c.out)) t.conns
+  in
+  let rec go () =
+    match remaining () with
+    | [] -> ()
+    | cs when !rounds < max_rounds ->
+      incr rounds;
+      (match Unix.select [] (List.map (fun c -> c.fd) cs) [] 0.05 with
+       | _, ws, _ ->
+         List.iter
+           (fun c ->
+              if List.memq c.fd ws then guarded c (fun () -> flush_conn t c))
+           cs
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let run ?(on_commit = fun () -> ()) ?listen t =
+  (match listen with
+   | Some fd -> (try Unix.set_nonblock fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  let finished = ref false in
+  while not !finished do
+    if Engine.shutdown_requested t.engine then begin
+      drain_outputs t ~max_rounds:200;
+      List.iter kill_conn t.conns;
+      t.conns <- [];
+      finished := true
+    end
+    else begin
+      let accepting =
+        match listen with
+        | Some fd when List.length t.conns < t.max_conns -> [ fd ]
+        | _ -> []
+      in
+      let readers =
+        List.filter (fun c -> not (Server.reader_eof c.r)) t.conns
+      in
+      let writers =
+        List.filter (fun c -> not (Queue.is_empty c.out)) t.conns
+      in
+      if
+        accepting = [] && readers = [] && writers = [] && not (have_pending t)
+      then begin
+        (* no listener, every connection drained: the session is over *)
+        List.iter kill_conn t.conns;
+        t.conns <- [];
+        finished := true
+      end
+      else begin
+        let read_fds = accepting @ List.map (fun c -> c.fd) readers in
+        let write_fds = List.map (fun c -> c.fd) writers in
+        (* with work already admitted, poll instead of blocking: the
+           batch below must not wait on quiet sockets *)
+        let timeout = if have_pending t then 0.0 else -1.0 in
+        (match Unix.select read_fds write_fds [] timeout with
+         | rs, ws, _ ->
+           (match listen with
+            | Some fd when List.memq fd rs -> accept_ready t fd
+            | _ -> ());
+           (* readable connections are visited in accept order, not
+              select's reporting order: the admission interleaving is
+              deterministic given the trace *)
+           List.iter
+             (fun c ->
+                if List.memq c.fd rs then
+                  guarded c (fun () ->
+                      ignore (Server.refill c.r ~block:true);
+                      drain t c))
+             readers;
+           List.iter
+             (fun c ->
+                if List.memq c.fd ws then guarded c (fun () -> flush_conn t c))
+             writers
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        run_one_batch t ~on_commit;
+        sweep_conns t
+      end
+    end
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Socket front-end                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let serve engine ?wal ?wal_path ?faults ?max_pending ?max_line ?max_conns
+    ?snapshot_every ~max_batch ~path () =
+  let t =
+    create engine ?wal ?wal_path ?faults ?max_pending ?max_line ?max_conns
+      ?snapshot_every ~max_batch ()
+  in
+  let previous_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+   | _ -> ()
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        match previous_sigpipe with
+        | Some behavior ->
+          (try ignore (Sys.signal Sys.sigpipe behavior)
+           with Invalid_argument _ | Sys_error _ -> ())
+        | None -> ())
+    (fun () ->
+       Unix.bind sock (Unix.ADDR_UNIX path);
+       Unix.listen sock 64;
+       run ~listen:sock t)

@@ -1,0 +1,69 @@
+(** Multi-client NDJSON event loop over an {!Mcl_service.Engine}.
+
+    One select(2)-driven control thread multiplexes every accepted
+    connection: per-connection scan-offset line readers (the same
+    EINTR/partial-IO-safe primitives and fault-injection sites as
+    {!Mcl_service.Server}), per-connection bounded pending queues with
+    immediate [P429-overloaded] shedding, and buffered non-blocking
+    writers that park on EAGAIN until the next writable wakeup.
+
+    {b Scheduling} is fair round-robin in accept order: each batch
+    sweeps the connections from a rotating cursor, taking one pending
+    request per connection per sweep up to [max_batch]. A chatty
+    connection cannot starve a quiet one, and given one arrival trace
+    the interleaving — and therefore the WAL record order and the
+    final placement state — is deterministic. Within a batch the
+    engine's planner still serializes same-design requests in arrival
+    order and fans independent designs across the engine's domain pool
+    ([threads]), so per-design ordering is preserved while unrelated
+    designs execute concurrently.
+
+    {b Durability} is group commit: the whole batch's acknowledged
+    mutations are journaled with one {!Mcl_resilience.Wal.append_all}
+    (one fsync), and no response is released to any output queue until
+    that fsync returns. With [snapshot_every] set, every [N] journaled
+    records the loop writes an atomic placement snapshot
+    ({!Mcl_service.Snapshot}) and truncates the WAL, so recovery
+    replays O(delta-since-snapshot).
+
+    One client dying (EPIPE / ECONNRESET / reset mid-read) kills that
+    connection only; the loop keeps serving. [shutdown] stops
+    accepting, gives surviving connections a bounded number of flush
+    rounds, and returns. *)
+
+type t
+
+(** [create engine ?wal ?wal_path ?faults ?max_pending ?max_line
+    ?max_conns ?snapshot_every ~max_batch ()] — [max_pending] bounds
+    each connection's admitted-request queue (default 256),
+    [max_conns] the accepted-connection count (default 64; further
+    clients queue in the listen backlog). [snapshot_every] (requires
+    [wal] and [wal_path]) cuts a snapshot every so many journaled
+    records. *)
+val create :
+  Mcl_service.Engine.t -> ?wal:Mcl_resilience.Wal.t -> ?wal_path:string ->
+  ?faults:Mcl_resilience.Fault.t -> ?max_pending:int -> ?max_line:int ->
+  ?max_conns:int -> ?snapshot_every:int -> max_batch:int -> unit -> t
+
+(** Register an already-connected fd (made non-blocking) as the next
+    connection, in accept order; returns its connection id. The test
+    harness and benches feed socketpairs through this. *)
+val add_conn : t -> Unix.file_descr -> int
+
+(** [run ?on_commit ?listen t] drives the event loop until [shutdown]
+    executes or — with no [listen] fd — every connection has reached
+    EOF and drained. [listen] is a bound+listening socket to accept
+    from. [on_commit] fires after each batch's durability step (group
+    commit + possible snapshot) and before its responses are released
+    — the crash-point tests image the journal there. *)
+val run : ?on_commit:(unit -> unit) -> ?listen:Unix.file_descr -> t -> unit
+
+(** [serve engine ~max_batch ~path ()] binds a Unix-domain socket at
+    [path] (replacing a stale socket file), ignores SIGPIPE for the
+    duration, and {!run}s with it; the socket file is removed on
+    exit. *)
+val serve :
+  Mcl_service.Engine.t -> ?wal:Mcl_resilience.Wal.t -> ?wal_path:string ->
+  ?faults:Mcl_resilience.Fault.t -> ?max_pending:int -> ?max_line:int ->
+  ?max_conns:int -> ?snapshot_every:int -> max_batch:int -> path:string ->
+  unit -> unit

@@ -3,9 +3,20 @@ type t = {
   fsync : bool;
   mutable seq : int;  (* last assigned *)
   mutable closed : bool;
+  mutable appends : int;
+  mutable fsyncs : int;
+  mutable groups : int;
+  mutable truncated_bytes : int;
 }
 
 type record = { seq : int; payload : string }
+
+type stats = {
+  appends : int;
+  fsyncs : int;
+  groups : int;
+  truncated_bytes : int;
+}
 
 (* A record line is exactly [{"seq":N,"req":PAYLOAD}]; parsing is
    plain string surgery so the library needs no JSON codec. *)
@@ -33,22 +44,24 @@ let parse_line line =
            Some { seq; payload = String.sub line start (n - 1 - start) })
 
 (* Scan the journal text into (valid records, bytes of the valid
-   prefix, dropped trailing lines). Records must be consecutive from
-   [1]; the first bad or out-of-sequence line invalidates the rest
-   (after a torn write nothing beyond it is trustworthy). *)
+   prefix, dropped trailing lines). The first valid record sets the
+   base sequence (a truncated-after-snapshot journal restarts above 1);
+   records must be consecutive from there, and the first bad or
+   out-of-sequence line invalidates the rest (after a torn write
+   nothing beyond it is trustworthy). *)
 let scan text =
   let n = String.length text in
   let records = ref [] and valid_bytes = ref 0 and dropped = ref 0 in
-  let pos = ref 0 and expect = ref 1 and ok = ref true in
+  let pos = ref 0 and expect = ref 0 and ok = ref true in
   while !pos < n do
     let nl = try String.index_from text !pos '\n' with Not_found -> n in
     let line = String.sub text !pos (nl - !pos) in
     let terminated = nl < n in
     (if !ok && terminated then begin
        match parse_line line with
-       | Some r when r.seq = !expect ->
+       | Some r when (if !expect = 0 then r.seq > 0 else r.seq = !expect) ->
          records := r :: !records;
-         incr expect;
+         expect := r.seq + 1;
          valid_bytes := nl + 1
        | Some _ | None ->
          ok := false;
@@ -71,17 +84,28 @@ let read ~path =
   let records, _, dropped = scan (read_file path) in
   (records, dropped)
 
-let open_ ?(fsync = true) ~path () =
+let open_ ?(fsync = true) ?(next_seq = 1) ~path () =
   let records, valid_bytes, _ = scan (read_file path) in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   (* repair the torn tail before appending: a partial last line would
      otherwise concatenate with the next record and poison it *)
   Unix.ftruncate fd valid_bytes;
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
-  let seq = match List.rev records with r :: _ -> r.seq | [] -> 0 in
-  { fd; fsync; seq; closed = false }
+  (* a journal truncated after a snapshot is empty but must keep
+     counting from where it left off: the caller passes the snapshot's
+     sequence as [next_seq]; surviving records take precedence (they
+     can only be at or beyond it) *)
+  let seq =
+    match List.rev records with
+    | r :: _ -> max r.seq (next_seq - 1)
+    | [] -> next_seq - 1
+  in
+  { fd; fsync; seq; closed = false;
+    appends = 0; fsyncs = 0; groups = 0; truncated_bytes = 0 }
 
 let next_seq (t : t) = t.seq + 1
+
+let last_seq (t : t) = t.seq
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -93,15 +117,55 @@ let write_all fd s =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
+(* Group commit: the whole batch of payloads is framed into one buffer,
+   written with one write loop and made durable with one fsync — the
+   per-record fsync is what caps a per-request journal at disk-flush
+   rate. Callers must hold every member's response until this returns:
+   the group's durability is all-or-nothing. *)
+let append_all t payloads =
+  if t.closed then invalid_arg "Wal.append_all: closed journal";
+  match payloads with
+  | [] -> t.seq
+  | _ ->
+    let buf = Buffer.create 256 in
+    let seq = ref t.seq in
+    List.iter
+      (fun payload ->
+         if String.contains payload '\n' then
+           invalid_arg "Wal.append_all: payload contains a newline";
+         incr seq;
+         Buffer.add_string buf (frame ~seq:!seq payload);
+         Buffer.add_char buf '\n')
+      payloads;
+    write_all t.fd (Buffer.contents buf);
+    if t.fsync then begin
+      Unix.fsync t.fd;
+      t.fsyncs <- t.fsyncs + 1
+    end;
+    t.appends <- t.appends + List.length payloads;
+    t.groups <- t.groups + 1;
+    t.seq <- !seq;
+    t.seq
+
 let append t payload =
-  if t.closed then invalid_arg "Wal.append: closed journal";
-  if String.contains payload '\n' then
-    invalid_arg "Wal.append: payload contains a newline";
-  let seq = t.seq + 1 in
-  write_all t.fd (frame ~seq payload ^ "\n");
+  ignore (append_all t [ payload ]);
+  t.seq
+
+(* Drop the journaled prefix once a snapshot covers it. The sequence
+   counter keeps running — the next append continues numbering where
+   the snapshot stopped, and {!scan} accepts the non-1 base. *)
+let truncate t =
+  if t.closed then invalid_arg "Wal.truncate: closed journal";
+  let size = (Unix.fstat t.fd).Unix.st_size in
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
   if t.fsync then Unix.fsync t.fd;
-  t.seq <- seq;
-  seq
+  t.truncated_bytes <- t.truncated_bytes + size;
+  size
+
+let stats (t : t) =
+  { appends = t.appends; fsyncs = t.fsyncs; groups = t.groups;
+    truncated_bytes = t.truncated_bytes }
 
 let close t =
   if not t.closed then begin

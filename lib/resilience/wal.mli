@@ -12,11 +12,18 @@
 
     [<request object>] is the engine's canonical re-encoding of what
     was actually applied (a deadline-degraded legalize journals as an
-    explicit greedy legalize). Sequence numbers are consecutive from
-    1; {!open_} scans an existing journal, truncates a torn tail (a
-    crash can leave at most one partial last line) and continues from
-    the last valid record, so recover-then-keep-journaling uses one
-    file.
+    explicit greedy legalize). Sequence numbers are consecutive; a
+    fresh journal starts at 1, while a journal truncated after a
+    snapshot restarts at the snapshot's successor (the first record
+    sets the base). {!open_} scans an existing journal, truncates a
+    torn tail (a crash can leave at most one partial last line) and
+    continues from the last valid record, so recover-then-keep-
+    journaling uses one file.
+
+    {e Group commit}: {!append_all} frames a whole batch of mutations
+    into one buffer, one write, one fsync — turning the per-request
+    disk-flush bound (~10k/s) into a per-batch one. Responses for
+    every member must be held until the group's fsync returns.
 
     This module does no JSON parsing beyond the record frame: payloads
     are opaque single-line strings, framed and recovered with plain
@@ -26,17 +33,51 @@ type t
 
 type record = { seq : int; payload : string }
 
-(** [open_ ?fsync ~path ()] opens (creating if needed) the journal for
-    appending, after repairing a torn tail. [fsync] (default [true])
-    syncs every append; benchmarks may turn it off. *)
-val open_ : ?fsync:bool -> path:string -> unit -> t
+(** Cumulative IO accounting since {!open_} (not persisted). The mean
+    commit-group size is [appends / groups]. *)
+type stats = {
+  appends : int;  (** records journaled *)
+  fsyncs : int;  (** fsync calls issued (one per non-empty group) *)
+  groups : int;  (** {!append_all} batches (incl. singletons) *)
+  truncated_bytes : int;  (** bytes dropped by {!truncate} calls *)
+}
+
+(** [open_ ?fsync ?next_seq ~path ()] opens (creating if needed) the
+    journal for appending, after repairing a torn tail. [fsync]
+    (default [true]) syncs every append; benchmarks may turn it off.
+    [next_seq] (default 1) seeds the sequence counter when the file
+    holds no records — pass [snapshot_seq + 1] when reopening a
+    journal that was truncated after a snapshot, so numbering
+    continues instead of restarting at 1. *)
+val open_ : ?fsync:bool -> ?next_seq:int -> path:string -> unit -> t
 
 (** Next sequence number to be assigned. *)
 val next_seq : t -> int
 
+(** Last sequence number assigned (0 before the first append of a
+    fresh journal). *)
+val last_seq : t -> int
+
 (** [append t payload] journals one record and returns its sequence
-    number. [payload] must be a single line (no ['\n']). *)
+    number. [payload] must be a single line (no ['\n']). Equivalent to
+    a singleton {!append_all}. *)
 val append : t -> string -> int
+
+(** [append_all t payloads] journals the whole group with one write
+    and one fsync, returning the last assigned sequence number (or the
+    current one for an empty group, which does no IO). Durability is
+    all-or-nothing: no member's response may be released before this
+    returns. *)
+val append_all : t -> string list -> int
+
+(** [truncate t] empties the journal file — call only after a snapshot
+    covering every journaled record has been durably written. The
+    sequence counter keeps running, so subsequent appends continue the
+    numbering (and {!read} accepts the non-1 base). Returns the number
+    of bytes dropped. *)
+val truncate : t -> int
+
+val stats : t -> stats
 
 val close : t -> unit
 

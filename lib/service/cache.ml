@@ -5,26 +5,116 @@ type entry = {
   design : Design.t;
   gp_hpwl : int;
   source : string;
+  load_wire : string;
   loaded_at : float;
   mutable legalized : bool;
   mutable eco_count : int;
   mutable congest : Mcl_congest.Congestion.t option;
+  mutable dirty : bool;
+  mutable pinned : bool;
+  mutable last_used : int;
 }
 
 type t = {
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
+  max_designs : int option;
+  mutable tick : int;  (* logical LRU clock: bumped per touch *)
+  mutable evicted : int;
 }
 
-let create () = { table = Hashtbl.create 8; lock = Mutex.create () }
+let create ?max_designs () =
+  (match max_designs with
+   | Some n when n < 1 -> invalid_arg "Cache.create: max_designs must be >= 1"
+   | _ -> ());
+  { table = Hashtbl.create 8;
+    lock = Mutex.create ();
+    max_designs;
+    tick = 0;
+    evicted = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let put t entry = locked t (fun () -> Hashtbl.replace t.table entry.key entry)
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
 
-let find t key = locked t (fun () -> Hashtbl.find_opt t.table key)
+(* Evict least-recently-used entries while over the bound, but only
+   entries that are neither pinned (a batch group is executing on
+   them) nor dirty (mutated since the last snapshot — dropping one
+   would lose acknowledged state that recovery could not restore
+   better than the journal already does, and under WAL-without-
+   snapshots nothing ever becomes clean, so nothing is ever evicted).
+   The scan is a keyed min over the table, so the choice is
+   deterministic: strictly oldest [last_used] wins, and ties cannot
+   happen (the logical clock is strictly increasing). *)
+let[@detlint.allow
+     K102
+       "strict-min scan over unique last_used ticks; the victim choice is \
+        iteration-order independent"] evict_over_bound t =
+  match t.max_designs with
+  | None -> []
+  | Some bound ->
+    let evicted = ref [] in
+    let continue = ref true in
+    while !continue && Hashtbl.length t.table > bound do
+      let victim =
+        Hashtbl.fold
+          (fun _ e best ->
+             if e.pinned || e.dirty then best
+             else
+               match best with
+               | Some b when b.last_used <= e.last_used -> best
+               | _ -> Some e)
+          t.table None
+      in
+      match victim with
+      | None -> continue := false  (* everything pinned or dirty *)
+      | Some e ->
+        Hashtbl.remove t.table e.key;
+        t.evicted <- t.evicted + 1;
+        evicted := e.key :: !evicted
+    done;
+    List.rev !evicted
+
+let put t entry =
+  locked t (fun () ->
+      touch t entry;
+      Hashtbl.replace t.table entry.key entry;
+      evict_over_bound t)
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> None
+      | Some e ->
+        touch t e;
+        Some e)
+
+let pin t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> ()
+      | Some e -> e.pinned <- true)
+
+let unpin t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> ()
+      | Some e -> e.pinned <- false)
+
+(* Mark every entry snapshot-clean (a snapshot now covers its state)
+   and then enforce the bound: entries that were un-evictable only
+   because they were dirty become candidates here. *)
+let[@detlint.allow
+     K102
+       "commutative per-entry flag clear; iteration order cannot be \
+        observed"] mark_all_clean t =
+  locked t (fun () ->
+      Hashtbl.iter (fun _ e -> e.dirty <- false) t.table;
+      evict_over_bound t)
 
 (* the fold feeds a keyed sort directly, so the listing is independent
    of Hashtbl iteration order (byte-stable across runs) *)
@@ -34,3 +124,5 @@ let entries t =
       |> List.sort (fun a b -> String.compare a.key b.key))
 
 let count t = locked t (fun () -> Hashtbl.length t.table)
+
+let evictions t = locked t (fun () -> t.evicted)

@@ -1,9 +1,21 @@
-(** Keyed cache of resident designs.
+(** Keyed cache of resident designs, optionally bounded by an LRU
+    limit.
 
     One entry per user-chosen key, holding the parsed/generated design
     plus everything the service needs to answer queries without
     recomputation (the GP wirelength is captured at load time, before
     any legalizer moves cells — scores are meaningless without it).
+
+    With [max_designs] set, the cache evicts least-recently-used
+    entries once the bound is exceeded — but only entries that are
+    neither {e pinned} (a batch group is executing on them) nor
+    {e dirty} (mutated since the last snapshot): evicting a dirty
+    entry would drop acknowledged state the durability layer has not
+    yet captured. Entries become clean via {!mark_all_clean}, called
+    by the server after a snapshot (or after every batch when no
+    journal is configured, in which case there is nothing to lose).
+    Under a WAL without snapshots nothing is ever marked clean, so
+    nothing is ever evicted — the conservative default.
 
     Mutating entries is only safe under the engine's batch discipline:
     within one batch segment each design is owned by exactly one
@@ -18,6 +30,10 @@ type entry = {
   design : Design.t;
   gp_hpwl : int;  (** wirelength of the GP placement, at load time *)
   source : string;  (** human-readable provenance, e.g. ["suite:des_perf_1"] *)
+  load_wire : string;
+      (** the canonical WAL line of the [load] that created this entry;
+          a snapshot re-executes it to rebuild the design before
+          restoring positions *)
   loaded_at : float;
   mutable legalized : bool;  (** a full [legalize] has completed *)
   mutable eco_count : int;  (** ECO mutations applied since load *)
@@ -26,18 +42,42 @@ type entry = {
           lazily on the first [query] and from then on kept
           incrementally current: [eco] patches it from the position
           diff, [legalize] rebuilds it (see {!Engine}) *)
+  mutable dirty : bool;
+      (** mutated since the last snapshot; blocks eviction *)
+  mutable pinned : bool;
+      (** a batch group is executing on this entry; blocks eviction *)
+  mutable last_used : int;  (** logical LRU clock value at last touch *)
 }
 
 type t
 
-val create : unit -> t
+(** [create ?max_designs ()] — with [max_designs] set (>= 1), the
+    table is bounded and LRU-evicts unpinned clean entries past the
+    bound. *)
+val create : ?max_designs:int -> unit -> t
 
-(** [put t entry] inserts or replaces the entry under [entry.key]. *)
-val put : t -> entry -> unit
+(** [put t entry] inserts or replaces the entry under [entry.key],
+    then enforces the bound; returns the evicted keys (oldest
+    first). *)
+val put : t -> entry -> string list
 
+(** Lookup; touches the entry's LRU clock. *)
 val find : t -> string -> entry option
+
+(** Block / allow eviction of one entry (missing keys are ignored). *)
+val pin : t -> string -> unit
+
+val unpin : t -> string -> unit
+
+(** Mark every entry snapshot-clean, then enforce the bound (entries
+    kept only by their dirty flag become evictable); returns the
+    evicted keys. *)
+val mark_all_clean : t -> string list
 
 (** Snapshot of all entries, sorted by key (stable for tests). *)
 val entries : t -> entry list
 
 val count : t -> int
+
+(** Total entries evicted by the bound since creation. *)
+val evictions : t -> int

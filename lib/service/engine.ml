@@ -14,8 +14,8 @@ type t = {
   mutable shutdown : bool;
 }
 
-let create ?(threads = 1) ?faults ~config () =
-  { cache = Cache.create ();
+let create ?(threads = 1) ?max_designs ?faults ~config () =
+  { cache = Cache.create ?max_designs ();
     telemetry = Telemetry.create ();
     config;
     threads = max 1 threads;
@@ -25,6 +25,23 @@ let create ?(threads = 1) ?faults ~config () =
 let threads t = t.threads
 
 let telemetry t = t.telemetry
+
+let cache t = t.cache
+
+let note_evicted t = function
+  | [] -> ()
+  | evicted ->
+    Telemetry.record_evictions t.telemetry ~count:(List.length evicted)
+
+(* Called by the servers at durability points: after a snapshot, or
+   after every batch when no journal is configured (nothing
+   acknowledged can then outlive the process anyway, so eviction loses
+   nothing recovery could have used). Marking entries clean is what
+   lets the LRU bound actually evict them. *)
+let mark_cache_clean t =
+  let evicted = Cache.mark_all_clean t.cache in
+  note_evicted t evicted;
+  evicted
 
 let shutdown_requested t = t.shutdown
 
@@ -67,6 +84,7 @@ let account t resp ~op =
   let m = resp.Protocol.metrics in
   Telemetry.record t.telemetry ~op
     ~ok:(Result.is_ok resp.Protocol.result)
+    ~wait_s:(match m with Some m -> m.Protocol.queue_wait_s | None -> 0.0)
     ~service_s:(match m with Some m -> m.Protocol.service_s | None -> 0.0)
     ~cells:(match m with Some m -> m.Protocol.cells_touched | None -> 0)
     ~coalesced_extra:
@@ -192,11 +210,15 @@ let exec_load t req ~key ~source =
       message
   | Ok (design, source_name) ->
     let gp_hpwl = Mcl_eval.Metrics.hpwl design in
-    Cache.put t.cache
-      { Cache.key; design; gp_hpwl; source = source_name; loaded_at = started;
-        legalized = false; eco_count = 0; congest = None };
+    let wire = Protocol.to_wire req ~greedy:false in
+    note_evicted t
+      (Cache.put t.cache
+         { Cache.key; design; gp_hpwl; source = source_name;
+           load_wire = wire; loaded_at = started; legalized = false;
+           eco_count = 0; congest = None; dirty = true; pinned = false;
+           last_used = 0 });
     let finished = now t in
-    Protocol.ok ~id ~op:"load" ~wal:(Protocol.to_wire req ~greedy:false)
+    Protocol.ok ~id ~op:"load" ~wal:wire
       ~metrics:
         (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
            ~disp:0.0 ~coalesced:1 ())
@@ -216,6 +238,7 @@ let exec_legalize t (entry : Cache.entry) req ~greedy:greedy_op =
   let finish ?kernel ~degraded mode_fields =
     let violations = Mcl_eval.Legality.check design in
     entry.Cache.legalized <- violations = [];
+    entry.Cache.dirty <- true;
     (* a full pipeline moves most cells: rebuilding the tracked map is
        cheaper than diffing it move by move *)
     Option.iter Congestion.rebuild entry.Cache.congest;
@@ -443,6 +466,7 @@ let rec exec_eco_run t (entry : Cache.entry) run =
           ~greedy t.config design ~cells:merged_cells)
   in
   let succeed ~degraded stats =
+    entry.Cache.dirty <- true;
     (match (entry.Cache.congest, pos_before) with
      | Some m, Some before -> Congestion.sync m ~before
      | _ -> ());
@@ -562,7 +586,13 @@ let exec_group t (key, group) =
              (Printf.sprintf "design %S is not loaded" key) ))
       group
   | Some entry ->
-    Batch.eco_runs group |> List.concat_map (exec_in_group t entry)
+    (* pinned for the duration: the LRU bound must not evict an entry
+       a dispatched group is mutating *)
+    Cache.pin t.cache key;
+    Fun.protect
+      ~finally:(fun () -> Cache.unpin t.cache key)
+      (fun () ->
+         Batch.eco_runs group |> List.concat_map (exec_in_group t entry))
 
 (* Injected worker-domain death: the group's job never runs, its
    design is untouched, and every member answers a structured error —

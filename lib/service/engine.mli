@@ -44,18 +44,30 @@
 
 type t
 
-(** [create ?threads ?faults ~config ()] — [threads] sizes the
-    dispatch pool (default 1 = everything on the control thread);
-    [faults] arms a fault-injection plan (default: none, all hooks
-    free); [config] is the base legalization config used by
-    [legalize] and [eco]. *)
+(** [create ?threads ?max_designs ?faults ~config ()] — [threads]
+    sizes the dispatch pool (default 1 = everything on the control
+    thread); [max_designs] bounds the design cache with LRU eviction
+    (default: unbounded, see {!Cache}); [faults] arms a
+    fault-injection plan (default: none, all hooks free); [config] is
+    the base legalization config used by [legalize] and [eco]. *)
 val create :
-  ?threads:int -> ?faults:Mcl_resilience.Fault.t -> config:Mcl.Config.t ->
-  unit -> t
+  ?threads:int -> ?max_designs:int -> ?faults:Mcl_resilience.Fault.t ->
+  config:Mcl.Config.t -> unit -> t
 
 val threads : t -> int
 
 val telemetry : t -> Telemetry.t
+
+(** The design cache — exposed for the durability layer ({!Snapshot})
+    and the servers' eviction sweeps; mutate entries only under the
+    batch discipline documented in {!Cache}. *)
+val cache : t -> Cache.t
+
+(** Mark every cached design snapshot-clean and enforce the LRU bound,
+    recording any evictions in telemetry; returns the evicted keys.
+    Call at durability points only: after a snapshot covering all
+    journaled state, or after each batch when no WAL is configured. *)
+val mark_cache_clean : t -> string list
 
 (** Execute one batch; [responses.(i)] answers [requests.(i)]. *)
 val execute : t -> Protocol.request array -> Protocol.response array

@@ -136,8 +136,18 @@ let refill r ~block =
         r.fill <- r.fill + n;
         true
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      (* non-blocking fds (the event loop's connections) report "no
+         data yet" as EAGAIN; same answer as an empty probe *)
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> false
     end
   end
+
+let reader_eof r = r.eof
+
+let reader_max_line r = r.max_line
+
+let reader_faults r = r.faults
 
 (* ---------------------------------------------------------------- *)
 (* Writer                                                            *)
@@ -257,22 +267,25 @@ let take_batch p =
   let n = min p.max_batch (Queue.length p.pending) in
   List.init n (fun _ -> Queue.take p.pending)
 
-(* Execute one parsed batch, journaling each acknowledged mutation
-   (append + fsync) before its response line goes out: a response the
-   client reads implies the journal already holds the mutation. *)
+(* Execute one parsed batch, group-committing its acknowledged
+   mutations (one [append_all], one fsync for the whole batch) before
+   any response line goes out: a response the client reads implies the
+   journal already holds the mutation, and a batch under concurrent
+   load pays one disk flush instead of one per request. *)
 let execute_and_journal engine ?wal requests =
   let responses = Engine.execute engine requests in
   (match wal with
    | None -> ()
    | Some w ->
-     Array.iter
-       (fun resp ->
-          match resp.Protocol.wal with
-          | Some line ->
-            ignore (Wal.append w line);
-            Telemetry.record_wal_append (Engine.telemetry engine)
-          | None -> ())
-       responses);
+     let lines =
+       Array.to_list responses
+       |> List.filter_map (fun resp -> resp.Protocol.wal)
+     in
+     if lines <> [] then begin
+       ignore (Wal.append_all w lines);
+       Telemetry.record_wal_group (Engine.telemetry engine)
+         ~appends:(List.length lines)
+     end);
   responses
 
 let run_batch p batch =
@@ -314,6 +327,10 @@ let serve_fd engine ?wal ?faults ?(max_pending = 256) ?max_line ~max_batch
     | [] -> false  (* EOF with nothing left queued *)
     | batch ->
       run_batch p batch;
+      (* no journal => nothing acknowledged outlives the process, so
+         every entry is trivially "snapshot-clean": let the LRU bound
+         evict between batches *)
+      if p.wal = None then ignore (Engine.mark_cache_clean engine);
       if Engine.shutdown_requested engine then true else loop ()
   in
   loop ()
@@ -382,33 +399,51 @@ let serve_socket engine ?wal ?faults ?max_pending ?max_line ~max_batch ~path () 
 (* Recovery                                                          *)
 (* ---------------------------------------------------------------- *)
 
-type recovery = { replayed : int; failed : int; dropped_lines : int }
+type recovery = {
+  replayed : int;
+  failed : int;
+  dropped_lines : int;
+  snapshot_seq : int;
+  skipped : int;
+}
 
 (* Replay is plain re-execution: every journaled record is the
    canonical form of an acknowledged mutation (merged ecos journal
    merged, degraded runs journal greedy, deadlines are stripped), so
    applying them one per batch reproduces the pre-crash resident state
-   bit for bit. Faults should be armed only after recovery — the
-   journal replays what really happened, not what an injection plan
-   would do to it. *)
+   bit for bit. With a snapshot present, the bulk of the history is
+   restored wholesale and only the delta since the snapshot's
+   [upto_seq] is re-executed; records at or below it that survive in
+   the journal (a crash can land between snapshot rename and WAL
+   truncation) are skipped — the snapshot already holds their effect.
+   Faults should be armed only after recovery — the journal replays
+   what really happened, not what an injection plan would do to it. *)
 let recover engine ~path =
-  let records, dropped_lines = Wal.read ~path in
   let received = Unix.gettimeofday () in
-  let failed = ref 0 in
+  let snapshot_seq, snap_failed =
+    match Snapshot.load engine ~received ~path:(Snapshot.path_for path) with
+    | None -> (0, 0)
+    | Some { Snapshot.upto_seq; failed; _ } -> (upto_seq, failed)
+  in
+  let records, dropped_lines = Wal.read ~path in
+  let failed = ref snap_failed in
+  let skipped = ref 0 in
   List.iter
     (fun (rec_ : Wal.record) ->
-       let default_id = Printf.sprintf "wal-%d" rec_.Wal.seq in
-       match Protocol.parse ~received ~default_id rec_.Wal.payload with
-       | Error _ -> incr failed
-       | Ok req ->
-         let responses = Engine.execute engine [| req |] in
-         Array.iter
-           (fun resp ->
-              if Result.is_error resp.Protocol.result then incr failed)
-           responses)
+       if rec_.Wal.seq <= snapshot_seq then incr skipped
+       else
+         let default_id = Printf.sprintf "wal-%d" rec_.Wal.seq in
+         match Protocol.parse ~received ~default_id rec_.Wal.payload with
+         | Error _ -> incr failed
+         | Ok req ->
+           let responses = Engine.execute engine [| req |] in
+           Array.iter
+             (fun resp ->
+                if Result.is_error resp.Protocol.result then incr failed)
+             responses)
     records;
-  Telemetry.record_wal_replay (Engine.telemetry engine)
-    ~count:(List.length records - !failed);
-  { replayed = List.length records - !failed;
-    failed = !failed;
-    dropped_lines }
+  let attempted = List.length records - !skipped in
+  let replayed = attempted - (!failed - snap_failed) in
+  Telemetry.record_wal_replay (Engine.telemetry engine) ~count:replayed;
+  { replayed; failed = !failed; dropped_lines;
+    snapshot_seq; skipped = !skipped }

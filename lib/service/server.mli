@@ -28,6 +28,44 @@
       client has read implies the mutation already survives a crash
       (see {!Mcl_resilience.Wal}). *)
 
+(** {2 IO primitives}
+
+    The scan-offset line reader and the partial-transfer-safe writer
+    are shared with {!Mcl_netserve}'s multi-connection event loop —
+    same EINTR/short-IO handling, same fault-injection sites, one
+    reader per connection. *)
+
+type reader
+
+(** [reader ?faults ?max_line fd] wraps [fd] (blocking or
+    non-blocking) in a buffered line reader. *)
+val reader :
+  ?faults:Mcl_resilience.Fault.t -> ?max_line:int -> Unix.file_descr -> reader
+
+(** Pop one complete buffered line, if any. [`Overlong] is returned
+    once when a line exceeds [max_line]; the rest of that line is then
+    discarded as it streams in. *)
+val pop_line : reader -> [ `Line of string | `Overlong ] option
+
+(** One read into the buffer. [block:false] probes with a zero-timeout
+    select first; on a non-blocking fd EAGAIN reads as [false]. Returns
+    [true] when bytes arrived. *)
+val refill : reader -> block:bool -> bool
+
+(** EOF has been observed on the fd. *)
+val reader_eof : reader -> bool
+
+val reader_max_line : reader -> int
+
+val reader_faults : reader -> Mcl_resilience.Fault.t option
+
+(** Write the whole string, resilient to partial writes and EINTR;
+    injected connection resets surface as EPIPE. *)
+val write_all :
+  ?faults:Mcl_resilience.Fault.t -> Unix.file_descr -> string -> unit
+
+(** {2 Single-connection pumps} *)
+
 (** [serve_fd engine ?wal ?faults ?max_pending ?max_line ~max_batch
     ~in_fd ~out_fd ()] pumps requests from [in_fd] until EOF or a
     [shutdown] request; responses are written per batch. Returns
@@ -56,21 +94,28 @@ val serve_socket :
   unit
 
 (** [execute_and_journal engine ?wal requests] is {!Engine.execute}
-    plus the journal step ([append] + fsync of every acknowledged
-    mutation, in batch order) without any socket IO — the unit the
-    recovery tests drive directly. *)
+    plus the group-commit journal step (one
+    {!Mcl_resilience.Wal.append_all} — one fsync — for every
+    acknowledged mutation of the batch, in batch order) without any
+    socket IO — the unit the recovery tests drive directly. *)
 val execute_and_journal :
   Engine.t -> ?wal:Mcl_resilience.Wal.t -> Protocol.request array ->
   Protocol.response array
 
 type recovery = {
   replayed : int;  (** journaled mutations re-applied successfully *)
-  failed : int;  (** records that no longer parse or re-apply *)
+  failed : int;  (** records/snapshot designs that no longer re-apply *)
   dropped_lines : int;  (** torn tail / trailing garbage truncated *)
+  snapshot_seq : int;  (** [upto_seq] of the loaded snapshot (0: none) *)
+  skipped : int;
+      (** journal records at or below [snapshot_seq], skipped because
+          the snapshot already holds their effect (non-zero only when
+          a crash landed between snapshot write and WAL truncation) *)
 }
 
-(** [recover engine ~path] replays the journal at [path] into a fresh
-    engine, restoring the pre-crash resident state (see
+(** [recover engine ~path] restores the pre-crash resident state: load
+    the snapshot at {!Snapshot.path_for}[ path] if present, then
+    replay only the journal records past its [upto_seq] (see
     {!Mcl_resilience.Wal} for why replay is deterministic). Arm fault
-    plans only {e after} recovery. A missing file recovers as empty. *)
+    plans only {e after} recovery. Missing files recover as empty. *)
 val recover : Engine.t -> path:string -> recovery

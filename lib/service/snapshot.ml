@@ -1,0 +1,174 @@
+open Mcl_netlist
+
+(* ---------------------------------------------------------------- *)
+(* Format                                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* NDJSON, one header line then one line per resident design:
+
+     {"snapshot":1,"upto_seq":S,"designs":N}
+     {"design":K,"legalized":B,"eco_count":E,
+      "load":<canonical load request>,
+      "positions":[x0,y0,x1,y1,...],"anchors":[x0,y0,...]}
+
+   The design is rebuilt by re-executing its canonical [load] line
+   (deterministic: same generator seed / file / suite), then positions
+   and GP anchors are overwritten with the journaled arrays — exactly
+   the state components {!Engine.state_fingerprint} covers, so a
+   loaded snapshot is fingerprint-identical to the live engine at the
+   moment the snapshot was cut. *)
+
+let path_for wal_path = wal_path ^ ".snap"
+
+let flat_points arr =
+  Json.List
+    (Array.to_list arr
+     |> List.concat_map (fun (x, y) -> [ Json.Int x; Json.Int y ]))
+
+let points_of_json j =
+  match Json.to_list j with
+  | None -> None
+  | Some items ->
+    let rec pairs = function
+      | [] -> Some []
+      | Json.Int x :: Json.Int y :: rest ->
+        Option.map (fun tl -> (x, y) :: tl) (pairs rest)
+      | _ -> None
+    in
+    Option.map Array.of_list (pairs items)
+
+let entry_line (e : Cache.entry) =
+  (* [load_wire] is already canonical single-line JSON: embed it raw
+     rather than re-parsing it into the tree *)
+  Printf.sprintf
+    {|{"design":%s,"legalized":%s,"eco_count":%d,"load":%s,"positions":%s,"anchors":%s}|}
+    (Json.to_string (Json.String e.Cache.key))
+    (if e.Cache.legalized then "true" else "false")
+    e.Cache.eco_count e.Cache.load_wire
+    (Json.to_string (flat_points (Design.snapshot e.Cache.design)))
+    (Json.to_string (flat_points (Design.snapshot_anchors e.Cache.design)))
+
+(* ---------------------------------------------------------------- *)
+(* Writing                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Atomic replace: the snapshot is complete-or-absent. The bytes are
+   fsync'd before the rename and the directory after it, so a crash
+   leaves either the previous snapshot or the new one — never a torn
+   file (recovery therefore never needs to validate a partial
+   snapshot; the WAL tail covers any mutation the lost snapshot
+   would have). *)
+let write ~cache ~upto_seq ~path =
+  let entries = Cache.entries cache in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"snapshot":1,"upto_seq":%d,"designs":%d}|} upto_seq
+       (List.length entries));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+       Buffer.add_string buf (entry_line e);
+       Buffer.add_char buf '\n')
+    entries;
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+       write_all fd (Buffer.contents buf);
+       Unix.fsync fd);
+  Unix.rename tmp path;
+  (match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+   | dirfd ->
+     (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+     (try Unix.close dirfd with Unix.Unix_error _ -> ())
+   | exception Unix.Unix_error _ -> ())
+
+(* ---------------------------------------------------------------- *)
+(* Loading                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type loaded = { upto_seq : int; restored : int; failed : int }
+
+let read_lines path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+         let rec go acc =
+           match input_line ic with
+           | line -> go (line :: acc)
+           | exception End_of_file -> List.rev acc
+         in
+         Some (go []))
+
+let restore_design engine ~received line =
+  match Json.parse line with
+  | Error _ -> false
+  | Ok j ->
+    (match (Json.get_string "design" j, Json.member "load" j) with
+     | Some key, Some load_j ->
+       let load_line = Json.to_string load_j in
+       (match
+          Protocol.parse ~received ~default_id:("snap-" ^ key) load_line
+        with
+        | Error _ -> false
+        | Ok req ->
+          let resp = (Engine.execute engine [| req |]).(0) in
+          if Result.is_error resp.Protocol.result then false
+          else
+            (match Cache.find (Engine.cache engine) key with
+             | None -> false
+             | Some entry ->
+               (match
+                  ( Option.bind (Json.member "positions" j) points_of_json,
+                    Option.bind (Json.member "anchors" j) points_of_json )
+                with
+                | Some pos, Some anchors
+                  when Array.length pos
+                       = Array.length (Design.snapshot entry.Cache.design) ->
+                  Design.restore entry.Cache.design pos;
+                  Design.restore_anchors entry.Cache.design anchors;
+                  entry.Cache.legalized <-
+                    Option.value (Json.get_bool "legalized" j) ~default:false;
+                  entry.Cache.eco_count <-
+                    Option.value (Json.get_int "eco_count" j) ~default:0;
+                  entry.Cache.dirty <- false;
+                  (* the re-executed load left a stale congestion map
+                     seed; drop it so the first query rebuilds over the
+                     restored placement *)
+                  entry.Cache.congest <- None;
+                  true
+                | _ -> false)))
+     | _ -> false)
+
+let load engine ~received ~path =
+  match read_lines path with
+  | None | Some [] -> None
+  | Some (header :: designs) ->
+    (match Json.parse header with
+     | Error _ -> None
+     | Ok h ->
+       (match Json.get_int "upto_seq" h with
+        | None -> None
+        | Some upto_seq ->
+          let restored = ref 0 and failed = ref 0 in
+          List.iter
+            (fun line ->
+               if String.trim line <> "" then
+                 if restore_design engine ~received line then incr restored
+                 else incr failed)
+            designs;
+          Some { upto_seq; restored = !restored; failed = !failed }))

@@ -1,0 +1,44 @@
+(** Placement snapshots: the durability layer's checkpoint format.
+
+    A snapshot captures every resident design at one WAL sequence
+    number [S]: the canonical [load] line that created it, the
+    legalized flag and eco counter, and the full position + GP-anchor
+    arrays. Recovery loads the snapshot (re-execute each load, then
+    overwrite positions/anchors) and replays only the WAL records with
+    [seq > S] — O(delta-since-snapshot) instead of O(full history).
+    The restored state is fingerprint-identical
+    ({!Engine.state_fingerprint}) to the live engine at the moment the
+    snapshot was cut.
+
+    Writing is atomic (temp file, fsync, rename, directory fsync): a
+    crash leaves either the previous snapshot or the new one, never a
+    torn file. The caller truncates the WAL {e after} {!write}
+    returns ({!Mcl_resilience.Wal.truncate}); a crash between the two
+    is safe because recovery skips records [<= S] that survive in the
+    journal.
+
+    Snapshots are NDJSON — a header line
+    [{"snapshot":1,"upto_seq":S,"designs":N}] followed by one line per
+    design. *)
+
+(** Conventional snapshot path for a journal: [wal_path ^ ".snap"]. *)
+val path_for : string -> string
+
+(** [write ~cache ~upto_seq ~path] atomically replaces the snapshot at
+    [path] with the current resident state, declared to cover WAL
+    records up to [upto_seq]. Call from the control thread between
+    batches only (entries must not be mutating concurrently). *)
+val write : cache:Cache.t -> upto_seq:int -> path:string -> unit
+
+type loaded = {
+  upto_seq : int;  (** WAL records [<= upto_seq] are covered *)
+  restored : int;  (** designs rebuilt successfully *)
+  failed : int;  (** design lines that no longer parse or rebuild *)
+}
+
+(** [load engine ~received ~path] rebuilds the snapshot's designs into
+    [engine] (re-executing each canonical load, stamped [received],
+    then restoring positions, anchors and flags; restored entries are
+    snapshot-clean). [None] when the file is missing, empty or has no
+    valid header. *)
+val load : Engine.t -> received:float -> path:string -> loaded option

@@ -14,7 +14,15 @@ type t = {
   mutable deadline_exceeded : int;
   mutable degraded : int;
   mutable wal_appends : int;
+  mutable wal_fsyncs : int;
+  mutable wal_groups : int;
   mutable wal_replayed : int;
+  mutable snapshots : int;
+  mutable last_snapshot_seq : int;
+  mutable snapshot_truncated_bytes : int;
+  mutable cache_evictions : int;
+  mutable connections : (int * int) list;  (* conn id, pending depth *)
+  latency : Histogram.t;  (* queue wait + service time, per request *)
   mutable windows_built : int;
   mutable cuts_evaluated : int;
   mutable cuts_pruned : int;
@@ -36,7 +44,15 @@ let create () =
     deadline_exceeded = 0;
     degraded = 0;
     wal_appends = 0;
+    wal_fsyncs = 0;
+    wal_groups = 0;
     wal_replayed = 0;
+    snapshots = 0;
+    last_snapshot_seq = 0;
+    snapshot_truncated_bytes = 0;
+    cache_evictions = 0;
+    connections = [];
+    latency = Histogram.create ();
     windows_built = 0;
     cuts_evaluated = 0;
     cuts_pruned = 0 }
@@ -45,7 +61,7 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let record t ~op ~ok ~service_s ~cells ~coalesced_extra =
+let record ?(wait_s = 0.0) t ~op ~ok ~service_s ~cells ~coalesced_extra =
   locked t (fun () ->
       t.requests_total <- t.requests_total + 1;
       Hashtbl.replace t.per_op op
@@ -53,7 +69,8 @@ let record t ~op ~ok ~service_s ~cells ~coalesced_extra =
       if not ok then t.errors <- t.errors + 1;
       t.eco_coalesced <- t.eco_coalesced + coalesced_extra;
       t.cells_touched <- t.cells_touched + cells;
-      t.busy_s <- t.busy_s +. service_s)
+      t.busy_s <- t.busy_s +. service_s;
+      Histogram.add t.latency (wait_s +. service_s))
 
 let record_batch t ~size =
   locked t (fun () ->
@@ -78,8 +95,28 @@ let record_kernel t ~windows ~evaluated ~pruned =
 
 let record_wal_append t = locked t (fun () -> t.wal_appends <- t.wal_appends + 1)
 
+let record_wal_group t ~appends =
+  locked t (fun () ->
+      t.wal_appends <- t.wal_appends + appends;
+      t.wal_fsyncs <- t.wal_fsyncs + 1;
+      t.wal_groups <- t.wal_groups + 1)
+
 let record_wal_replay t ~count =
   locked t (fun () -> t.wal_replayed <- t.wal_replayed + count)
+
+let record_snapshot t ~seq ~truncated_bytes =
+  locked t (fun () ->
+      t.snapshots <- t.snapshots + 1;
+      t.last_snapshot_seq <- max t.last_snapshot_seq seq;
+      t.snapshot_truncated_bytes <- t.snapshot_truncated_bytes + truncated_bytes)
+
+let record_evictions t ~count =
+  locked t (fun () -> t.cache_evictions <- t.cache_evictions + count)
+
+let set_connections t depths =
+  locked t (fun () ->
+      t.connections <-
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) depths)
 
 type snapshot = {
   uptime_s : float;
@@ -96,7 +133,14 @@ type snapshot = {
   deadline_exceeded : int;
   degraded : int;
   wal_appends : int;
+  wal_fsyncs : int;
+  wal_groups : int;
   wal_replayed : int;
+  snapshots : int;
+  last_snapshot_seq : int;
+  snapshot_truncated_bytes : int;
+  cache_evictions : int;
+  connections : (int * int) list;
   windows_built : int;
   cuts_evaluated : int;
   cuts_pruned : int;
@@ -122,13 +166,26 @@ let snapshot t =
         deadline_exceeded = t.deadline_exceeded;
         degraded = t.degraded;
         wal_appends = t.wal_appends;
+        wal_fsyncs = t.wal_fsyncs;
+        wal_groups = t.wal_groups;
         wal_replayed = t.wal_replayed;
+        snapshots = t.snapshots;
+        last_snapshot_seq = t.last_snapshot_seq;
+        snapshot_truncated_bytes = t.snapshot_truncated_bytes;
+        cache_evictions = t.cache_evictions;
+        connections = t.connections;
         windows_built = t.windows_built;
         cuts_evaluated = t.cuts_evaluated;
         cuts_pruned = t.cuts_pruned })
 
+let latency_json t = locked t (fun () -> Histogram.to_json t.latency)
+
 let to_json t =
   let s = snapshot t in
+  let mean_group =
+    if s.wal_groups = 0 then 0.0
+    else Float.of_int s.wal_appends /. Float.of_int s.wal_groups
+  in
   Json.Obj
     [ ("uptime_s", Json.Float s.uptime_s);
       ("batches", Json.Int s.batches);
@@ -145,7 +202,22 @@ let to_json t =
       ("deadline_exceeded", Json.Int s.deadline_exceeded);
       ("degraded", Json.Int s.degraded);
       ("wal_appends", Json.Int s.wal_appends);
+      ("wal_fsyncs", Json.Int s.wal_fsyncs);
+      ("wal_groups", Json.Int s.wal_groups);
+      ("wal_group_mean", Json.Float mean_group);
       ("wal_replayed", Json.Int s.wal_replayed);
+      ("snapshots", Json.Int s.snapshots);
+      ("last_snapshot_seq", Json.Int s.last_snapshot_seq);
+      ("snapshot_truncated_bytes", Json.Int s.snapshot_truncated_bytes);
+      ("cache_evictions", Json.Int s.cache_evictions);
+      ("connections",
+       Json.List
+         (List.map
+            (fun (id, depth) ->
+               Json.Obj
+                 [ ("conn", Json.Int id); ("queue_depth", Json.Int depth) ])
+            s.connections));
+      ("latency", latency_json t);
       ("windows_built", Json.Int s.windows_built);
       ("cuts_evaluated", Json.Int s.cuts_evaluated);
       ("cuts_pruned", Json.Int s.cuts_pruned) ]

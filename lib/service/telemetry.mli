@@ -10,9 +10,11 @@ val create : unit -> t
 (** [record t ~op ~ok ~service_s ~cells ~coalesced_extra] accounts one
     completed request: [cells] is the number of cells the request
     touched, [coalesced_extra] the number of additional requests merged
-    into the same execution (0 when it ran alone). *)
+    into the same execution (0 when it ran alone). [wait_s] (default 0)
+    is the request's queue wait; [wait_s + service_s] feeds the
+    end-to-end latency histogram. *)
 val record :
-  t -> op:string -> ok:bool -> service_s:float -> cells:int ->
+  ?wait_s:float -> t -> op:string -> ok:bool -> service_s:float -> cells:int ->
   coalesced_extra:int -> unit
 
 (** Account one incoming batch of [size] requests. *)
@@ -37,8 +39,23 @@ val record_kernel : t -> windows:int -> evaluated:int -> pruned:int -> unit
 (** One journaled (fsync'd and acknowledged) mutation. *)
 val record_wal_append : t -> unit
 
+(** One group commit: [appends] records made durable by a single
+    fsync (see {!Mcl_resilience.Wal.append_all}). *)
+val record_wal_group : t -> appends:int -> unit
+
 (** [count] mutations re-applied during [--recover] replay. *)
 val record_wal_replay : t -> count:int -> unit
+
+(** One placement snapshot covering WAL records up to [seq], after
+    which [truncated_bytes] of journal were dropped. *)
+val record_snapshot : t -> seq:int -> truncated_bytes:int -> unit
+
+(** [count] design-cache entries evicted by the LRU bound. *)
+val record_evictions : t -> count:int -> unit
+
+(** Replace the live per-connection pending-queue-depth gauge
+    (connection id, queued requests); stored sorted by id. *)
+val set_connections : t -> (int * int) list -> unit
 
 type snapshot = {
   uptime_s : float;
@@ -55,12 +72,23 @@ type snapshot = {
   deadline_exceeded : int;  (** budgets that expired (P430 or degraded) *)
   degraded : int;  (** deadline expiries answered by the greedy fallback *)
   wal_appends : int;
+  wal_fsyncs : int;  (** fsyncs issued (one per commit group) *)
+  wal_groups : int;  (** commit groups journaled *)
   wal_replayed : int;
+  snapshots : int;  (** placement snapshots written *)
+  last_snapshot_seq : int;  (** highest WAL seq covered by a snapshot *)
+  snapshot_truncated_bytes : int;  (** journal bytes dropped after snapshots *)
+  cache_evictions : int;  (** design entries evicted by the LRU bound *)
+  connections : (int * int) list;  (** live (conn id, pending depth) gauge *)
   windows_built : int;  (** insertion windows built by the MGL kernel *)
   cuts_evaluated : int;  (** cuts fully evaluated (DPs + curve) *)
   cuts_pruned : int;  (** cuts skipped by the kernel's lower bound *)
 }
 
 val snapshot : t -> snapshot
+
+(** End-to-end latency histogram (queue wait + service), rendered with
+    p50/p95/p99 (see {!Histogram.to_json}). *)
+val latency_json : t -> Json.t
 
 val to_json : t -> Json.t

@@ -569,6 +569,100 @@ let test_wal_frame () =
       Alcotest.(check int) "prefix before gap" 1 (List.length records);
       Alcotest.(check int) "gap dropped" 1 dropped)
 
+let test_wal_group_commit () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "group.wal" in
+      let w = Wal.open_ ~path () in
+      (* one append_all = one frame batch, one fsync, consecutive seqs *)
+      Alcotest.(check int) "group returns last seq" 3
+        (Wal.append_all w [ {|{"op":"a"}|}; {|{"op":"b"}|}; {|{"op":"c"}|} ]);
+      Alcotest.(check int) "empty group is a no-op" 3 (Wal.append_all w []);
+      ignore (Wal.append w {|{"op":"d"}|});
+      let s = Wal.stats w in
+      Alcotest.(check int) "appends" 4 s.Wal.appends;
+      Alcotest.(check int) "one fsync per group" 2 s.Wal.fsyncs;
+      Alcotest.(check int) "groups" 2 s.Wal.groups;
+      Wal.close w;
+      let records, dropped = Wal.read ~path in
+      Alcotest.(check int) "all framed" 4 (List.length records);
+      Alcotest.(check int) "clean" 0 dropped;
+      Alcotest.(check (list int)) "consecutive" [ 1; 2; 3; 4 ]
+        (List.map (fun (r : Wal.record) -> r.Wal.seq) records))
+
+let test_wal_truncate_and_base_seq () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "trunc.wal" in
+      let w = Wal.open_ ~path () in
+      ignore (Wal.append_all w (List.init 5 (fun i ->
+          Printf.sprintf {|{"op":"m%d"}|} i)));
+      (* truncation drops the bytes but the sequence keeps running *)
+      let dropped_bytes = Wal.truncate w in
+      Alcotest.(check bool) "bytes reclaimed" true (dropped_bytes > 0);
+      Alcotest.(check int) "file now empty" 0
+        (List.length (fst (Wal.read ~path)));
+      Alcotest.(check int) "seq survives truncation" 6
+        (Wal.append w {|{"op":"after"}|});
+      Alcotest.(check int) "truncated bytes counted" dropped_bytes
+        (Wal.stats w).Wal.truncated_bytes;
+      Wal.close w;
+      (* a journal whose first record is mid-sequence (post-truncation)
+         reads back from that base *)
+      let records, dropped = Wal.read ~path in
+      Alcotest.(check int) "tail readable" 1 (List.length records);
+      Alcotest.(check int) "no drops" 0 dropped;
+      Alcotest.(check int) "base seq preserved" 6 (List.hd records).Wal.seq;
+      (* reopen continues after the tail record *)
+      let w = Wal.open_ ~path () in
+      Alcotest.(check int) "reopen continues" 7 (Wal.next_seq w);
+      Wal.close w;
+      (* reopening an empty truncated journal needs the hint to keep
+         numbering monotone *)
+      let empty = Filename.concat dir "empty.wal" in
+      let w = Wal.open_ ~next_seq:42 ~path:empty () in
+      Alcotest.(check int) "hint honored on empty journal" 42 (Wal.next_seq w);
+      Alcotest.(check int) "first append at hint" 42 (Wal.append w {|{"op":"x"}|});
+      Wal.close w;
+      (* ... but an existing journal overrides a stale hint *)
+      let w = Wal.open_ ~next_seq:5 ~path:empty () in
+      Alcotest.(check int) "journal wins over stale hint" 43 (Wal.next_seq w);
+      Wal.close w)
+
+(* ---------------------------------------------------------------- *)
+(* Snapshot: placement state round-trips exactly                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  with_tmpdir (fun dir ->
+      let snap = Filename.concat dir "state.wal.snap" in
+      let eng = engine () in
+      check_ok "load" (handle eng load_line);
+      check_ok "legalize" (handle eng {|{"op":"legalize","design":"d"}|});
+      check_ok "eco" (handle eng {|{"op":"eco","design":"d","cells":[3,14]}|});
+      check_ok "load2"
+        (handle eng {|{"id":"l2","op":"load","design":"e","cells":80,"seed":4}|});
+      let fp = Engine.state_fingerprint eng in
+      Mcl_service.Snapshot.write ~cache:(Engine.cache eng) ~upto_seq:17 ~path:snap;
+      (* loading into a fresh engine restores both designs exactly *)
+      let eng2 = engine () in
+      (match
+         Mcl_service.Snapshot.load eng2 ~received:(Unix.gettimeofday ())
+           ~path:snap
+       with
+       | None -> Alcotest.fail "snapshot did not load"
+       | Some l ->
+         Alcotest.(check int) "upto_seq round-trips" 17
+           l.Mcl_service.Snapshot.upto_seq;
+         Alcotest.(check int) "both designs restored" 2
+           l.Mcl_service.Snapshot.restored;
+         Alcotest.(check int) "none failed" 0 l.Mcl_service.Snapshot.failed);
+      Alcotest.(check string) "fingerprint-exact" fp
+        (Engine.state_fingerprint eng2);
+      (* missing and empty snapshot files load as None *)
+      Alcotest.(check bool) "missing = None" true
+        (Mcl_service.Snapshot.load eng2 ~received:0.0
+           ~path:(Filename.concat dir "nope.snap")
+         = None))
+
 (* ---------------------------------------------------------------- *)
 (* WAL recovery: replay == live run at every kill point              *)
 (* ---------------------------------------------------------------- *)
@@ -718,7 +812,13 @@ let () =
            test_socket_survives_disconnects ]);
       ("wal",
        [ Alcotest.test_case "framing + torn tail" `Quick test_wal_frame;
+         Alcotest.test_case "group commit" `Quick test_wal_group_commit;
+         Alcotest.test_case "truncate + base seq" `Quick
+           test_wal_truncate_and_base_seq;
          Alcotest.test_case "recovery at every kill point" `Quick
            test_wal_recovery_kill_points;
          Alcotest.test_case "degraded run replays degraded" `Quick
-           test_wal_degraded_replay ]) ]
+           test_wal_degraded_replay ]);
+      ("snapshot",
+       [ Alcotest.test_case "placement round-trip" `Quick
+           test_snapshot_roundtrip ]) ]

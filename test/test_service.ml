@@ -353,7 +353,8 @@ let test_cache_entries_sorted () =
   in
   let entry key =
     { Mcl_service.Cache.key; design = design (); gp_hpwl = 0; source = "test";
-      loaded_at = 0.0; legalized = false; eco_count = 0; congest = None }
+      load_wire = ""; loaded_at = 0.0; legalized = false; eco_count = 0;
+      congest = None; dirty = false; pinned = false; last_used = 0 }
   in
   let keys cache =
     List.map
@@ -361,13 +362,105 @@ let test_cache_entries_sorted () =
       (Mcl_service.Cache.entries cache)
   in
   let c1 = Mcl_service.Cache.create () in
-  List.iter (fun k -> Mcl_service.Cache.put c1 (entry k)) [ "zeta"; "alpha"; "mid" ];
+  List.iter (fun k -> ignore (Mcl_service.Cache.put c1 (entry k))) [ "zeta"; "alpha"; "mid" ];
   let c2 = Mcl_service.Cache.create () in
-  List.iter (fun k -> Mcl_service.Cache.put c2 (entry k)) [ "mid"; "zeta"; "alpha" ];
+  List.iter (fun k -> ignore (Mcl_service.Cache.put c2 (entry k))) [ "mid"; "zeta"; "alpha" ];
   Alcotest.(check (list string)) "sorted by key" [ "alpha"; "mid"; "zeta" ] (keys c1);
   Alcotest.(check (list string)) "insertion-order independent" (keys c1) (keys c2)
 
 (* ---------------------------------------------------------------- *)
+(* Log-bucketed latency histogram                                    *)
+(* ---------------------------------------------------------------- *)
+
+module H = Mcl_service.Histogram
+
+let test_histogram_quantiles () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (H.quantile h 0.5);
+  (* 1..1000 ms uniformly: quantiles must land within one log bucket
+     (20 buckets/decade => ~12% width) of the exact answer *)
+  for i = 1 to 1000 do
+    H.add h (float_of_int i /. 1000.0)
+  done;
+  Alcotest.(check int) "count" 1000 (H.count h);
+  Alcotest.(check (float 0.5)) "sum" 500.5 (H.sum h);
+  Alcotest.(check (float 0.001)) "mean" 0.5005 (H.mean h);
+  Alcotest.(check (float 1e-9)) "min exact" 0.001 (H.min_value h);
+  Alcotest.(check (float 1e-9)) "max exact" 1.0 (H.max_value h);
+  List.iter
+    (fun q ->
+       let got = H.quantile h q in
+       let exact = q in
+       if Float.abs (got -. exact) /. exact > 0.13 then
+         Alcotest.failf "q%.2f: %f too far from %f" q got exact)
+    [ 0.25; 0.5; 0.75; 0.95; 0.99 ];
+  (* quantiles are clamped into the observed range *)
+  Alcotest.(check bool) "p100 <= max" true (H.quantile h 1.0 <= H.max_value h);
+  Alcotest.(check bool) "p0 >= min" true (H.quantile h 0.0 >= H.min_value h)
+
+let test_histogram_merge_json () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.add a) [ 0.001; 0.002; 0.003 ];
+  List.iter (H.add b) [ 0.1; 0.2 ];
+  H.merge_into ~into:a b;
+  Alcotest.(check int) "merged count" 5 (H.count a);
+  Alcotest.(check (float 1e-9)) "merged max" 0.2 (H.max_value a);
+  Alcotest.(check (float 1e-9)) "merged sum" 0.306 (H.sum a);
+  (match H.to_json a with
+   | Mcl_service.Json.Obj fields ->
+     List.iter
+       (fun k ->
+          if not (List.mem_assoc k fields) then
+            Alcotest.failf "to_json missing %s" k)
+       [ "count"; "mean"; "min"; "max"; "p50"; "p95"; "p99" ]
+   | _ -> Alcotest.fail "to_json not an object");
+  H.clear a;
+  Alcotest.(check int) "cleared" 0 (H.count a);
+  (* out-of-domain samples clamp instead of crashing *)
+  H.add a nan;
+  H.add a (-1.0);
+  H.add a infinity;
+  Alcotest.(check int) "clamped samples counted" 3 (H.count a)
+
+let test_cache_lru_policy () =
+  let design () =
+    Mcl_gen.Generator.generate
+      { Mcl_gen.Spec.default with Mcl_gen.Spec.seed = 1; num_cells = 10 }
+  in
+  let entry key =
+    { Mcl_service.Cache.key; design = design (); gp_hpwl = 0; source = "test";
+      load_wire = ""; loaded_at = 0.0; legalized = false; eco_count = 0;
+      congest = None; dirty = false; pinned = false; last_used = 0 }
+  in
+  let module C = Mcl_service.Cache in
+  let c = C.create ~max_designs:2 () in
+  ignore (C.put c (entry "a"));
+  ignore (C.put c (entry "b"));
+  (* a is older than b; a fresh put evicts the least-recently-used *)
+  Alcotest.(check (list string)) "a evicted" [ "a" ] (C.put c (entry "x"));
+  (* touching via find refreshes recency *)
+  ignore (C.find c "b");
+  Alcotest.(check (list string)) "x (now oldest) evicted" [ "x" ]
+    (C.put c (entry "y"));
+  (* dirty and pinned entries are never evicted, even over bound *)
+  (match C.find c "b" with
+   | Some e -> e.C.dirty <- true
+   | None -> Alcotest.fail "b missing");
+  C.pin c "y";
+  (* the engine inserts entries dirty (not yet durable), so a fresh
+     put cannot evict itself either *)
+  let z = entry "z" in
+  z.Mcl_service.Cache.dirty <- true;
+  Alcotest.(check (list string)) "no clean unpinned victim" [] (C.put c z);
+  Alcotest.(check int) "over bound until a durability point" 3
+    (List.length (C.entries c));
+  C.unpin c "y";
+  (* mark_all_clean is the durability point: the bound is re-enforced *)
+  let evicted = C.mark_all_clean c in
+  Alcotest.(check int) "bound restored" 2 (List.length (C.entries c));
+  Alcotest.(check int) "one eviction" 1 (List.length evicted);
+  Alcotest.(check int) "evictions counted" 3 (C.evictions c)
 
 let () =
   Alcotest.run "service"
@@ -387,4 +480,12 @@ let () =
        [ Alcotest.test_case "telemetry per-op listing deterministic" `Quick
            test_telemetry_stats_order_independent;
          Alcotest.test_case "cache entries sorted by key" `Quick
-           test_cache_entries_sorted ]) ]
+           test_cache_entries_sorted ]);
+      ("histogram",
+       [ Alcotest.test_case "log-bucket quantiles" `Quick
+           test_histogram_quantiles;
+         Alcotest.test_case "merge + json + clamping" `Quick
+           test_histogram_merge_json ]);
+      ("cache-lru",
+       [ Alcotest.test_case "LRU policy, dirty/pinned protection" `Quick
+           test_cache_lru_policy ]) ]
