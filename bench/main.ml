@@ -3,7 +3,7 @@
 
    Usage:  dune exec bench/main.exe -- [section] [scale]
    Sections: table1 table2 table3 fig3 fig4 fig5 fig6 threads ablation
-             service congest resilience mgl_kernel micro all
+             service congest resilience mgl_kernel exact micro all
              (default: all, scale 1.0). *)
 
 open Mcl_netlist
@@ -1348,6 +1348,131 @@ let mgl_kernel ~scale () =
   Printf.printf "\nwrote BENCH_mgl_kernel.json\n\n"
 
 (* ---------------------------------------------------------------- *)
+(* Exact window solver: B&B throughput, certificate rates by window   *)
+(* size, and the refiner's end-to-end effect on the Table-1 suite.    *)
+(* Part 1 sweeps the window half-width on one mid-size design and     *)
+(* reports how the proven-vs-budget split and node throughput scale   *)
+(* with instance size. Part 2 runs `--refine 8` after the full        *)
+(* pipeline on every Table-1 design: the per-design score delta and   *)
+(* recovered window cost is the measured optimality gap of the        *)
+(* heuristic (EXPERIMENTS.md quotes this table). Emits                *)
+(* BENCH_exact.json.                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let exact ~scale () =
+  let module Json = Mcl_service.Json in
+  let module Refine = Mcl_exact.Refine in
+  Printf.printf
+    "== Exact window solver: B&B sweep and Table-1 refinement ==\n\n";
+  let cfg = Mcl.Config.default in
+  let legalized spec =
+    let d = Mcl_gen.Generator.generate spec in
+    let gp_hpwl = Mcl_eval.Metrics.hpwl d in
+    ignore (Mcl.Pipeline.run cfg d);
+    (d, gp_hpwl)
+  in
+  (* part 1: window-size sweep on one design. Each row re-legalizes a
+     fresh copy so every configuration refines the same placement. *)
+  Printf.printf
+    "-- sweep: certificate rate vs window size (des_perf_b_md1, k=8) --\n";
+  Printf.printf "%-28s | %7s %7s | %9s %9s | %8s\n" "window (hw x hh, cells)"
+    "proven" "budget" "nodes" "nodes/s" "accepted";
+  let sweep_spec =
+    match Mcl_gen.Suites.find ~scale "des_perf_b_md1" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let node_budget = 200_000 in
+  let sweep =
+    List.map
+      (fun (halfwidth, halfheight, max_cells) ->
+         let d, gp_hpwl = legalized sweep_spec in
+         let s, wall =
+           timed (fun () ->
+               Refine.run ~node_budget ~max_cells ~halfwidth ~halfheight ~k:8
+                 ~gp_hpwl cfg d)
+         in
+         assert (Mcl_eval.Legality.is_legal d);
+         assert (s.Refine.score_after <= s.Refine.score_before +. 1e-9);
+         let nodes_per_s = float_of_int s.Refine.nodes /. Float.max 1e-9 wall in
+         let label =
+           Printf.sprintf "hw=%d hh=%d max_cells=%d" halfwidth halfheight
+             max_cells
+         in
+         Printf.printf "%-28s | %7d %7d | %9d %9.0f | %8d\n%!" label
+           s.Refine.proven s.Refine.budget_exhausted s.Refine.nodes nodes_per_s
+           s.Refine.accepted;
+         Json.Obj
+           [ ("halfwidth", Json.Int halfwidth);
+             ("halfheight", Json.Int halfheight);
+             ("max_cells", Json.Int max_cells);
+             ("windows", Json.Int s.Refine.windows);
+             ("proven", Json.Int s.Refine.proven);
+             ("budget_exhausted", Json.Int s.Refine.budget_exhausted);
+             ("accepted", Json.Int s.Refine.accepted);
+             ("nodes", Json.Int s.Refine.nodes);
+             ("nodes_per_s", Json.Float nodes_per_s);
+             ("wall_s", Json.Float wall) ])
+      [ (6, 1, 6); (12, 2, 10); (18, 2, 14); (24, 3, 18) ]
+  in
+  (* part 2: refine every Table-1 design after the full pipeline *)
+  Printf.printf
+    "\n-- Table-1 refinement: k=8, node budget %d per window --\n" node_budget;
+  Printf.printf "%-20s | %4s %4s %4s | %9s | %9s %9s %9s | %7s\n" "benchmark"
+    "acc" "prov" "bud" "nodes" "S-before" "S-after" "gap" "time";
+  let improved = ref 0 and worsened = ref 0 in
+  let rows =
+    List.map
+      (fun spec ->
+         let d, gp_hpwl = legalized spec in
+         let s, wall =
+           timed (fun () -> Refine.run ~node_budget ~k:8 ~gp_hpwl cfg d)
+         in
+         assert (Mcl_eval.Legality.is_legal d);
+         if s.Refine.score_after < s.Refine.score_before -. 1e-9 then
+           incr improved;
+         if s.Refine.score_after > s.Refine.score_before +. 1e-9 then
+           incr worsened;
+         Printf.printf
+           "%-20s | %4d %4d %4d | %9d | %9.4f %9.4f %9.4f | %6.2fs\n%!"
+           spec.Mcl_gen.Spec.name s.Refine.accepted s.Refine.proven
+           s.Refine.budget_exhausted s.Refine.nodes s.Refine.score_before
+           s.Refine.score_after s.Refine.subopt_cost wall;
+         Json.Obj
+           [ ("name", Json.String spec.Mcl_gen.Spec.name);
+             ("windows", Json.Int s.Refine.windows);
+             ("accepted", Json.Int s.Refine.accepted);
+             ("proven", Json.Int s.Refine.proven);
+             ("budget_exhausted", Json.Int s.Refine.budget_exhausted);
+             ("nodes", Json.Int s.Refine.nodes);
+             ("score_before", Json.Float s.Refine.score_before);
+             ("score_after", Json.Float s.Refine.score_after);
+             ("subopt_cost", Json.Float s.Refine.subopt_cost);
+             ("wall_s", Json.Float wall) ])
+      (Mcl_gen.Suites.iccad2017 ~scale ())
+  in
+  if !worsened > 0 then failwith "exact bench: refinement worsened a score";
+  Printf.printf
+    "\nscore improved on %d/%d designs, worsened on %d (monotone by \
+     construction)\n"
+    !improved (List.length rows) !worsened;
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "exact");
+        ("scale", Json.Float scale);
+        ("node_budget", Json.Int node_budget);
+        ("sweep", Json.List sweep);
+        ("table1", Json.List rows);
+        ("improved", Json.Int !improved);
+        ("worsened", Json.Int !worsened) ]
+  in
+  let oc = open_out "BENCH_exact.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_exact.json\n\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.  *)
 (* ---------------------------------------------------------------- *)
 
@@ -1447,6 +1572,7 @@ let () =
     congest ~scale ();
     resilience ~scale ();
     mgl_kernel ~scale ();
+    exact ~scale ();
     micro ()
   in
   match section with
@@ -1465,9 +1591,10 @@ let () =
   | "congest" -> congest ~scale ()
   | "resilience" -> resilience ~scale ()
   | "mgl_kernel" -> mgl_kernel ~scale ()
+  | "exact" -> exact ~scale ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|service_load|congest|resilience|mgl_kernel|micro|all)\n"
+      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|service_load|congest|resilience|mgl_kernel|exact|micro|all)\n"
       other;
     exit 2

@@ -61,8 +61,8 @@ let run_lint_all ~scale =
   exit (if !clean then 0 else 1)
 
 let run input suite scale algo threads window_halfwidth window_halfheight
-    congestion no_fences no_routability objective_total output svg_congestion
-    verbose lint lint_all audit =
+    congestion no_fences no_routability objective_total refine refine_nodes
+    output svg_congestion verbose lint lint_all audit =
   if threads <= 0 then
     usage_error (Printf.sprintf "--threads must be >= 1 (got %d)" threads);
   if scale <= 0.0 then
@@ -75,6 +75,10 @@ let run input suite scale algo threads window_halfwidth window_halfheight
       (Printf.sprintf "--window-halfheight must be >= 1 (got %d)" window_halfheight);
   if congestion < 0.0 then
     usage_error (Printf.sprintf "--congestion must be >= 0 (got %g)" congestion);
+  if refine < 0 then
+    usage_error (Printf.sprintf "--refine must be >= 0 (got %d)" refine);
+  if refine_nodes <= 0 then
+    usage_error (Printf.sprintf "--refine-nodes must be >= 1 (got %d)" refine_nodes);
   if lint_all then run_lint_all ~scale;
   let design = load ~input ~suite ~scale in
   (match lint with
@@ -136,6 +140,23 @@ let run input suite scale algo threads window_halfwidth window_halfheight
       List.iter (fun d -> Format.eprintf "  %a@." Diagnostic.pp d) diags;
       exit 1
   in
+  (* exact worst-window refinement rides after the heuristic stages;
+     --refine 0 skips this entirely, keeping the pipeline bit-identical *)
+  let refine_stats =
+    if refine > 0 && not stage_failure then begin
+      let congest =
+        if config.Mcl.Config.congestion_weight > 0.0 then
+          Some
+            (Mcl_congest.Congestion.create
+               ~bin_sites:config.Mcl.Config.congestion_bin_sites design)
+        else None
+      in
+      Some
+        (Mcl_exact.Refine.run ?congest ~node_budget:refine_nodes ~k:refine
+           ~gp_hpwl config design)
+    end
+    else None
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   let violations = Mcl_eval.Legality.check design in
   if not quiet then begin
@@ -154,6 +175,19 @@ let run input suite scale algo threads window_halfwidth window_halfheight
     Format.printf "pin viol   : %d@." score.Mcl_eval.Score.pin_violations;
     Format.printf "edge viol  : %d@." score.Mcl_eval.Score.edge_violations;
     Format.printf "score S    : %.4f@." score.Mcl_eval.Score.score;
+    (match refine_stats with
+     | Some r ->
+       Format.printf
+         "refine     : %d window(s), %d accepted, %d proven, score %.4f -> %.4f@."
+         r.Mcl_exact.Refine.windows r.Mcl_exact.Refine.accepted
+         r.Mcl_exact.Refine.proven r.Mcl_exact.Refine.score_before
+         r.Mcl_exact.Refine.score_after;
+       if r.Mcl_exact.Refine.budget_exhausted > 0 then
+         Format.printf
+           "S320-refine-budget-exhausted: %d window(s) hit the node budget \
+            (best-found moves applied, no optimality certificate)@."
+           r.Mcl_exact.Refine.budget_exhausted
+     | None -> ());
     Format.printf "runtime    : %.2fs@." elapsed
   end;
   let audit_errors =
@@ -413,6 +447,21 @@ let cmd =
              ~doc:"Render the final placement with the congestion heat-map \
                    overlay (overfull bins shaded by overflow) to FILE.")
   in
+  let refine =
+    Arg.(value & opt int 0
+         & info [ "refine" ] ~docv:"K"
+             ~doc:"After legalizing, re-solve the K worst-displacement \
+                   windows exactly (branch-and-bound) and keep \
+                   strictly-improving moves; 0 disables the pass and is \
+                   bit-identical to the plain pipeline.")
+  in
+  let refine_nodes =
+    Arg.(value & opt int 200_000
+         & info [ "refine-nodes" ] ~docv:"N"
+             ~doc:"Node budget per refined window; exhausted windows keep \
+                   the best assignment found but carry no optimality \
+                   certificate (S320).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Stage stats.") in
   let lint =
     Arg.(value
@@ -441,8 +490,8 @@ let cmd =
     ~default:
       Term.(const run $ input $ suite $ scale $ algo $ threads
             $ window_halfwidth $ window_halfheight $ congestion $ no_fences
-            $ no_rout $ total $ output $ svg_congestion $ verbose $ lint
-            $ lint_all $ audit)
+            $ no_rout $ total $ refine $ refine_nodes $ output
+            $ svg_congestion $ verbose $ lint $ lint_all $ audit)
     (Cmd.info "mcl-legalize" ~doc:"Mixed-cell-height legalization (DAC'18 reproduction)")
     [ serve_cmd ]
 

@@ -1,0 +1,83 @@
+open Mcl_netlist
+module Rect = Mcl_geom.Rect
+
+type worst = {
+  w_cell : int;
+  w_disp : float;
+  w_window : Rect.t;
+}
+
+let die_clip (fp : Floorplan.t) ~xl ~yl ~xh ~yh =
+  let xl = Int.max 0 xl and yl = Int.max 0 yl in
+  let xh = Int.min fp.Floorplan.num_sites (Int.max xl xh) in
+  let yh = Int.min fp.Floorplan.num_rows (Int.max yl yh) in
+  Rect.make ~xl ~yl ~xh ~yh
+
+let cell_window design ~cell ~at ~halfwidth ~halfheight =
+  let c = design.Design.cells.(cell) in
+  let w = Design.width design c and h = Design.height design c in
+  let x, y = match at with
+    | `Gp -> (c.Cell.gp_x, c.Cell.gp_y)
+    | `Current -> (c.Cell.x, c.Cell.y)
+  in
+  let cx = x + (w / 2) and cy = y + (h / 2) in
+  die_clip design.Design.floorplan
+    ~xl:(cx - halfwidth) ~yl:(cy - halfheight)
+    ~xh:(cx + halfwidth) ~yh:(cy + halfheight)
+
+let worst_cells ?(k = 8) ~halfwidth ~halfheight design =
+  let acc = ref [] in
+  Array.iter
+    (fun (c : Cell.t) ->
+       if not c.Cell.is_fixed then begin
+         let d = Metrics.displacement design c in
+         if d > 0.0 then acc := (c.Cell.id, d) :: !acc
+       end)
+    design.Design.cells;
+  let ranked =
+    List.sort
+      (fun (ia, da) (ib, db) ->
+         let c = Float.compare db da in
+         if c <> 0 then c else Int.compare ia ib)
+      !acc
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | (id, d) :: tl ->
+      { w_cell = id; w_disp = d;
+        w_window =
+          cell_window design ~cell:id ~at:`Current ~halfwidth ~halfheight }
+      :: take (n - 1) tl
+  in
+  take k ranked
+
+let hotspot_windows ?(k = 4) ~halfwidth ~halfheight cmap design =
+  let grid = Mcl_congest.Congestion.grid cmap in
+  let summary = Mcl_congest.Congestion.summarize ~top_k:(Int.max k 1) cmap in
+  let ranked =
+    List.sort
+      (fun (a : Mcl_congest.Congestion.hotspot) b ->
+         let c = Float.compare b.hs_overflow a.hs_overflow in
+         if c <> 0 then c
+         else
+           let c = Int.compare a.by b.by in
+           if c <> 0 then c else Int.compare a.bx b.bx)
+      summary.Mcl_congest.Congestion.hotspots
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | (h : Mcl_congest.Congestion.hotspot) :: tl ->
+      if h.hs_overflow <= 0.0 then []
+      else
+        let xl = h.bx * grid.Mcl_congest.Grid.bin_sites in
+        let yl = h.by * grid.Mcl_congest.Grid.bin_rows in
+        let xh = xl + grid.Mcl_congest.Grid.bin_sites in
+        let yh = yl + grid.Mcl_congest.Grid.bin_rows in
+        die_clip design.Design.floorplan
+          ~xl:(xl - halfwidth) ~yl:(yl - halfheight)
+          ~xh:(xh + halfwidth) ~yh:(yh + halfheight)
+        :: take (n - 1) tl
+  in
+  take k ranked

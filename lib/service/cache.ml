@@ -1,5 +1,16 @@
 open Mcl_netlist
 
+type refine_note = {
+  rn_windows : int;
+  rn_accepted : int;
+  rn_proven : int;
+  rn_budget : int;
+  rn_nodes : int;
+  rn_subopt : float;
+  rn_score_before : float;
+  rn_score_after : float;
+}
+
 type entry = {
   key : string;
   design : Design.t;
@@ -10,6 +21,7 @@ type entry = {
   mutable legalized : bool;
   mutable eco_count : int;
   mutable congest : Mcl_congest.Congestion.t option;
+  mutable refine : refine_note option;
   mutable dirty : bool;
   mutable pinned : bool;
   mutable last_used : int;

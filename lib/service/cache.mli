@@ -25,6 +25,21 @@
 
 open Mcl_netlist
 
+(** Summary of the latest [refine] op on an entry, surfaced by
+    [stats] as the design's measured optimality gap. *)
+type refine_note = {
+  rn_windows : int;
+  rn_accepted : int;
+  rn_proven : int;  (** windows solved to a certificate *)
+  rn_budget : int;  (** windows that hit the node budget *)
+  rn_nodes : int;
+  rn_subopt : float;
+      (** window cost recovered across proven windows: the measured
+          optimality gap of the heuristic on the examined windows *)
+  rn_score_before : float;
+  rn_score_after : float;
+}
+
 type entry = {
   key : string;
   design : Design.t;
@@ -40,8 +55,9 @@ type entry = {
   mutable congest : Mcl_congest.Congestion.t option;
       (** congestion map over the entry's current placement, built
           lazily on the first [query] and from then on kept
-          incrementally current: [eco] patches it from the position
-          diff, [legalize] rebuilds it (see {!Engine}) *)
+          incrementally current: [eco] and [refine] patch it from the
+          position diff, [legalize] rebuilds it (see {!Engine}) *)
+  mutable refine : refine_note option;  (** latest [refine] summary *)
   mutable dirty : bool;
       (** mutated since the last snapshot; blocks eviction *)
   mutable pinned : bool;

@@ -215,8 +215,8 @@ let exec_load t req ~key ~source =
       (Cache.put t.cache
          { Cache.key; design; gp_hpwl; source = source_name;
            load_wire = wire; loaded_at = started; legalized = false;
-           eco_count = 0; congest = None; dirty = true; pinned = false;
-           last_used = 0 });
+           eco_count = 0; congest = None; refine = None; dirty = true;
+           pinned = false; last_used = 0 });
     let finished = now t in
     Protocol.ok ~id ~op:"load" ~wal:wire
       ~metrics:
@@ -239,6 +239,8 @@ let exec_legalize t (entry : Cache.entry) req ~greedy:greedy_op =
     let violations = Mcl_eval.Legality.check design in
     entry.Cache.legalized <- violations = [];
     entry.Cache.dirty <- true;
+    (* a fresh legalization invalidates any previous refine summary *)
+    entry.Cache.refine <- None;
     (* a full pipeline moves most cells: rebuilding the tracked map is
        cheaper than diffing it move by move *)
     Option.iter Congestion.rebuild entry.Cache.congest;
@@ -320,12 +322,125 @@ let exec_legalize t (entry : Cache.entry) req ~greedy:greedy_op =
        | None -> fail ~deadline:true exn)
     | exception exn -> fail exn
 
+(* Exact worst-window refinement (offline quality mode).  Success
+   means the whole pass completed: a deadline expiry mid-pass rolls
+   everything back (P430), so the journaled form — k and node budget,
+   deadline stripped — replays deterministically.  The lazily-built
+   congestion map is patched from the position diff exactly like eco
+   (sync-from-snapshot, not rebuild): refine moves a handful of cells,
+   so diffing is cheap and the incremental == rebuild invariant is
+   kept testable. *)
+let exec_refine t (entry : Cache.entry) req ~k ~node_budget =
+  let started = now t in
+  let id = req.Protocol.id in
+  let design = entry.Cache.design in
+  let before_disp = total_disp_rows design in
+  let budget = budget_of t req in
+  let congest =
+    if t.config.Mcl.Config.congestion_weight > 0.0 then
+      Some (congest_of t entry)
+    else None
+  in
+  (* after [congest_of]: a map built for the solver is tracked too *)
+  let pos_before =
+    match entry.Cache.congest with
+    | Some _ -> Some (Design.snapshot design)
+    | None -> None
+  in
+  match
+    transactional entry (fun () ->
+        Budget.check_now budget;
+        inject_stage t ~stage:"refine";
+        Mcl_exact.Refine.run ?budget ?congest ~node_budget ~k
+          ~gp_hpwl:entry.Cache.gp_hpwl t.config design)
+  with
+  | stats ->
+    entry.Cache.dirty <- true;
+    (match (entry.Cache.congest, pos_before) with
+     | Some m, Some before -> Congestion.sync m ~before
+     | _ -> ());
+    entry.Cache.refine <-
+      Some
+        { Cache.rn_windows = stats.Mcl_exact.Refine.windows;
+          rn_accepted = stats.Mcl_exact.Refine.accepted;
+          rn_proven = stats.Mcl_exact.Refine.proven;
+          rn_budget = stats.Mcl_exact.Refine.budget_exhausted;
+          rn_nodes = stats.Mcl_exact.Refine.nodes;
+          rn_subopt = stats.Mcl_exact.Refine.subopt_cost;
+          rn_score_before = stats.Mcl_exact.Refine.score_before;
+          rn_score_after = stats.Mcl_exact.Refine.score_after };
+    let cells_touched =
+      List.fold_left
+        (fun acc (o : Mcl_exact.Refine.outcome) ->
+           if o.Mcl_exact.Refine.o_accepted then
+             acc + o.Mcl_exact.Refine.o_cells
+           else acc)
+        0 stats.Mcl_exact.Refine.outcomes
+    in
+    let violations = Mcl_eval.Legality.check design in
+    let finished = now t in
+    Protocol.ok ~id ~op:"refine" ~wal:(Protocol.to_wire req ~greedy:false)
+      ~metrics:
+        (mk_metrics ~req ~started ~finished ~cells:cells_touched
+           ~disp:(total_disp_rows design -. before_disp)
+           ~coalesced:1 ())
+      (Json.Obj
+         [ ("design", Json.String entry.Cache.key);
+           ("windows", Json.Int stats.Mcl_exact.Refine.windows);
+           ("accepted", Json.Int stats.Mcl_exact.Refine.accepted);
+           ("proven", Json.Int stats.Mcl_exact.Refine.proven);
+           ("budget_exhausted",
+            Json.Int stats.Mcl_exact.Refine.budget_exhausted);
+           ("nodes", Json.Int stats.Mcl_exact.Refine.nodes);
+           ("subopt_cost", Json.Float stats.Mcl_exact.Refine.subopt_cost);
+           ("score_before", Json.Float stats.Mcl_exact.Refine.score_before);
+           ("score_after", Json.Float stats.Mcl_exact.Refine.score_after);
+           ("legal", Json.Bool (violations = [])) ])
+  | exception exn ->
+    (match exn with
+     | Budget.Deadline_exceeded _ ->
+       Telemetry.record_deadline t.telemetry ~degraded:false
+     | _ -> ());
+    let finished = now t in
+    error_of_exn ~id ~op:"refine" exn
+      ~metrics:
+        (mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
+
 let exec_query t (entry : Cache.entry) req =
   let started = now t in
   let design = entry.Cache.design in
   let violations = Mcl_eval.Legality.check design in
   let score = Mcl_eval.Score.evaluate ~gp_hpwl:entry.Cache.gp_hpwl design in
-  let congest = Congestion.summarize (congest_of t entry) in
+  let cmap = congest_of t entry in
+  let congest = Congestion.summarize cmap in
+  (* where quality is lost: the worst-displacement windows the refine
+     op would re-solve, with their congestion overflow *)
+  let fp = design.Design.floorplan in
+  let sw = fp.Floorplan.site_width and rh = fp.Floorplan.row_height in
+  let worst_windows =
+    Mcl_eval.Windows.worst_cells ~k:4
+      ~halfwidth:Mcl_exact.Refine.default_halfwidth
+      ~halfheight:Mcl_exact.Refine.default_halfheight design
+    |> List.map (fun (w : Mcl_eval.Windows.worst) ->
+        let r = w.Mcl_eval.Windows.w_window in
+        let rect_dbu =
+          Mcl_geom.Rect.make
+            ~xl:(r.Mcl_geom.Rect.x.Mcl_geom.Interval.lo * sw)
+            ~yl:(r.Mcl_geom.Rect.y.Mcl_geom.Interval.lo * rh)
+            ~xh:(r.Mcl_geom.Rect.x.Mcl_geom.Interval.hi * sw)
+            ~yh:(r.Mcl_geom.Rect.y.Mcl_geom.Interval.hi * rh)
+        in
+        Json.Obj
+          [ ("cell", Json.Int w.Mcl_eval.Windows.w_cell);
+            ("disp_rows", Json.Float w.Mcl_eval.Windows.w_disp);
+            ("window",
+             Json.Obj
+               [ ("xl", Json.Int r.Mcl_geom.Rect.x.Mcl_geom.Interval.lo);
+                 ("yl", Json.Int r.Mcl_geom.Rect.y.Mcl_geom.Interval.lo);
+                 ("xh", Json.Int r.Mcl_geom.Rect.x.Mcl_geom.Interval.hi);
+                 ("yh", Json.Int r.Mcl_geom.Rect.y.Mcl_geom.Interval.hi) ]);
+            ("overflow", Json.Float (Congestion.cost cmap ~rect_dbu)) ])
+  in
   let finished = now t in
   Protocol.ok ~id:req.Protocol.id ~op:"query"
     ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
@@ -345,7 +460,8 @@ let exec_query t (entry : Cache.entry) req =
          ("pin_violations", Json.Int score.Mcl_eval.Score.pin_violations);
          ("edge_violations", Json.Int score.Mcl_eval.Score.edge_violations);
          ("score", Json.Float score.Mcl_eval.Score.score);
-         ("congestion", congestion_json congest) ])
+         ("congestion", congestion_json congest);
+         ("worst_windows", Json.List worst_windows) ])
 
 let exec_lint t (entry : Cache.entry) req =
   let started = now t in
@@ -383,6 +499,19 @@ let exec_stats t req =
             ("legalized", Json.Bool e.Cache.legalized);
             ("eco_count", Json.Int e.Cache.eco_count);
             ("age_s", Json.Float (started -. e.Cache.loaded_at));
+            ("refine",
+             match e.Cache.refine with
+             | None -> Json.Null
+             | Some r ->
+               Json.Obj
+                 [ ("windows", Json.Int r.Cache.rn_windows);
+                   ("accepted", Json.Int r.Cache.rn_accepted);
+                   ("proven", Json.Int r.Cache.rn_proven);
+                   ("budget_exhausted", Json.Int r.Cache.rn_budget);
+                   ("nodes", Json.Int r.Cache.rn_nodes);
+                   ("subopt_cost", Json.Float r.Cache.rn_subopt);
+                   ("score_before", Json.Float r.Cache.rn_score_before);
+                   ("score_after", Json.Float r.Cache.rn_score_after) ]);
             ("congestion",
              match e.Cache.congest with
              | None -> Json.Null
@@ -566,6 +695,8 @@ let exec_in_group t (entry : Cache.entry) unit_ =
     let resp =
       match req.Protocol.op with
       | Protocol.Legalize { greedy; _ } -> exec_legalize t entry req ~greedy
+      | Protocol.Refine { k; node_budget; _ } ->
+        exec_refine t entry req ~k ~node_budget
       | Protocol.Query _ -> exec_query t entry req
       | Protocol.Lint _ -> exec_lint t entry req
       | Protocol.Audit _ -> exec_audit t entry req

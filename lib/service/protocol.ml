@@ -14,6 +14,7 @@ type op =
       targets : (int * (int * int)) list;
       greedy : bool;
     }
+  | Refine of { key : string; k : int; node_budget : int }
   | Query of { key : string }
   | Lint of { key : string }
   | Audit of { key : string }
@@ -35,6 +36,7 @@ let op_name = function
   | Load _ -> "load"
   | Legalize _ -> "legalize"
   | Eco _ -> "eco"
+  | Refine _ -> "refine"
   | Query _ -> "query"
   | Lint _ -> "lint"
   | Audit _ -> "audit"
@@ -42,14 +44,14 @@ let op_name = function
   | Shutdown -> "shutdown"
 
 let design_key = function
-  | Legalize { key; _ } | Eco { key; _ } | Query { key } | Lint { key }
-  | Audit { key } ->
+  | Legalize { key; _ } | Eco { key; _ } | Refine { key; _ } | Query { key }
+  | Lint { key } | Audit { key } ->
     Some key
   | Load _ | Stats | Shutdown -> None
 
 (* Ops the WAL journals: everything that changes resident state. *)
 let mutating = function
-  | Load _ | Legalize _ | Eco _ -> true
+  | Load _ | Legalize _ | Eco _ | Refine _ -> true
   | Query _ | Lint _ | Audit _ | Stats | Shutdown -> false
 
 type parse_error = { err_id : string; code : string; message : string }
@@ -134,6 +136,25 @@ let decode_op j =
     if cells = [] && targets = [] then
       bad "P402-bad-request" "eco needs \"cells\" and/or \"targets\"";
     Eco { key; cells; targets; greedy = decode_greedy j }
+  | Some "refine" ->
+    let key = require_design j in
+    let k =
+      match Json.member "k" j with
+      | None -> 4
+      | Some v ->
+        (match Json.to_int v with
+         | Some k when k >= 0 -> k
+         | _ -> bad "P402-bad-request" "\"k\" must be a non-negative integer")
+    in
+    let node_budget =
+      match Json.member "node_budget" j with
+      | None -> 200_000
+      | Some v ->
+        (match Json.to_int v with
+         | Some n when n >= 1 -> n
+         | _ -> bad "P402-bad-request" "\"node_budget\" must be >= 1")
+    in
+    Refine { key; k; node_budget }
   | Some "query" -> Query { key = require_design j }
   | Some "lint" -> Lint { key = require_design j }
   | Some "audit" -> Audit { key = require_design j }
@@ -213,6 +234,10 @@ let to_wire req ~greedy =
                       Json.List [ Json.Int id; Json.List [ Json.Int x; Json.Int y ] ])
                    targets)) ])
       @ (if g || greedy then [ ("greedy", Json.Bool true) ] else [])
+    | Refine { key; k; node_budget } ->
+      (* node budget journals too: replay must expand the same search *)
+      [ ("op", Json.String "refine"); ("design", Json.String key);
+        ("k", Json.Int k); ("node_budget", Json.Int node_budget) ]
     | Query _ | Lint _ | Audit _ | Stats | Shutdown ->
       invalid_arg "Protocol.to_wire: non-mutating op"
   in

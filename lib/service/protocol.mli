@@ -6,9 +6,12 @@
     Request object:
     {v
     {"id": "r1",            // optional; echoed back (default "req-N")
-     "op": "load" | "legalize" | "eco" | "query" | "lint" | "audit"
-         | "stats" | "shutdown",
+     "op": "load" | "legalize" | "eco" | "refine" | "query" | "lint"
+         | "audit" | "stats" | "shutdown",
      "design": "key",       // all ops except stats/shutdown
+     // refine payload (both optional):
+     "k": 4,                               // windows to re-solve exactly
+     "node_budget": 200000,                // search nodes per window
      // load sources (pick one; default = generated Spec.default):
      "suite": "des_perf_1", "scale": 1.0,   // generated suite benchmark
      "path": "bench.txt",                   // bookshelf file
@@ -61,6 +64,10 @@ type op =
       targets : (int * (int * int)) list;
       greedy : bool;  (** first-fit re-insertion, bounded cost *)
     }
+  | Refine of { key : string; k : int; node_budget : int }
+      (** exact worst-window refinement (offline quality mode): re-solve
+          the [k] worst windows by branch-and-bound, [node_budget]
+          search nodes each; journaled like an eco *)
   | Query of { key : string }
   | Lint of { key : string }
   | Audit of { key : string }
@@ -85,7 +92,8 @@ val op_name : op -> string
     the batch planner serializes the latter. *)
 val design_key : op -> string option
 
-(** True for ops the WAL journals ([Load], [Legalize], [Eco]). *)
+(** True for ops the WAL journals ([Load], [Legalize], [Eco],
+    [Refine]). *)
 val mutating : op -> bool
 
 (** Parse failure, already shaped like a response. *)

@@ -1,0 +1,390 @@
+(* The exact window solver and its integrations: brute-force
+   enumeration must match branch-and-bound bit-for-bit, Insertion.best
+   can never beat a certified window optimum, the refiner is a
+   monotone deterministic post-pass (and a guaranteed no-op at k=0),
+   refined designs replay from the WAL to the exact fingerprint, and
+   the service keeps the incremental congestion map synced across a
+   refine. *)
+
+module Solver = Mcl_exact.Solver
+module Refine = Mcl_exact.Refine
+module Rect = Mcl_geom.Rect
+module Windows = Mcl_eval.Windows
+open Mcl_netlist
+
+(* ---------------------------------------------------------------- *)
+(* Shared: build an insertion ctx over a legalized design, the same   *)
+(* way the refiner does.                                             *)
+(* ---------------------------------------------------------------- *)
+
+let make_ctx ?congest config design =
+  let segments =
+    Mcl.Segment.build ~boundary_gap:(Mcl.Mgl.boundary_gap config design)
+      ~respect_fences:config.Mcl.Config.consider_fences design
+  in
+  let routability =
+    if config.Mcl.Config.consider_routability then
+      Some (Mcl.Routability.create design)
+    else None
+  in
+  let placement = Mcl.Placement.of_design design in
+  Mcl.Insertion.make_ctx ~disp_from:`Gp ?congest config design ~placement
+    ~segments ~routability
+
+(* ---------------------------------------------------------------- *)
+(* Brute force vs branch-and-bound, bit-for-bit                      *)
+(* ---------------------------------------------------------------- *)
+
+(* Exhaustive DFS through the solver's own candidate space
+   (order/candidates/compatible), accumulating candidate costs in
+   slot order exactly like the solver's search — so on Proven
+   instances the two optimal costs must agree to the last bit. *)
+let brute_force t =
+  let order = Solver.order t in
+  let n = Array.length order in
+  let cands = Array.init n (fun i -> Solver.candidates t i) in
+  let chosen = Array.make n { Solver.px = 0; py = 0; pcost = 0.0 } in
+  let best = ref infinity in
+  let rec go i acc =
+    if i = n then begin
+      if acc < !best then best := acc
+    end
+    else
+      Array.iter
+        (fun (c : Solver.pos) ->
+           let ok = ref true in
+           for j = 0 to i - 1 do
+             if !ok && not (Solver.compatible t j chosen.(j) i c) then
+               ok := false
+           done;
+           if !ok then begin
+             chosen.(i) <- c;
+             go (i + 1) (acc +. c.Solver.pcost)
+           end)
+        cands.(i)
+  in
+  go 0 0.0;
+  !best
+
+let search_space_size t =
+  let n = Array.length (Solver.order t) in
+  let size = ref 1.0 in
+  for i = 0 to n - 1 do
+    size := !size *. float_of_int (max 1 (Array.length (Solver.candidates t i)))
+  done;
+  !size
+
+(* movable cells wholly inside the window, smallest ids first *)
+let cells_in_window design ~window ~max_cells =
+  let picked = ref [] and count = ref 0 in
+  Array.iter
+    (fun (c : Cell.t) ->
+       if (not c.Cell.is_fixed)
+          && !count < max_cells
+          && Rect.contains_rect window (Design.cell_rect design c)
+       then begin
+         picked := c.Cell.id :: !picked;
+         incr count
+       end)
+    design.Design.cells;
+  List.rev !picked
+
+let test_brute_force_matches_bnb () =
+  let checked = ref 0 in
+  List.iter
+    (fun seed ->
+       let spec =
+         { Mcl_gen.Spec.default with
+           Mcl_gen.Spec.name = Printf.sprintf "exact_bf_%d" seed;
+           num_cells = 90;
+           seed }
+       in
+       let d = Mcl_gen.Generator.generate spec in
+       ignore (Mcl.Pipeline.run Mcl.Config.default d);
+       let ctx = make_ctx Mcl.Config.default d in
+       List.iter
+         (fun (w : Windows.worst) ->
+            let window = w.Windows.w_window in
+            let cells = cells_in_window d ~window ~max_cells:3 in
+            if cells <> [] then begin
+              let t = Solver.build ctx ~window ~cells in
+              if search_space_size t <= 200_000.0 then begin
+                let res = Solver.solve ~max_nodes:5_000_000 t in
+                Alcotest.(check bool)
+                  (Printf.sprintf "seed %d proven" seed)
+                  true
+                  (res.Solver.verdict = Solver.Proven);
+                let brute = brute_force t in
+                if brute = infinity then
+                  Alcotest.(check (list (triple int int int)))
+                    "no feasible assignment: no moves" []
+                    (List.map
+                       (fun (m : Solver.move) ->
+                          (m.Solver.mv_cell, m.Solver.mv_x, m.Solver.mv_y))
+                       res.Solver.moves)
+                else
+                  Alcotest.(check int64)
+                    (Printf.sprintf "seed %d: brute == B&B bit-for-bit" seed)
+                    (Int64.bits_of_float brute)
+                    (Int64.bits_of_float res.Solver.best_cost);
+                incr checked
+              end
+            end)
+         (Windows.worst_cells ~k:4 ~halfwidth:5 ~halfheight:1 d))
+    [ 1; 2; 3; 5; 8 ];
+  Alcotest.(check bool) "cross-checked at least one window" true (!checked > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Insertion.best vs the certified window optimum                     *)
+(* ---------------------------------------------------------------- *)
+
+let sites = 16
+
+(* single-row instance in the style of test_insertion: [n] locals
+   placed at [curs], an unplaced target; routability and fences off so
+   the objective is pure curve-weighted displacement *)
+let tiny_design ~widths ~gps ~curs ~target_w ~target_gp =
+  let n = Array.length widths in
+  let types =
+    Array.init (n + 1) (fun i ->
+        let w = if i < n then widths.(i) else target_w in
+        Cell_type.make ~type_id:i ~name:(Printf.sprintf "t%d" i) ~width:w
+          ~height:1 ())
+  in
+  let cells =
+    Array.init (n + 1) (fun i ->
+        if i < n then begin
+          let c = Cell.make ~id:i ~type_id:i ~gp_x:gps.(i) ~gp_y:0 () in
+          c.Cell.x <- curs.(i);
+          c
+        end
+        else Cell.make ~id:i ~type_id:i ~gp_x:target_gp ~gp_y:0 ())
+  in
+  let fp = Floorplan.make ~num_sites:sites ~num_rows:1 () in
+  Design.make ~name:"tiny_exact" ~floorplan:fp ~cell_types:types ~cells ()
+
+let tiny_cfg =
+  { Mcl.Config.default with
+    Mcl.Config.consider_routability = false;
+    consider_fences = false;
+    objective = Mcl.Config.Total }
+
+(* insertion total = locals baseline + candidate cost (the candidate
+   cost is the target displacement plus the saturating-shift deltas);
+   the solver optimum over the same window can only be <=, and the
+   solve must be a certificate, never a silent budget exhaustion *)
+let oracle_gap design ~target =
+  let segments = Mcl.Segment.build ~respect_fences:false design in
+  let placement = Mcl.Placement.create design in
+  for i = 0 to Array.length design.Design.cells - 2 do
+    Mcl.Placement.add placement i
+  done;
+  let ctx =
+    Mcl.Insertion.make_ctx ~disp_from:`Gp tiny_cfg design ~placement ~segments
+      ~routability:None
+  in
+  let window = Rect.make ~xl:0 ~yl:0 ~xh:sites ~yh:1 in
+  match Mcl.Insertion.best ctx ~target ~window with
+  | None -> None
+  | Some cand ->
+    let locals = List.init target (fun i -> i) in
+    let t = Solver.build ctx ~window ~cells:(target :: locals) in
+    let res = Solver.solve ~max_nodes:5_000_000 t in
+    Alcotest.(check bool) "oracle solve is a certificate" true
+      (res.Solver.verdict = Solver.Proven);
+    let ins_total = Solver.baseline_cost t +. cand.Mcl.Insertion.cost in
+    Some (ins_total -. res.Solver.best_cost)
+
+let test_insertion_window_optimality () =
+  (* crafted: pushing is optimal, so insertion must hit the optimum *)
+  let d =
+    tiny_design ~widths:[| 3; 3 |] ~gps:[| 0; 3 |] ~curs:[| 0; 3 |]
+      ~target_w:2 ~target_gp:3
+  in
+  (match oracle_gap d ~target:2 with
+   | None -> Alcotest.fail "crafted instance: no insertion point"
+   | Some gap ->
+     Alcotest.(check bool) "crafted: insertion total == window optimum" true
+       (Float.abs gap <= 1e-6));
+  (* seeded: over random tiny instances insertion never beats the
+     certified optimum (gap >= -eps), and usually meets it *)
+  let prng = Mcl_geom.Prng.create 20260808 in
+  let tried = ref 0 and met = ref 0 in
+  for _ = 1 to 60 do
+    let n = 1 + Mcl_geom.Prng.int prng 3 in
+    let widths = Array.init n (fun _ -> 1 + Mcl_geom.Prng.int prng 3) in
+    (* place locals left-to-right with random gaps; skip overfull draws *)
+    let curs = Array.make n 0 in
+    let x = ref 0 in
+    Array.iteri
+      (fun i w ->
+         x := !x + Mcl_geom.Prng.int prng 3;
+         curs.(i) <- !x;
+         x := !x + w)
+      widths;
+    if !x <= sites then begin
+      let gps =
+        Array.map (fun w -> Mcl_geom.Prng.int prng (sites - w + 1)) widths
+      in
+      let target_w = 1 + Mcl_geom.Prng.int prng 3 in
+      let target_gp = Mcl_geom.Prng.int prng (sites - target_w + 1) in
+      let d = tiny_design ~widths ~gps ~curs ~target_w ~target_gp in
+      match oracle_gap d ~target:n with
+      | None -> ()
+      | Some gap ->
+        incr tried;
+        Alcotest.(check bool) "insertion never beats the certified optimum"
+          true
+          (gap >= -1e-6);
+        if Float.abs gap <= 1e-6 then incr met
+    end
+  done;
+  Alcotest.(check bool) "exercised some seeded instances" true (!tried >= 20);
+  Alcotest.(check bool) "insertion meets the optimum somewhere" true (!met > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Refiner: monotone, deterministic, and a no-op at k=0               *)
+(* ---------------------------------------------------------------- *)
+
+let refined_design () =
+  let spec =
+    { Mcl_gen.Spec.default with
+      Mcl_gen.Spec.name = "exact_refine";
+      num_cells = 500;
+      seed = 11 }
+  in
+  let d = Mcl_gen.Generator.generate spec in
+  let gp_hpwl = Mcl_eval.Metrics.hpwl d in
+  ignore (Mcl.Pipeline.run Mcl.Config.default d);
+  (d, gp_hpwl)
+
+let test_refine_monotone_and_noop () =
+  let d, gp_hpwl = refined_design () in
+  let snap = Design.snapshot d in
+  (* k=0: score measured, design untouched *)
+  let s0 = Refine.run ~k:0 ~gp_hpwl Mcl.Config.default d in
+  Alcotest.(check bool) "k=0 leaves the placement bit-identical" true
+    (Design.snapshot d = snap);
+  Alcotest.(check (float 0.0)) "k=0 score unchanged" s0.Refine.score_before
+    s0.Refine.score_after;
+  (* k>0: monotone score, legality preserved, accepted windows improve *)
+  let s = Refine.run ~k:6 ~gp_hpwl Mcl.Config.default d in
+  Alcotest.(check bool) "refine examined windows" true (s.Refine.windows > 0);
+  Alcotest.(check bool) "score never worsens" true
+    (s.Refine.score_after <= s.Refine.score_before +. 1e-9);
+  Alcotest.(check bool) "still legal after refine" true
+    (Mcl_eval.Legality.is_legal d);
+  List.iter
+    (fun (o : Refine.outcome) ->
+       if o.Refine.o_accepted then
+         Alcotest.(check bool) "accepted window strictly improved" true
+           (o.Refine.o_after < o.Refine.o_before -. 1e-9))
+    s.Refine.outcomes;
+  (* determinism: an identical design refines to the identical result *)
+  let d2, gp_hpwl2 = refined_design () in
+  let s2 = Refine.run ~k:6 ~gp_hpwl:gp_hpwl2 Mcl.Config.default d2 in
+  Alcotest.(check bool) "refinement is deterministic" true
+    (Design.snapshot d = Design.snapshot d2
+     && s.Refine.score_after = s2.Refine.score_after
+     && s.Refine.nodes = s2.Refine.nodes)
+
+(* ---------------------------------------------------------------- *)
+(* Service: WAL replay of a refined design, congestion map sync       *)
+(* ---------------------------------------------------------------- *)
+
+module Json = Mcl_service.Json
+module Engine = Mcl_service.Engine
+module Server = Mcl_service.Server
+module Protocol = Mcl_service.Protocol
+module Wal = Mcl_resilience.Wal
+
+let fresh_engine () = Engine.create ~threads:1 ~config:Mcl.Config.default ()
+
+let parse_req line =
+  match
+    Protocol.parse ~received:(Unix.gettimeofday ()) ~default_id:"t" line
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "bad request %s: %s" line e.Protocol.message
+
+let journal_ok eng wal line =
+  let resps = Server.execute_and_journal eng ~wal [| parse_req line |] in
+  Array.iter
+    (fun r ->
+       match r.Protocol.result with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "journaled op failed: %s" e.Protocol.message)
+    resps
+
+let test_wal_replay_refined () =
+  let path = Filename.temp_file "mcl_exact_replay" ".wal" in
+  let eng = fresh_engine () in
+  let wal = Wal.open_ ~path () in
+  journal_ok eng wal {|{"op":"load","design":"r","suite":"fft_2_md2"}|};
+  journal_ok eng wal {|{"op":"legalize","design":"r"}|};
+  journal_ok eng wal {|{"op":"refine","design":"r","k":6}|};
+  journal_ok eng wal {|{"op":"eco","design":"r","cells":[5,9]}|};
+  Wal.close wal;
+  let fingerprint = Engine.state_fingerprint eng in
+  let eng2 = fresh_engine () in
+  let r = Server.recover eng2 ~path in
+  Sys.remove path;
+  Alcotest.(check bool) "replayed the journaled mutations" true
+    (r.Server.replayed > 0);
+  Alcotest.(check string) "refined design replays to the exact fingerprint"
+    fingerprint
+    (Engine.state_fingerprint eng2)
+
+let handle_ok eng what line =
+  let resp = Engine.handle_line eng line in
+  match Json.parse resp with
+  | Ok j when Json.get_string "status" j = Some "ok" -> j
+  | Ok j -> Alcotest.failf "%s failed: %s" what (Json.to_string j)
+  | Error e -> Alcotest.failf "%s: bad response json: %s" what e
+
+let test_congest_sync_after_refine () =
+  let eng = fresh_engine () in
+  ignore (handle_ok eng "load" {|{"op":"load","design":"c","suite":"fft_2_md2"}|});
+  ignore (handle_ok eng "legalize" {|{"op":"legalize","design":"c"}|});
+  (* first query builds the lazy per-entry congestion map *)
+  ignore (handle_ok eng "query" {|{"op":"query","design":"c"}|});
+  let j = handle_ok eng "refine" {|{"op":"refine","design":"c","k":6}|} in
+  let accepted =
+    match Json.member "result" j with
+    | Some r -> Option.value ~default:0 (Json.get_int "accepted" r)
+    | None -> 0
+  in
+  Alcotest.(check bool) "refine moved cells (sync is exercised)" true
+    (accepted > 0);
+  match Mcl_service.Cache.find (Engine.cache eng) "c" with
+  | None -> Alcotest.fail "design evicted"
+  | Some entry ->
+    (match entry.Mcl_service.Cache.refine with
+     | None -> Alcotest.fail "refine note not recorded"
+     | Some note ->
+       Alcotest.(check int) "note matches the response" accepted
+         note.Mcl_service.Cache.rn_accepted);
+    (match entry.Mcl_service.Cache.congest with
+     | None -> Alcotest.fail "congestion map dropped by refine"
+     | Some m ->
+       let fresh =
+         Mcl_congest.Congestion.create entry.Mcl_service.Cache.design
+       in
+       Alcotest.(check bool) "incremental map == rebuild after refine" true
+         (Mcl_congest.Congestion.equal m fresh))
+
+let () =
+  Alcotest.run "exact"
+    [ ("solver",
+       [ Alcotest.test_case "brute force == B&B bit-for-bit" `Quick
+           test_brute_force_matches_bnb;
+         Alcotest.test_case "Insertion.best vs certified optimum" `Quick
+           test_insertion_window_optimality ]);
+      ("refine",
+       [ Alcotest.test_case "monotone, deterministic, k=0 no-op" `Quick
+           test_refine_monotone_and_noop ]);
+      ("service",
+       [ Alcotest.test_case "WAL replay of refined design" `Quick
+           test_wal_replay_refined;
+         Alcotest.test_case "congestion map synced across refine" `Quick
+           test_congest_sync_after_refine ]) ]
