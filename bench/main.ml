@@ -485,7 +485,8 @@ let service ~scale () =
     let mk op =
       incr counter;
       { P.id = Printf.sprintf "%s-%d" label !counter; op;
-        received = Unix.gettimeofday (); deadline_ms = None; fallback = None }
+        received = Unix.gettimeofday (); deadline_ms = None; fallback = None;
+        req_id = None; replay_ids = [] }
     in
     let execute reqs =
       if batched then Mcl_service.Engine.execute engine (Array.of_list reqs)
@@ -712,6 +713,33 @@ let service_load ~scale () =
   in
   Printf.printf "  speedup over fsync-per-request baseline: %.1fx\n\n%!"
     (best_group_per_s /. baseline_per_s);
+  (* ---- part 1b: CRC framing overhead at the best group size ------- *)
+  Printf.printf "-- checksum overhead: CRC-32 framing on vs off (group 256) --\n";
+  let crc_sweep checksum =
+    let muts =
+      let m = max 256 (int_of_float (256.0 *. 400.0 *. scale)) in
+      m - (m mod 256)
+    in
+    let path = tmp ".wal" in
+    let w = Wal.open_ ~checksum ~path () in
+    let group = List.init 256 (fun _ -> payload) in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to muts / 256 do
+      ignore (Wal.append_all w group)
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    Wal.close w;
+    Sys.remove path;
+    let per_s = float_of_int muts /. wall in
+    Printf.printf "  crc %-3s : %7d durable mutations in %6.3fs | %10.0f muts/s\n%!"
+      (if checksum then "on" else "off") muts wall per_s;
+    per_s
+  in
+  let crc_on_per_s = crc_sweep true in
+  let crc_off_per_s = crc_sweep false in
+  let crc_overhead_pct = 100.0 *. (1.0 -. (crc_on_per_s /. crc_off_per_s)) in
+  Printf.printf "  overhead: %.1f%% of un-checksummed throughput\n\n%!"
+    crc_overhead_pct;
   (* ---- shared harness: an event loop over socketpair clients ----- *)
   let fresh_engine () =
     Mcl_service.Engine.create ~threads:1 ~config:Mcl.Config.default ()
@@ -918,7 +946,7 @@ let service_load ~scale () =
   Domain.join client;
   Wal.close wal;
   let fingerprint_before = Mcl_service.Engine.state_fingerprint engine in
-  let leftover_records = List.length (fst (Wal.read ~path:wal_path)) in
+  let leftover_records = List.length (Wal.read ~path:wal_path).Wal.records in
   let t0 = Unix.gettimeofday () in
   let engine2 = fresh_engine () in
   let r = Mcl_service.Server.recover engine2 ~path:wal_path in
@@ -963,6 +991,12 @@ let service_load ~scale () =
                      group_results) );
               ("baseline_per_s", Json.Float baseline_per_s);
               ("best_group_per_s", Json.Float best_group_per_s) ] );
+        ( "checksum_overhead",
+          Json.Obj
+            [ ("group", Json.Int 256);
+              ("crc_on_per_s", Json.Float crc_on_per_s);
+              ("crc_off_per_s", Json.Float crc_off_per_s);
+              ("overhead_pct", Json.Float crc_overhead_pct) ] );
         ( "saturation",
           Json.List
             (List.map

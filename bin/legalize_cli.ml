@@ -223,8 +223,10 @@ let run input suite scale algo threads window_halfwidth window_halfheight
    newline-delimited JSON requests from stdin (or a Unix-domain socket)
    and answers one response line per request; see README §Service. *)
 let run_serve socket threads max_batch no_fences no_routability wal_path
-    recover_path max_pending max_designs max_conns snapshot_every fault_seed
-    fault_kinds =
+    recover_path best_effort max_pending max_designs max_conns snapshot_every
+    fault_seed fault_kinds =
+  if best_effort && recover_path = None then
+    usage_error "--recover-best-effort requires --recover PATH";
   if threads <= 0 then
     usage_error (Printf.sprintf "--threads must be >= 1 (got %d)" threads);
   if max_batch <= 0 then
@@ -275,15 +277,30 @@ let run_serve socket threads max_batch no_fences no_routability wal_path
     match recover_path with
     | None -> 0
     | Some path ->
-      let r = Mcl_service.Server.recover engine ~path in
-      Printf.eprintf "recovered %d mutation(s) from %s%s%s%s\n%!" r.replayed
-        path
+      let r =
+        try Mcl_service.Server.recover ~best_effort engine ~path with
+        | Mcl_service.Server.Corrupt_state { code; message; _ } ->
+          Printf.eprintf "%s: %s\n%!" code message;
+          exit 1
+      in
+      Printf.eprintf "recovered %d mutation(s) from %s%s%s%s%s%s\n%!"
+        r.replayed path
         (if r.snapshot_seq > 0 then
            Printf.sprintf " (snapshot up to seq %d)" r.snapshot_seq
          else "")
         (if r.failed > 0 then Printf.sprintf ", %d failed" r.failed else "")
-        (if r.dropped_lines > 0 then
-           Printf.sprintf ", %d torn line(s) dropped" r.dropped_lines
+        (if r.torn_tail > 0 then
+           Printf.sprintf ", %d torn tail line(s) dropped" r.torn_tail
+         else "")
+        (if r.trailing_garbage > 0 then
+           Printf.sprintf ", %d corrupt line(s) dropped%s" r.trailing_garbage
+             (match r.wal_first_bad_seq with
+              | Some s -> Printf.sprintf " (first bad seq %d)" s
+              | None -> "")
+         else "")
+        (if r.snapshot_corrupt > 0 then
+           Printf.sprintf ", %d corrupt snapshot line(s) skipped"
+             r.snapshot_corrupt
          else "");
       r.snapshot_seq
   in
@@ -341,6 +358,14 @@ let serve_cmd =
                    pre-crash resident state. Combine with --wal PATH (same \
                    path) to keep journaling after recovery.")
   in
+  let best_effort =
+    Arg.(value & flag
+         & info [ "recover-best-effort" ]
+             ~doc:"With --recover: serve the provable prefix of a corrupt \
+                   journal or snapshot instead of refusing with \
+                   P431-corrupt-journal / S311-corrupt-record. The \
+                   corruption flag stays latched in stats/health.")
+  in
   let max_pending =
     Arg.(value & opt int 256
          & info [ "max-pending" ]
@@ -386,8 +411,8 @@ let serve_cmd =
        ~doc:"Run the resident legalization service (NDJSON request loop; ops: \
              load, legalize, eco, query, lint, audit, stats, shutdown).")
     Term.(const run_serve $ socket $ threads $ max_batch $ no_fences $ no_rout
-          $ wal $ recover $ max_pending $ max_designs $ max_conns
-          $ snapshot_every $ fault_seed $ fault_kinds)
+          $ wal $ recover $ best_effort $ max_pending $ max_designs
+          $ max_conns $ snapshot_every $ fault_seed $ fault_kinds)
 
 let cmd =
   let input =

@@ -31,6 +31,7 @@ type t = {
   mutable next_id : int;
   mutable rr : int;  (* round-robin: id to favor in the next sweep *)
   mutable appends_since_snapshot : int;
+  mutable draining : bool;  (* graceful-drain requested (signal-safe) *)
 }
 
 let create engine ?wal ?wal_path ?faults ?(max_pending = 256)
@@ -45,7 +46,13 @@ let create engine ?wal ?wal_path ?faults ?(max_pending = 256)
     max_batch = max 1 max_batch;
     max_pending = max 1 max_pending;
     max_line; max_conns = max 1 max_conns; snapshot_every;
-    conns = []; next_id = 0; rr = 0; appends_since_snapshot = 0 }
+    conns = []; next_id = 0; rr = 0; appends_since_snapshot = 0;
+    draining = false }
+
+(* Only a mutable-bool store: safe to call from a signal handler. The
+   loop notices on its next wakeup (a caught signal interrupts the
+   blocking select with EINTR, so "next wakeup" is immediate). *)
+let request_drain t = t.draining <- true
 
 let add_conn t fd =
   (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
@@ -201,11 +208,28 @@ let commit_batch t responses =
     in
     if lines = [] then 0
     else begin
-      ignore (Wal.append_all w lines);
+      let last_seq = Wal.append_all w lines in
       Telemetry.record_wal_group (Engine.telemetry t.engine)
-        ~appends:(List.length lines);
+        ~appends:(List.length lines) ~last_seq;
       List.length lines
     end
+
+(* Unconditional snapshot + truncation, for the drain path: with a
+   journal configured, a drained server leaves a snapshot covering
+   everything and an empty WAL, so the next boot replays zero
+   records. Without one there is nothing to cut. *)
+let final_snapshot t =
+  match (t.wal, t.wal_path) with
+  | Some w, Some wal_path ->
+    let upto_seq = Wal.last_seq w in
+    Snapshot.write ~cache:(Engine.cache t.engine) ~upto_seq
+      ~path:(Snapshot.path_for wal_path);
+    let dropped = Wal.truncate w in
+    Telemetry.record_snapshot (Engine.telemetry t.engine) ~seq:upto_seq
+      ~truncated_bytes:dropped;
+    ignore (Engine.mark_cache_clean t.engine);
+    t.appends_since_snapshot <- 0
+  | _ -> ()
 
 let maybe_snapshot t =
   match (t.snapshot_every, t.wal, t.wal_path) with
@@ -332,6 +356,21 @@ let run ?(on_commit = fun () -> ()) ?listen t =
       t.conns <- [];
       finished := true
     end
+    else if t.draining then begin
+      (* graceful drain: stop accepting and reading, finish every
+         request already admitted (each batch group-commits before its
+         responses release), cut a final snapshot + truncate so the
+         journal is empty, then give the peers a bounded chance to
+         read their answers *)
+      while have_pending t do
+        run_one_batch t ~on_commit
+      done;
+      final_snapshot t;
+      drain_outputs t ~max_rounds:200;
+      List.iter kill_conn t.conns;
+      t.conns <- [];
+      finished := true
+    end
     else begin
       let accepting =
         match listen with
@@ -389,7 +428,7 @@ let run ?(on_commit = fun () -> ()) ?listen t =
 (* ---------------------------------------------------------------- *)
 
 let serve engine ?wal ?wal_path ?faults ?max_pending ?max_line ?max_conns
-    ?snapshot_every ~max_batch ~path () =
+    ?snapshot_every ?(drain_signals = true) ~max_batch ~path () =
   let t =
     create engine ?wal ?wal_path ?faults ?max_pending ?max_line ?max_conns
       ?snapshot_every ~max_batch ()
@@ -397,6 +436,20 @@ let serve engine ?wal ?wal_path ?faults ?max_pending ?max_line ?max_conns
   let previous_sigpipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ | Sys_error _ -> None
+  in
+  (* SIGTERM/SIGINT request a graceful drain rather than killing the
+     process mid-batch; the handler only sets a flag, and the caught
+     signal interrupts the loop's blocking select so the drain starts
+     immediately. Previous dispositions are restored on the way out. *)
+  let drain_handler = Sys.Signal_handle (fun _ -> request_drain t) in
+  let saved_signals =
+    if not drain_signals then []
+    else
+      List.filter_map
+        (fun signo ->
+           try Some (signo, Sys.signal signo drain_handler)
+           with Invalid_argument _ | Sys_error _ -> None)
+        [ Sys.sigterm; Sys.sigint ]
   in
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (match Unix.lstat path with
@@ -407,6 +460,11 @@ let serve engine ?wal ?wal_path ?faults ?max_pending ?max_line ?max_conns
     ~finally:(fun () ->
         (try Unix.close sock with Unix.Unix_error _ -> ());
         (try Unix.unlink path with Unix.Unix_error _ -> ());
+        List.iter
+          (fun (signo, behavior) ->
+             try ignore (Sys.signal signo behavior)
+             with Invalid_argument _ | Sys_error _ -> ())
+          saved_signals;
         match previous_sigpipe with
         | Some behavior ->
           (try ignore (Sys.signal Sys.sigpipe behavior)

@@ -29,7 +29,14 @@
     One client dying (EPIPE / ECONNRESET / reset mid-read) kills that
     connection only; the loop keeps serving. [shutdown] stops
     accepting, gives surviving connections a bounded number of flush
-    rounds, and returns. *)
+    rounds, and returns.
+
+    {b Graceful drain}: {!request_drain} (or SIGTERM/SIGINT under
+    {!serve}) makes the loop stop accepting and reading, finish every
+    request already admitted (each batch still group-commits before
+    its responses release), cut a final snapshot and truncate the WAL
+    (so the next boot replays zero records), flush responses, and
+    return — the signal handler itself only sets a flag. *)
 
 type t
 
@@ -50,6 +57,10 @@ val create :
     harness and benches feed socketpairs through this. *)
 val add_conn : t -> Unix.file_descr -> int
 
+(** Ask the loop to drain gracefully (see module docs). Only stores a
+    flag, so it is safe from a signal handler; idempotent. *)
+val request_drain : t -> unit
+
 (** [run ?on_commit ?listen t] drives the event loop until [shutdown]
     executes or — with no [listen] fd — every connection has reached
     EOF and drained. [listen] is a bound+listening socket to accept
@@ -61,9 +72,11 @@ val run : ?on_commit:(unit -> unit) -> ?listen:Unix.file_descr -> t -> unit
 (** [serve engine ~max_batch ~path ()] binds a Unix-domain socket at
     [path] (replacing a stale socket file), ignores SIGPIPE for the
     duration, and {!run}s with it; the socket file is removed on
-    exit. *)
+    exit. With [drain_signals] (default [true]) SIGTERM and SIGINT
+    trigger a graceful drain instead of killing the process; previous
+    dispositions are restored on exit. *)
 val serve :
   Mcl_service.Engine.t -> ?wal:Mcl_resilience.Wal.t -> ?wal_path:string ->
   ?faults:Mcl_resilience.Fault.t -> ?max_pending:int -> ?max_line:int ->
-  ?max_conns:int -> ?snapshot_every:int -> max_batch:int -> path:string ->
-  unit -> unit
+  ?max_conns:int -> ?snapshot_every:int -> ?drain_signals:bool ->
+  max_batch:int -> path:string -> unit -> unit

@@ -1,0 +1,24 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven, over
+   plain OCaml ints masked to 32 bits — no external dependency, safe
+   on 63-bit native ints. *)
+
+let[@detlint.allow K101
+     "CRC lookup table: filled once at module init, read-only after"] table =
+  Array.init 256 (fun i ->
+      let c = ref i in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let update crc s pos len =
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let sub s pos len = update 0 s pos len
+
+let string s = sub s 0 (String.length s)

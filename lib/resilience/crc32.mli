@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over strings.
+
+    Checksums are plain non-negative OCaml ints in [0, 2^32). The
+    implementation is table-driven and dependency-free; it exists so
+    {!Wal} record frames and {!Mcl_service.Snapshot} lines can detect
+    on-disk corruption (bit rot, torn writes past the tail, editor
+    accidents) instead of silently replaying damaged state. *)
+
+(** [string s] is the CRC-32 of the whole string. *)
+val string : string -> int
+
+(** [sub s pos len] is the CRC-32 of the substring [s.[pos .. pos+len-1]].
+    No bounds checking beyond the usual string access. *)
+val sub : string -> int -> int -> int
+
+(** [update crc s pos len] extends a running checksum: feeding a string
+    in pieces yields the same result as one {!string} call over the
+    concatenation. The empty-prefix seed is [0]. *)
+val update : int -> string -> int -> int -> int

@@ -8,12 +8,19 @@ type kind =
   | Stage_fail of string
   | Worker_death
   | Clock_skew
+  | Bit_flip
+  | Torn_write
 
 let stages = [ "mgl"; "matching"; "row-order"; "eco" ]
 
+(* New kinds must be appended at the END: lane sub-seeds are split off
+   the master in this order, so inserting one mid-list would silently
+   reshuffle every later kind's schedule (pinned by the determinism
+   test). *)
 let all_kinds =
   [ Short_read; Short_write; Eintr; Conn_reset; Worker_death; Clock_skew ]
   @ List.map (fun s -> Stage_fail s) stages
+  @ [ Bit_flip; Torn_write ]
 
 let kind_name = function
   | Short_read -> "short-read"
@@ -23,6 +30,8 @@ let kind_name = function
   | Stage_fail s -> "stage-fail:" ^ s
   | Worker_death -> "worker-death"
   | Clock_skew -> "clock-skew"
+  | Bit_flip -> "bit-flip"
+  | Torn_write -> "torn-write"
 
 let kind_of_string s =
   match s with
@@ -32,6 +41,8 @@ let kind_of_string s =
   | "conn-reset" -> Ok Conn_reset
   | "worker-death" -> Ok Worker_death
   | "clock-skew" -> Ok Clock_skew
+  | "bit-flip" -> Ok Bit_flip
+  | "torn-write" -> Ok Torn_write
   | _ ->
     (match String.index_opt s ':' with
      | Some i when String.sub s 0 i = "stage-fail" ->
@@ -126,6 +137,19 @@ let stage_fail t ~stage =
   match t with None -> false | Some t -> fires t (Stage_fail stage)
 
 let worker_death = function None -> false | Some t -> fires t Worker_death
+
+let bit_flip t n =
+  match t with
+  | None -> None
+  | Some t ->
+    if n > 0 && fires t Bit_flip then Some (draw_in t Bit_flip 0 (n - 1))
+    else None
+
+let torn_write t n =
+  match t with
+  | None -> n
+  | Some t ->
+    if n > 1 && fires t Torn_write then draw_in t Torn_write 1 (n - 1) else n
 
 let now = function
   | None -> Unix.gettimeofday ()

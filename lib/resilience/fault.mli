@@ -26,7 +26,13 @@
       serving);
     - [Clock_skew]: the engine's clock jumps forward by 1–6 s at a
       firing (surfaces as spurious deadline pressure and skewed
-      metrics, never as corruption). *)
+      metrics, never as corruption);
+    - [Bit_flip]: the WAL flips one bit of a framed commit group
+      before it reaches the disk — modeling silent media corruption
+      the CRC layer must catch on recovery;
+    - [Torn_write]: the WAL persists only a prefix of a commit group —
+      modeling a crash mid-write (the classic torn tail) through the
+      real write path. *)
 
 type kind =
   | Short_read
@@ -36,6 +42,8 @@ type kind =
   | Stage_fail of string
   | Worker_death
   | Clock_skew
+  | Bit_flip
+  | Torn_write
 
 type t
 
@@ -72,6 +80,16 @@ val stage_fail : t option -> stage:string -> bool
 
 (** True when the next dispatched worker job must die. *)
 val worker_death : t option -> bool
+
+(** [bit_flip t n] is [Some offset] (with [0 <= offset < n]) when the
+    journal must corrupt one bit of the [n]-byte buffer it is about to
+    write, [None] when off or not firing. *)
+val bit_flip : t option -> int -> int option
+
+(** [torn_write t n] is the number of leading bytes of the [n]-byte
+    commit group that actually reach the file ([1 <= result <= n];
+    [n] when off or not firing). *)
+val torn_write : t option -> int -> int
 
 (** The engine's clock: [Unix.gettimeofday] plus the accumulated
     forward skew; a firing adds 1–6 s. Monotone non-decreasing skew so

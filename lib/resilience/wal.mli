@@ -2,13 +2,19 @@
 
     The journal is a redo log of {e acknowledged} mutations: the
     server appends one record per successfully applied mutating
-    request (load / legalize / eco), fsyncs, and only then writes the
-    response — so any mutation a client saw acknowledged survives a
-    crash, and a request the engine rolled back is never journaled
-    (replaying it would diverge).
+    request (load / legalize / eco / refine), fsyncs, and only then
+    writes the response — so any mutation a client saw acknowledged
+    survives a crash, and a request the engine rolled back is never
+    journaled (replaying it would diverge).
 
-    One record per line:
-    {[ {"seq":<n>,"req":<request object>} ]}
+    One record per line, checksummed by default:
+    {[ {"seq":<n>,"crc":<c>,"req":<request object>} ]}
+
+    [<c>] is the CRC-32 ({!Crc32}) of the legacy frame
+    [{"seq":<n>,"req":<request object>}] — the checksum covers the
+    sequence digits, so a flipped seq digit cannot pose as a different
+    valid base. Legacy (un-checksummed) frames are still read, so
+    journals written before the CRC layer recover unchanged.
 
     [<request object>] is the engine's canonical re-encoding of what
     was actually applied (a deadline-degraded legalize journals as an
@@ -19,6 +25,13 @@
     torn tail (a crash can leave at most one partial last line) and
     continues from the last valid record, so recover-then-keep-
     journaling uses one file.
+
+    {e Corruption verdicts}: a torn {e tail} is the expected crash
+    artifact and is repaired silently, but a {e terminated} bad line —
+    CRC mismatch, unparsable frame, sequence gap — means the bytes on
+    disk are not the bytes that were acknowledged. {!read} reports the
+    split explicitly and {!open_} refuses such a journal with
+    {!Corrupt} unless [~best_effort:true] accepts the valid prefix.
 
     {e Group commit}: {!append_all} frames a whole batch of mutations
     into one buffer, one write, one fsync — turning the per-request
@@ -33,6 +46,25 @@ type t
 
 type record = { seq : int; payload : string }
 
+(** What {!read} found. [records] is the longest valid prefix:
+    consecutive sequence numbers, checksums verified (legacy frames
+    are accepted unverified and counted in [legacy]). [torn_tail] is 1
+    when the file ends in an unterminated partial line (the benign
+    crash artifact) and 0 otherwise. [trailing_garbage] counts
+    non-blank {e terminated} lines at or after the first bad record —
+    evidence of corruption, not a crash. [first_bad_seq] is [Some s]
+    exactly when the journal is corrupt ({!corrupt}): the claimed
+    sequence of the first bad record when its frame still parses, the
+    expected next sequence otherwise (0 when no valid record
+    precedes it). *)
+type report = {
+  records : record list;
+  torn_tail : int;
+  trailing_garbage : int;
+  first_bad_seq : int option;
+  legacy : int;
+}
+
 (** Cumulative IO accounting since {!open_} (not persisted). The mean
     commit-group size is [appends / groups]. *)
 type stats = {
@@ -42,14 +74,35 @@ type stats = {
   truncated_bytes : int;  (** bytes dropped by {!truncate} calls *)
 }
 
-(** [open_ ?fsync ?next_seq ~path ()] opens (creating if needed) the
-    journal for appending, after repairing a torn tail. [fsync]
-    (default [true]) syncs every append; benchmarks may turn it off.
+(** Raised by {!open_} (without [~best_effort:true]) on a journal with
+    a terminated bad record, carrying the path and the scan report. *)
+exception Corrupt of string * report
+
+(** True exactly when the report shows corruption (a terminated bad
+    record; equivalently [first_bad_seq <> None]). A lone torn tail is
+    not corruption. *)
+val corrupt : report -> bool
+
+(** One-line ["records-kept=… records-dropped=… first-bad-seq=…"]
+    rendering of a report, for operator-facing refusal messages. *)
+val corrupt_summary : report -> string
+
+(** [open_ ?fsync ?checksum ?best_effort ?faults ?next_seq ~path ()]
+    opens (creating if needed) the journal for appending, after
+    repairing a torn tail. [fsync] (default [true]) syncs every
+    append; benchmarks may turn it off. [checksum] (default [true])
+    writes CRC-framed records; [false] writes legacy frames (the
+    checksum-overhead bench lane). [best_effort] (default [false]):
+    when the journal is {!corrupt}, [false] raises {!Corrupt} and
+    [true] truncates to the valid prefix and proceeds. [faults]
+    enables the [Bit_flip]/[Torn_write] lanes on the append path.
     [next_seq] (default 1) seeds the sequence counter when the file
     holds no records — pass [snapshot_seq + 1] when reopening a
     journal that was truncated after a snapshot, so numbering
     continues instead of restarting at 1. *)
-val open_ : ?fsync:bool -> ?next_seq:int -> path:string -> unit -> t
+val open_ :
+  ?fsync:bool -> ?checksum:bool -> ?best_effort:bool -> ?faults:Fault.t ->
+  ?next_seq:int -> path:string -> unit -> t
 
 (** Next sequence number to be assigned. *)
 val next_seq : t -> int
@@ -81,7 +134,6 @@ val stats : t -> stats
 
 val close : t -> unit
 
-(** [read ~path] returns the valid record prefix of the journal plus
-    the number of trailing lines dropped (torn tail, or garbage after
-    it). A missing file reads as empty. *)
-val read : path:string -> record list * int
+(** [read ~path] scans the journal into a {!report}. A missing file
+    reads as empty (no records, nothing dropped, not corrupt). *)
+val read : path:string -> report

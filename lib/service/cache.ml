@@ -25,6 +25,7 @@ type entry = {
   mutable dirty : bool;
   mutable pinned : bool;
   mutable last_used : int;
+  mutable dedup : (string * Protocol.response) list;
 }
 
 type t = {
@@ -138,3 +139,13 @@ let entries t =
 let count t = locked t (fun () -> Hashtbl.length t.table)
 
 let evictions t = locked t (fun () -> t.evicted)
+
+(* Dedup window: newest first, bounded, re-registration moves the id
+   to the front. Mutated only under the engine's batch discipline
+   (one owner per design within a segment), like [legalized]. *)
+
+let dedup_find e rid = List.assoc_opt rid e.dedup
+
+let dedup_add ~window e rid resp =
+  let rest = List.remove_assoc rid e.dedup in
+  e.dedup <- (rid, resp) :: List.filteri (fun i _ -> i < window - 1) rest

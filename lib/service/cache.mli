@@ -63,6 +63,10 @@ type entry = {
   mutable pinned : bool;
       (** a batch group is executing on this entry; blocks eviction *)
   mutable last_used : int;  (** logical LRU clock value at last touch *)
+  mutable dedup : (string * Protocol.response) list;
+      (** bounded idempotency window, newest first: [req_id] of each
+          recently acknowledged mutation on this design, mapped to the
+          (wal-stripped) response a retry replays verbatim *)
 }
 
 type t
@@ -97,3 +101,14 @@ val count : t -> int
 
 (** Total entries evicted by the bound since creation. *)
 val evictions : t -> int
+
+(** {2 Idempotency window} — safe only under the engine's batch
+    discipline (one owner per design within a segment). *)
+
+(** The cached response for a seen [req_id], if still in the window. *)
+val dedup_find : entry -> string -> Protocol.response option
+
+(** [dedup_add ~window e rid resp] registers an acknowledged
+    mutation's token at the front of the window, evicting past the
+    bound; re-registration refreshes the token's position. *)
+val dedup_add : window:int -> entry -> string -> Protocol.response -> unit

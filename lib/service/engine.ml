@@ -11,15 +11,19 @@ type t = {
   config : Mcl.Config.t;
   threads : int;
   faults : Fault.t option;
+  dedup_window : int;
   mutable shutdown : bool;
 }
 
-let create ?(threads = 1) ?max_designs ?faults ~config () =
+let create ?(threads = 1) ?max_designs ?faults ?(dedup_window = 64) ~config () =
+  if dedup_window < 1 then
+    invalid_arg "Engine.create: dedup_window must be >= 1";
   { cache = Cache.create ?max_designs ();
     telemetry = Telemetry.create ();
     config;
     threads = max 1 threads;
     faults;
+    dedup_window;
     shutdown = false }
 
 let threads t = t.threads
@@ -178,6 +182,27 @@ let report_json report =
 
 let total_disp_rows = Mcl_eval.Metrics.total_displacement_rows
 
+(* Arm the idempotency window for every token a successful mutation
+   settled: the client's own [req_id], plus (on WAL replay of a merged
+   record) each member token folded into [replay_ids]. The stored
+   response is wal-stripped — a replayed answer must never be
+   journaled again. Errors are not registered: an unacknowledged
+   request is free to retry for real. *)
+let register_dedup t (entry : Cache.entry) (req : Protocol.request) resp =
+  match resp.Protocol.result with
+  | Error _ -> ()
+  | Ok _ ->
+    (match
+       (match req.Protocol.req_id with Some r -> [ r ] | None -> [])
+       @ req.Protocol.replay_ids
+     with
+     | [] -> ()
+     | ids ->
+       let stored = { resp with Protocol.wal = None } in
+       List.iter
+         (fun rid -> Cache.dedup_add ~window:t.dedup_window entry rid stored)
+         ids)
+
 let exec_load t req ~key ~source =
   let started = now t in
   let id = req.Protocol.id in
@@ -211,22 +236,27 @@ let exec_load t req ~key ~source =
   | Ok (design, source_name) ->
     let gp_hpwl = Mcl_eval.Metrics.hpwl design in
     let wire = Protocol.to_wire req ~greedy:false in
-    note_evicted t
-      (Cache.put t.cache
-         { Cache.key; design; gp_hpwl; source = source_name;
-           load_wire = wire; loaded_at = started; legalized = false;
-           eco_count = 0; congest = None; refine = None; dirty = true;
-           pinned = false; last_used = 0 });
+    let entry =
+      { Cache.key; design; gp_hpwl; source = source_name;
+        load_wire = wire; loaded_at = started; legalized = false;
+        eco_count = 0; congest = None; refine = None; dirty = true;
+        pinned = false; last_used = 0; dedup = [] }
+    in
+    note_evicted t (Cache.put t.cache entry);
     let finished = now t in
-    Protocol.ok ~id ~op:"load" ~wal:wire
-      ~metrics:
-        (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
-           ~disp:0.0 ~coalesced:1 ())
-      (Json.Obj
-         [ ("design", Json.String key);
-           ("cells", Json.Int (Design.num_cells design));
-           ("source", Json.String source_name);
-           ("gp_hpwl", Json.Int gp_hpwl) ])
+    let resp =
+      Protocol.ok ~id ~op:"load" ~wal:wire
+        ~metrics:
+          (mk_metrics ~req ~started ~finished ~cells:(Design.num_cells design)
+             ~disp:0.0 ~coalesced:1 ())
+        (Json.Obj
+           [ ("design", Json.String key);
+             ("cells", Json.Int (Design.num_cells design));
+             ("source", Json.String source_name);
+             ("gp_hpwl", Json.Int gp_hpwl) ])
+    in
+    register_dedup t entry req resp;
+    resp
 
 let exec_legalize t (entry : Cache.entry) req ~greedy:greedy_op =
   let started = now t in
@@ -608,12 +638,23 @@ let rec exec_eco_run t (entry : Cache.entry) run =
        re-executes that single request and lands on identical bits *)
     let wal_line =
       let _, first_req = List.hd run in
+      (* member idempotency tokens fold into the merged record's
+         [req_ids]: replaying it re-arms dedup for every settled id *)
+      let member_ids =
+        List.concat_map
+          (fun (_, req) ->
+             (match req.Protocol.req_id with Some r -> [ r ] | None -> [])
+             @ req.Protocol.replay_ids)
+          run
+      in
       Protocol.to_wire
         { first_req with
           Protocol.op =
             Protocol.Eco
               { key = entry.Cache.key; cells = merged_cells;
-                targets = merged_targets; greedy = greedy_op || degraded } }
+                targets = merged_targets; greedy = greedy_op || degraded };
+          req_id = None;
+          replay_ids = member_ids }
         ~greedy:(greedy_op || degraded)
     in
     let finished = now t in
@@ -700,7 +741,8 @@ let exec_in_group t (entry : Cache.entry) unit_ =
       | Protocol.Query _ -> exec_query t entry req
       | Protocol.Lint _ -> exec_lint t entry req
       | Protocol.Audit _ -> exec_audit t entry req
-      | Protocol.Load _ | Protocol.Eco _ | Protocol.Stats | Protocol.Shutdown ->
+      | Protocol.Load _ | Protocol.Eco _ | Protocol.Stats | Protocol.Health
+      | Protocol.Shutdown ->
         assert false
     in
     [ (i, resp) ]
@@ -723,7 +765,46 @@ let exec_group t (key, group) =
     Fun.protect
       ~finally:(fun () -> Cache.unpin t.cache key)
       (fun () ->
-         Batch.eco_runs group |> List.concat_map (exec_in_group t entry))
+         (* exactly-once: a member whose [req_id] is still in the
+            entry's window is a retry of an acknowledged mutation —
+            answer with the cached response verbatim (original id,
+            wal-stripped) and execute nothing for it *)
+         let hits, fresh =
+           List.partition
+             (fun (_, req) ->
+                match req.Protocol.req_id with
+                | Some rid -> Cache.dedup_find entry rid <> None
+                | None -> false)
+             group
+         in
+         let replayed =
+           List.map
+             (fun (i, req) ->
+                Telemetry.record_dedup_hit t.telemetry;
+                let resp =
+                  match req.Protocol.req_id with
+                  | Some rid ->
+                    (match Cache.dedup_find entry rid with
+                     | Some resp -> resp
+                     | None -> assert false)
+                  | None -> assert false
+                in
+                (i, resp))
+             hits
+         in
+         let executed =
+           Batch.eco_runs fresh
+           |> List.concat_map (fun unit_ ->
+               let results = exec_in_group t entry unit_ in
+               List.iter
+                 (fun (i, resp) ->
+                    match List.assoc_opt i fresh with
+                    | Some req -> register_dedup t entry req resp
+                    | None -> ())
+                 results;
+               results)
+         in
+         replayed @ executed)
 
 (* Injected worker-domain death: the group's job never runs, its
    design is untouched, and every member answers a structured error —
@@ -740,11 +821,45 @@ let worker_death_responses group =
            "injected fault: worker domain died before executing its group" ))
     (snd group)
 
+let exec_health t req =
+  let started = now t in
+  let s = Telemetry.snapshot t.telemetry in
+  let pending =
+    List.fold_left (fun acc (_, depth) -> acc + depth) 0 s.Telemetry.connections
+  in
+  let finished = now t in
+  Protocol.ok ~id:req.Protocol.id ~op:"health"
+    ~metrics:(mk_metrics ~req ~started ~finished ~cells:0 ~disp:0.0 ~coalesced:1 ())
+    (Json.Obj
+       [ ("uptime_s", Json.Float s.Telemetry.uptime_s);
+         ("wal_last_seq", Json.Int s.Telemetry.wal_last_seq);
+         ("snapshot_seq", Json.Int s.Telemetry.last_snapshot_seq);
+         ("pending", Json.Int pending);
+         ("designs", Json.Int (Cache.count t.cache));
+         ("corruption_detected", Json.Bool s.Telemetry.corruption_detected);
+         ("dedup_hits", Json.Int s.Telemetry.dedup_hits) ])
+
 let exec_global t (i, req) =
   let resp =
     match req.Protocol.op with
-    | Protocol.Load { key; source } -> exec_load t req ~key ~source
+    | Protocol.Load { key; source } ->
+      (* a retried load must not re-generate the design (that would
+         reset acknowledged positions): the key's entry keeps the
+         load's token in its window like any other mutation *)
+      let replay =
+        match req.Protocol.req_id with
+        | None -> None
+        | Some rid ->
+          Option.bind (Cache.find t.cache key) (fun entry ->
+              Cache.dedup_find entry rid)
+      in
+      (match replay with
+       | Some resp ->
+         Telemetry.record_dedup_hit t.telemetry;
+         resp
+       | None -> exec_load t req ~key ~source)
     | Protocol.Stats -> exec_stats t req
+    | Protocol.Health -> exec_health t req
     | Protocol.Shutdown ->
       let started = now t in
       t.shutdown <- true;

@@ -40,19 +40,31 @@
       control thread, the group's design untouched), and clock skew
       (all engine timing goes through {!Mcl_resilience.Fault.now}).
 
+    Exactly-once semantics: a mutating request carrying a ["req_id"]
+    registers the token in its design's bounded dedup window when it
+    succeeds; a retry with the same token still in the window answers
+    with the cached response {e verbatim} (original response id, no
+    re-journaling) and applies nothing. Tokens ride inside the WAL
+    record ([req_id] / merged [req_ids]), so replaying the journal
+    re-arms the window for every record still in it — retries stay
+    no-ops across a crash.
+
     Responses come back in request order. *)
 
 type t
 
-(** [create ?threads ?max_designs ?faults ~config ()] — [threads]
-    sizes the dispatch pool (default 1 = everything on the control
-    thread); [max_designs] bounds the design cache with LRU eviction
-    (default: unbounded, see {!Cache}); [faults] arms a
-    fault-injection plan (default: none, all hooks free); [config] is
-    the base legalization config used by [legalize] and [eco]. *)
+(** [create ?threads ?max_designs ?faults ?dedup_window ~config ()] —
+    [threads] sizes the dispatch pool (default 1 = everything on the
+    control thread); [max_designs] bounds the design cache with LRU
+    eviction (default: unbounded, see {!Cache}); [faults] arms a
+    fault-injection plan (default: none, all hooks free);
+    [dedup_window] (default 64, >= 1) bounds each design's
+    idempotency window — the last [dedup_window] acknowledged
+    [req_id]s are retriable as no-ops; [config] is the base
+    legalization config used by [legalize] and [eco]. *)
 val create :
   ?threads:int -> ?max_designs:int -> ?faults:Mcl_resilience.Fault.t ->
-  config:Mcl.Config.t -> unit -> t
+  ?dedup_window:int -> config:Mcl.Config.t -> unit -> t
 
 val threads : t -> int
 

@@ -19,6 +19,7 @@ type op =
   | Lint of { key : string }
   | Audit of { key : string }
   | Stats
+  | Health
   | Shutdown
 
 type request = {
@@ -30,6 +31,13 @@ type request = {
           P430 (or the degraded fallback) with the design rolled back *)
   fallback : [ `Greedy ] option;
       (** what to answer with instead of P430 when the budget expires *)
+  req_id : string option;
+      (** client idempotency token (mutating ops only): a retry with
+          the same [req_id] replays the cached response instead of
+          re-applying *)
+  replay_ids : string list;
+      (** journal-internal: the member [req_id]s folded into a merged
+          (coalesced) WAL record, so recovery re-arms dedup for each *)
 }
 
 let op_name = function
@@ -41,18 +49,19 @@ let op_name = function
   | Lint _ -> "lint"
   | Audit _ -> "audit"
   | Stats -> "stats"
+  | Health -> "health"
   | Shutdown -> "shutdown"
 
 let design_key = function
   | Legalize { key; _ } | Eco { key; _ } | Refine { key; _ } | Query { key }
   | Lint { key } | Audit { key } ->
     Some key
-  | Load _ | Stats | Shutdown -> None
+  | Load _ | Stats | Health | Shutdown -> None
 
 (* Ops the WAL journals: everything that changes resident state. *)
 let mutating = function
   | Load _ | Legalize _ | Eco _ | Refine _ -> true
-  | Query _ | Lint _ | Audit _ | Stats | Shutdown -> false
+  | Query _ | Lint _ | Audit _ | Stats | Health | Shutdown -> false
 
 type parse_error = { err_id : string; code : string; message : string }
 
@@ -159,6 +168,7 @@ let decode_op j =
   | Some "lint" -> Lint { key = require_design j }
   | Some "audit" -> Audit { key = require_design j }
   | Some "stats" -> Stats
+  | Some "health" -> Health
   | Some "shutdown" -> Shutdown
   | Some other -> bad "P403-unknown-op" (Printf.sprintf "unknown op %S" other)
 
@@ -176,6 +186,30 @@ let decode_fallback j =
   | Some (Json.String "greedy") -> Some `Greedy
   | Some _ -> bad "P402-bad-request" "\"fallback\" must be \"greedy\""
 
+let decode_req_id j op =
+  match Json.member "req_id" j with
+  | None -> None
+  | Some (Json.String rid) when rid <> "" ->
+    if mutating op then Some rid
+    else bad "P402-bad-request" "\"req_id\" is only valid on mutating ops"
+  | Some _ -> bad "P402-bad-request" "\"req_id\" must be a non-empty string"
+
+let decode_replay_ids j op =
+  match Json.member "req_ids" j with
+  | None -> []
+  | Some (Json.List items) ->
+    if not (mutating op) then
+      bad "P402-bad-request" "\"req_ids\" is only valid on mutating ops";
+    List.map
+      (function
+        | Json.String s when s <> "" -> s
+        | _ ->
+          bad "P402-bad-request"
+            "\"req_ids\" must be a list of non-empty strings")
+      items
+  | Some _ ->
+    bad "P402-bad-request" "\"req_ids\" must be a list of non-empty strings"
+
 let parse ~received ~default_id line =
   match Json.parse line with
   | Error msg ->
@@ -188,7 +222,9 @@ let parse ~received ~default_id line =
        let op = decode_op j in
        let deadline_ms = decode_deadline j in
        let fallback = decode_fallback j in
-       { id; op; received; deadline_ms; fallback }
+       let req_id = decode_req_id j op in
+       let replay_ids = decode_replay_ids j op in
+       { id; op; received; deadline_ms; fallback; req_id; replay_ids }
      with
      | req -> Ok req
      | exception Bad (code, message) -> Error { err_id = id; code; message })
@@ -238,10 +274,22 @@ let to_wire req ~greedy =
       (* node budget journals too: replay must expand the same search *)
       [ ("op", Json.String "refine"); ("design", Json.String key);
         ("k", Json.Int k); ("node_budget", Json.Int node_budget) ]
-    | Query _ | Lint _ | Audit _ | Stats | Shutdown ->
+    | Query _ | Lint _ | Audit _ | Stats | Health | Shutdown ->
       invalid_arg "Protocol.to_wire: non-mutating op"
   in
-  Json.to_string (Json.Obj (("id", Json.String req.id) :: fields))
+  (* idempotency tokens journal with the record: replay re-arms the
+     dedup window for every id the record settled *)
+  let idem =
+    (match req.req_id with
+     | Some rid -> [ ("req_id", Json.String rid) ]
+     | None -> [])
+    @
+    match req.replay_ids with
+    | [] -> []
+    | ids ->
+      [ ("req_ids", Json.List (List.map (fun s -> Json.String s) ids)) ]
+  in
+  Json.to_string (Json.Obj (("id", Json.String req.id) :: (fields @ idem)))
 
 (* ---------------------------------------------------------------- *)
 (* Responses                                                         *)

@@ -7,8 +7,8 @@
     {v
     {"id": "r1",            // optional; echoed back (default "req-N")
      "op": "load" | "legalize" | "eco" | "refine" | "query" | "lint"
-         | "audit" | "stats" | "shutdown",
-     "design": "key",       // all ops except stats/shutdown
+         | "audit" | "stats" | "health" | "shutdown",
+     "design": "key",       // all ops except stats/health/shutdown
      // refine payload (both optional):
      "k": 4,                               // windows to re-solve exactly
      "node_budget": 200000,                // search nodes per window
@@ -22,7 +22,8 @@
      // resilience (any mutating op):
      "greedy": true,                       // bounded-cost greedy mode
      "deadline_ms": 250,                   // budget from receipt; P430 on expiry
-     "fallback": "greedy"}                 // degrade instead of P430
+     "fallback": "greedy",                 // degrade instead of P430
+     "req_id": "tx-17"}                    // idempotency token (mutating ops)
     v}
 
     Response object:
@@ -72,6 +73,9 @@ type op =
   | Lint of { key : string }
   | Audit of { key : string }
   | Stats
+  | Health
+      (** cheap liveness/durability probe: uptime, wal/snapshot seqs,
+          pending depth, corruption flag; never touches a design *)
   | Shutdown
 
 type request = {
@@ -83,13 +87,20 @@ type request = {
           P430 (or the degraded fallback) with the design rolled back *)
   fallback : [ `Greedy ] option;
       (** what to answer with instead of P430 when the budget expires *)
+  req_id : string option;
+      (** client idempotency token (mutating ops only): the engine
+          answers a retry carrying a seen [req_id] with the cached
+          response instead of re-applying the mutation *)
+  replay_ids : string list;
+      (** journal-internal (wire field ["req_ids"]): member tokens of
+          a merged/coalesced WAL record, re-armed on replay *)
 }
 
 val op_name : op -> string
 
 (** [design_key op] is [Some key] for per-design ops, [None] for ops
-    that touch global service state ([Load], [Stats], [Shutdown]) —
-    the batch planner serializes the latter. *)
+    that touch global service state ([Load], [Stats], [Health],
+    [Shutdown]) — the batch planner serializes the latter. *)
 val design_key : op -> string option
 
 (** True for ops the WAL journals ([Load], [Legalize], [Eco],

@@ -282,9 +282,9 @@ let execute_and_journal engine ?wal requests =
        |> List.filter_map (fun resp -> resp.Protocol.wal)
      in
      if lines <> [] then begin
-       ignore (Wal.append_all w lines);
+       let last_seq = Wal.append_all w lines in
        Telemetry.record_wal_group (Engine.telemetry engine)
-         ~appends:(List.length lines)
+         ~appends:(List.length lines) ~last_seq
      end);
   responses
 
@@ -402,10 +402,22 @@ let serve_socket engine ?wal ?faults ?max_pending ?max_line ~max_batch ~path () 
 type recovery = {
   replayed : int;
   failed : int;
-  dropped_lines : int;
+  torn_tail : int;
+  trailing_garbage : int;
   snapshot_seq : int;
   skipped : int;
+  wal_first_bad_seq : int option;
+  snapshot_corrupt : int;
 }
+
+exception Corrupt_state of {
+  code : string;
+  message : string;
+  recovery : recovery;
+}
+
+let refuse ~code ~message recovery =
+  raise (Corrupt_state { code; message; recovery })
 
 (* Replay is plain re-execution: every journaled record is the
    canonical form of an acknowledged mutation (merged ecos journal
@@ -416,16 +428,63 @@ type recovery = {
    [upto_seq] is re-executed; records at or below it that survive in
    the journal (a crash can land between snapshot rename and WAL
    truncation) are skipped — the snapshot already holds their effect.
+
+   Corruption verdicts come {e before} replay: a snapshot line whose
+   CRC fails refuses with [S311-corrupt-record], a journal with a
+   terminated bad record refuses with [P431-corrupt-journal] — in both
+   cases nothing has been replayed and the caller decides (the CLI
+   exits; [--recover-best-effort] re-runs with [best_effort:true],
+   which serves the provable prefix instead and latches the telemetry
+   corruption flag either way). A lone torn WAL tail is the expected
+   crash artifact and never refuses.
+
    Faults should be armed only after recovery — the journal replays
    what really happened, not what an injection plan would do to it. *)
-let recover engine ~path =
+let recover ?(best_effort = false) engine ~path =
   let received = Unix.gettimeofday () in
-  let snapshot_seq, snap_failed =
-    match Snapshot.load engine ~received ~path:(Snapshot.path_for path) with
-    | None -> (0, 0)
-    | Some { Snapshot.upto_seq; failed; _ } -> (upto_seq, failed)
+  let snap = Snapshot.load engine ~received ~path:(Snapshot.path_for path) in
+  let snapshot_seq, snap_failed, snapshot_corrupt =
+    match snap with
+    | None -> (0, 0, 0)
+    | Some { Snapshot.upto_seq; failed; corrupt; _ } ->
+      (upto_seq, failed, corrupt)
   in
-  let records, dropped_lines = Wal.read ~path in
+  let report = Wal.read ~path in
+  let wal_corrupt = Wal.corrupt report in
+  Telemetry.record_recovery (Engine.telemetry engine)
+    ~torn_tail:report.Wal.torn_tail
+    ~trailing_garbage:report.Wal.trailing_garbage
+    ~corrupt:(wal_corrupt || snapshot_corrupt > 0);
+  let base =
+    { replayed = 0; failed = snap_failed; torn_tail = report.Wal.torn_tail;
+      trailing_garbage = report.Wal.trailing_garbage; snapshot_seq;
+      skipped = 0; wal_first_bad_seq = report.Wal.first_bad_seq;
+      snapshot_corrupt }
+  in
+  if not best_effort then begin
+    (match snap with
+     | Some { Snapshot.corrupt; first_corrupt_line; _ } when corrupt > 0 ->
+       refuse ~code:"S311-corrupt-record"
+         ~message:
+           (Printf.sprintf
+              "snapshot %s: %d corrupt line(s), first at line %s; refusing \
+               to serve (re-run with --recover-best-effort to serve the \
+               provable prefix)"
+              (Snapshot.path_for path) corrupt
+              (match first_corrupt_line with
+               | Some l -> string_of_int l
+               | None -> "?"))
+         base
+     | _ -> ());
+    if wal_corrupt then
+      refuse ~code:"P431-corrupt-journal"
+        ~message:
+          (Printf.sprintf
+             "journal %s: %s; refusing to serve (re-run with \
+              --recover-best-effort to serve the valid prefix)"
+             path (Wal.corrupt_summary report))
+        base
+  end;
   let failed = ref snap_failed in
   let skipped = ref 0 in
   List.iter
@@ -441,9 +500,8 @@ let recover engine ~path =
              (fun resp ->
                 if Result.is_error resp.Protocol.result then incr failed)
              responses)
-    records;
-  let attempted = List.length records - !skipped in
+    report.Wal.records;
+  let attempted = List.length report.Wal.records - !skipped in
   let replayed = attempted - (!failed - snap_failed) in
   Telemetry.record_wal_replay (Engine.telemetry engine) ~count:replayed;
-  { replayed; failed = !failed; dropped_lines;
-    snapshot_seq; skipped = !skipped }
+  { base with replayed; failed = !failed; skipped = !skipped }

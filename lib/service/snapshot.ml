@@ -1,4 +1,5 @@
 open Mcl_netlist
+module Crc32 = Mcl_resilience.Crc32
 
 (* ---------------------------------------------------------------- *)
 (* Format                                                            *)
@@ -6,19 +7,58 @@ open Mcl_netlist
 
 (* NDJSON, one header line then one line per resident design:
 
-     {"snapshot":1,"upto_seq":S,"designs":N}
+     {"snapshot":2,"upto_seq":S,"designs":N,"crc":C}
      {"design":K,"legalized":B,"eco_count":E,
       "load":<canonical load request>,
-      "positions":[x0,y0,x1,y1,...],"anchors":[x0,y0,...]}
+      "positions":[x0,y0,x1,y1,...],"anchors":[x0,y0,...],"crc":C}
 
-   The design is rebuilt by re-executing its canonical [load] line
-   (deterministic: same generator seed / file / suite), then positions
-   and GP anchors are overwritten with the journaled arrays — exactly
-   the state components {!Engine.state_fingerprint} covers, so a
-   loaded snapshot is fingerprint-identical to the live engine at the
-   moment the snapshot was cut. *)
+   Every line carries a trailing CRC-32 over its base form (the line
+   with the ["crc"] field removed), so recovery can tell bit rot from
+   honest state. Version-1 snapshots (no CRC fields) still load,
+   unverified. The design is rebuilt by re-executing its canonical
+   [load] line (deterministic: same generator seed / file / suite),
+   then positions and GP anchors are overwritten with the journaled
+   arrays — exactly the state components {!Engine.state_fingerprint}
+   covers, so a loaded snapshot is fingerprint-identical to the live
+   engine at the moment the snapshot was cut. *)
 
 let path_for wal_path = wal_path ^ ".snap"
+
+(* [seal B] turns a base object line [{...}] into its checksummed
+   form: the CRC is computed over the whole base line, then spliced in
+   as a final ["crc"] field. [unseal line] inverts and verifies:
+   [Some base] when the stored CRC matches, [None] otherwise. Lines
+   without a ["crc"] suffix are legacy (v1) and handled by the
+   caller. *)
+let seal base =
+  Printf.sprintf {|%s,"crc":%d}|}
+    (String.sub base 0 (String.length base - 1))
+    (Crc32.string base)
+
+let crc_key = {|,"crc":|}
+
+let split_crc line =
+  let n = String.length line in
+  let klen = String.length crc_key in
+  if n < klen + 2 || line.[n - 1] <> '}' then None
+  else
+    let rec rfind i =
+      if i < 0 then None
+      else if String.sub line i klen = crc_key then Some i
+      else rfind (i - 1)
+    in
+    match rfind (n - klen - 1) with
+    | None -> None
+    | Some i ->
+      (match int_of_string_opt (String.sub line (i + klen) (n - 1 - i - klen)) with
+       | None -> None
+       | Some stored -> Some (String.sub line 0 i ^ "}", stored))
+
+let unseal line =
+  match split_crc line with
+  | None -> None
+  | Some (base, stored) ->
+    if Crc32.string base = stored then Some base else None
 
 let flat_points arr =
   Json.List
@@ -65,19 +105,19 @@ let write_all fd s =
 (* Atomic replace: the snapshot is complete-or-absent. The bytes are
    fsync'd before the rename and the directory after it, so a crash
    leaves either the previous snapshot or the new one — never a torn
-   file (recovery therefore never needs to validate a partial
-   snapshot; the WAL tail covers any mutation the lost snapshot
-   would have). *)
+   file. The per-line CRCs guard against what atomicity cannot: bytes
+   that rot, or get edited, after the rename. *)
 let write ~cache ~upto_seq ~path =
   let entries = Cache.entries cache in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    (Printf.sprintf {|{"snapshot":1,"upto_seq":%d,"designs":%d}|} upto_seq
-       (List.length entries));
+    (seal
+       (Printf.sprintf {|{"snapshot":2,"upto_seq":%d,"designs":%d}|} upto_seq
+          (List.length entries)));
   Buffer.add_char buf '\n';
   List.iter
     (fun e ->
-       Buffer.add_string buf (entry_line e);
+       Buffer.add_string buf (seal (entry_line e));
        Buffer.add_char buf '\n')
     entries;
   let tmp = path ^ ".tmp" in
@@ -98,7 +138,13 @@ let write ~cache ~upto_seq ~path =
 (* Loading                                                           *)
 (* ---------------------------------------------------------------- *)
 
-type loaded = { upto_seq : int; restored : int; failed : int }
+type loaded = {
+  upto_seq : int;
+  restored : int;
+  failed : int;
+  corrupt : int;
+  first_corrupt_line : int option;
+}
 
 let read_lines path =
   match open_in_bin path with
@@ -154,21 +200,58 @@ let restore_design engine ~received line =
                 | _ -> false)))
      | _ -> false)
 
+(* A version-2 snapshot verifies every line before using it; a bad CRC
+   (or a line count short of the header's [designs] claim — a
+   truncated file) is a corruption verdict, counted in [corrupt] with
+   the 1-based line number of the first offender. Version-1 snapshots
+   load as before, unverified: rebuild failures stay [failed]. A
+   non-empty file whose header cannot be read at all is wholly
+   corrupt — only a missing or empty file is "no snapshot". *)
 let load engine ~received ~path =
   match read_lines path with
   | None | Some [] -> None
   | Some (header :: designs) ->
-    (match Json.parse header with
-     | Error _ -> None
-     | Ok h ->
-       (match Json.get_int "upto_seq" h with
-        | None -> None
-        | Some upto_seq ->
-          let restored = ref 0 and failed = ref 0 in
-          List.iter
-            (fun line ->
-               if String.trim line <> "" then
-                 if restore_design engine ~received line then incr restored
-                 else incr failed)
-            designs;
-          Some { upto_seq; restored = !restored; failed = !failed }))
+    let total = 1 + List.length designs in
+    let all_corrupt () =
+      Some
+        { upto_seq = 0; restored = 0; failed = 0; corrupt = total;
+          first_corrupt_line = Some 1 }
+    in
+    let checked, header_base =
+      match split_crc header with
+      | Some _ -> (true, unseal header)
+      | None -> (false, Some header)
+    in
+    (match header_base with
+     | None -> all_corrupt ()  (* checksummed header, bad CRC *)
+     | Some header_base ->
+       (match Json.parse header_base with
+        | Error _ -> all_corrupt ()
+        | Ok h ->
+          (match Json.get_int "upto_seq" h with
+           | None -> all_corrupt ()
+           | Some upto_seq ->
+             let restored = ref 0 and failed = ref 0 and corrupt = ref 0 in
+             let first_corrupt = ref None in
+             let flag_corrupt lineno =
+               incr corrupt;
+               if !first_corrupt = None then first_corrupt := Some lineno
+             in
+             List.iteri
+               (fun i line ->
+                  let lineno = i + 2 in
+                  if String.trim line <> "" then
+                    if checked && unseal line = None then flag_corrupt lineno
+                    else if restore_design engine ~received line then
+                      incr restored
+                    else incr failed)
+               designs;
+             (* fewer design lines than the header promised: the tail
+                of the snapshot is gone *)
+             (match Json.get_int "designs" h with
+              | Some n when n > !restored + !failed + !corrupt ->
+                flag_corrupt (total + 1)
+              | _ -> ());
+             Some
+               { upto_seq; restored = !restored; failed = !failed;
+                 corrupt = !corrupt; first_corrupt_line = !first_corrupt })))

@@ -18,8 +18,13 @@
     journal.
 
     Snapshots are NDJSON — a header line
-    [{"snapshot":1,"upto_seq":S,"designs":N}] followed by one line per
-    design. *)
+    [{"snapshot":2,"upto_seq":S,"designs":N,"crc":C}] followed by one
+    line per design. Every version-2 line ends in a ["crc"] field: the
+    CRC-32 ({!Mcl_resilience.Crc32}) of the line with that field
+    removed. Atomic writing guards against torn files; the CRCs guard
+    against what atomicity cannot — bytes that rot or get edited after
+    the rename. Version-1 snapshots (no CRC fields) still load,
+    unverified. *)
 
 (** Conventional snapshot path for a journal: [wal_path ^ ".snap"]. *)
 val path_for : string -> string
@@ -34,11 +39,20 @@ type loaded = {
   upto_seq : int;  (** WAL records [<= upto_seq] are covered *)
   restored : int;  (** designs rebuilt successfully *)
   failed : int;  (** design lines that no longer parse or rebuild *)
+  corrupt : int;
+      (** v2 lines whose CRC does not verify (plus one for a line
+          count short of the header's claim, or the whole file when
+          the header itself is damaged) — evidence the bytes on disk
+          are not the bytes that were written *)
+  first_corrupt_line : int option;  (** 1-based, header = line 1 *)
 }
 
 (** [load engine ~received ~path] rebuilds the snapshot's designs into
     [engine] (re-executing each canonical load, stamped [received],
     then restoring positions, anchors and flags; restored entries are
-    snapshot-clean). [None] when the file is missing, empty or has no
-    valid header. *)
+    snapshot-clean). Corrupt v2 lines are never restored — they are
+    counted and reported for the caller's verdict ({!Server.recover}
+    refuses to serve on [corrupt > 0] unless best-effort). [None] when
+    the file is missing or empty; any other unreadable state is a
+    corruption verdict, not a missing snapshot. *)
 val load : Engine.t -> received:float -> path:string -> loaded option

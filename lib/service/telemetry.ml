@@ -16,7 +16,12 @@ type t = {
   mutable wal_appends : int;
   mutable wal_fsyncs : int;
   mutable wal_groups : int;
+  mutable wal_last_seq : int;
   mutable wal_replayed : int;
+  mutable wal_torn_tail : int;
+  mutable wal_trailing_garbage : int;
+  mutable corruption_detected : bool;
+  mutable dedup_hits : int;
   mutable snapshots : int;
   mutable last_snapshot_seq : int;
   mutable snapshot_truncated_bytes : int;
@@ -46,7 +51,12 @@ let create () =
     wal_appends = 0;
     wal_fsyncs = 0;
     wal_groups = 0;
+    wal_last_seq = 0;
     wal_replayed = 0;
+    wal_torn_tail = 0;
+    wal_trailing_garbage = 0;
+    corruption_detected = false;
+    dedup_hits = 0;
     snapshots = 0;
     last_snapshot_seq = 0;
     snapshot_truncated_bytes = 0;
@@ -95,14 +105,23 @@ let record_kernel t ~windows ~evaluated ~pruned =
 
 let record_wal_append t = locked t (fun () -> t.wal_appends <- t.wal_appends + 1)
 
-let record_wal_group t ~appends =
+let record_wal_group t ~appends ~last_seq =
   locked t (fun () ->
       t.wal_appends <- t.wal_appends + appends;
       t.wal_fsyncs <- t.wal_fsyncs + 1;
-      t.wal_groups <- t.wal_groups + 1)
+      t.wal_groups <- t.wal_groups + 1;
+      t.wal_last_seq <- max t.wal_last_seq last_seq)
 
 let record_wal_replay t ~count =
   locked t (fun () -> t.wal_replayed <- t.wal_replayed + count)
+
+let record_recovery t ~torn_tail ~trailing_garbage ~corrupt =
+  locked t (fun () ->
+      t.wal_torn_tail <- t.wal_torn_tail + torn_tail;
+      t.wal_trailing_garbage <- t.wal_trailing_garbage + trailing_garbage;
+      if corrupt then t.corruption_detected <- true)
+
+let record_dedup_hit t = locked t (fun () -> t.dedup_hits <- t.dedup_hits + 1)
 
 let record_snapshot t ~seq ~truncated_bytes =
   locked t (fun () ->
@@ -135,7 +154,12 @@ type snapshot = {
   wal_appends : int;
   wal_fsyncs : int;
   wal_groups : int;
+  wal_last_seq : int;
   wal_replayed : int;
+  wal_torn_tail : int;
+  wal_trailing_garbage : int;
+  corruption_detected : bool;
+  dedup_hits : int;
   snapshots : int;
   last_snapshot_seq : int;
   snapshot_truncated_bytes : int;
@@ -168,7 +192,12 @@ let snapshot t =
         wal_appends = t.wal_appends;
         wal_fsyncs = t.wal_fsyncs;
         wal_groups = t.wal_groups;
+        wal_last_seq = t.wal_last_seq;
         wal_replayed = t.wal_replayed;
+        wal_torn_tail = t.wal_torn_tail;
+        wal_trailing_garbage = t.wal_trailing_garbage;
+        corruption_detected = t.corruption_detected;
+        dedup_hits = t.dedup_hits;
         snapshots = t.snapshots;
         last_snapshot_seq = t.last_snapshot_seq;
         snapshot_truncated_bytes = t.snapshot_truncated_bytes;
@@ -205,7 +234,12 @@ let to_json t =
       ("wal_fsyncs", Json.Int s.wal_fsyncs);
       ("wal_groups", Json.Int s.wal_groups);
       ("wal_group_mean", Json.Float mean_group);
+      ("wal_last_seq", Json.Int s.wal_last_seq);
       ("wal_replayed", Json.Int s.wal_replayed);
+      ("wal_torn_tail", Json.Int s.wal_torn_tail);
+      ("wal_trailing_garbage", Json.Int s.wal_trailing_garbage);
+      ("corruption_detected", Json.Bool s.corruption_detected);
+      ("dedup_hits", Json.Int s.dedup_hits);
       ("snapshots", Json.Int s.snapshots);
       ("last_snapshot_seq", Json.Int s.last_snapshot_seq);
       ("snapshot_truncated_bytes", Json.Int s.snapshot_truncated_bytes);

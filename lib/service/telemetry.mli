@@ -40,11 +40,24 @@ val record_kernel : t -> windows:int -> evaluated:int -> pruned:int -> unit
 val record_wal_append : t -> unit
 
 (** One group commit: [appends] records made durable by a single
-    fsync (see {!Mcl_resilience.Wal.append_all}). *)
-val record_wal_group : t -> appends:int -> unit
+    fsync (see {!Mcl_resilience.Wal.append_all}); [last_seq] is the
+    group's final journal sequence number (the gauge keeps the max). *)
+val record_wal_group : t -> appends:int -> last_seq:int -> unit
 
 (** [count] mutations re-applied during [--recover] replay. *)
 val record_wal_replay : t -> count:int -> unit
+
+(** What recovery found on disk: [torn_tail] (benign unterminated
+    partial line, repaired) vs [trailing_garbage] (terminated bad
+    lines — corruption evidence), and whether a corruption verdict was
+    reached (latches the [corruption_detected] flag the [health] op
+    reports). *)
+val record_recovery :
+  t -> torn_tail:int -> trailing_garbage:int -> corrupt:bool -> unit
+
+(** One mutating request answered from the idempotency window instead
+    of re-applied. *)
+val record_dedup_hit : t -> unit
 
 (** One placement snapshot covering WAL records up to [seq], after
     which [truncated_bytes] of journal were dropped. *)
@@ -74,7 +87,14 @@ type snapshot = {
   wal_appends : int;
   wal_fsyncs : int;  (** fsyncs issued (one per commit group) *)
   wal_groups : int;  (** commit groups journaled *)
+  wal_last_seq : int;  (** highest journal sequence made durable *)
   wal_replayed : int;
+  wal_torn_tail : int;  (** torn tails repaired during recovery *)
+  wal_trailing_garbage : int;
+      (** terminated bad journal lines dropped during recovery *)
+  corruption_detected : bool;
+      (** a recovery reached a corruption verdict (WAL or snapshot) *)
+  dedup_hits : int;  (** retries answered from the idempotency window *)
   snapshots : int;  (** placement snapshots written *)
   last_snapshot_seq : int;  (** highest WAL seq covered by a snapshot *)
   snapshot_truncated_bytes : int;  (** journal bytes dropped after snapshots *)

@@ -120,7 +120,7 @@ let check_all_ok what replies =
 (* WAL records as (design, cells) of each journaled eco, in journal
    order — the observable the scheduling tests assert on. *)
 let wal_ecos path =
-  fst (Wal.read ~path)
+  (Wal.read ~path).Wal.records
   |> List.filter_map (fun (r : Wal.record) ->
       match Json.parse r.Wal.payload with
       | Ok j when Json.get_string "op" j = Some "eco" ->
@@ -371,7 +371,7 @@ let test_crash_before_truncate () =
       in
       List.iter (check_all_ok "trace") replies;
       let live_fp = Engine.state_fingerprint eng in
-      let records = fst (Wal.read ~path) in
+      let records = (Wal.read ~path).Wal.records in
       let total = List.length records in
       Alcotest.(check bool) "trace journaled" true (total >= 4);
       let mid = total / 2 in

@@ -528,17 +528,20 @@ let test_wal_frame () =
   with_tmpdir (fun dir ->
       let path = Filename.concat dir "test.wal" in
       (* missing file reads as empty *)
-      Alcotest.(check int) "missing = empty" 0
-        (List.length (fst (Wal.read ~path)));
+      let empty = Wal.read ~path in
+      Alcotest.(check int) "missing = empty" 0 (List.length empty.Wal.records);
+      Alcotest.(check bool) "missing is not corrupt" false (Wal.corrupt empty);
       let w = Wal.open_ ~path () in
       Alcotest.(check int) "first seq" 1 (Wal.next_seq w);
       ignore (Wal.append w {|{"op":"load","design":"a"}|});
       ignore (Wal.append w {|{"op":"legalize","design":"a"}|});
       ignore (Wal.append w {|{"op":"eco","design":"a","cells":[1]}|});
       Wal.close w;
-      let records, dropped = Wal.read ~path in
+      let r = Wal.read ~path in
+      let records = r.Wal.records in
       Alcotest.(check int) "three records" 3 (List.length records);
-      Alcotest.(check int) "nothing dropped" 0 dropped;
+      Alcotest.(check int) "nothing dropped" 0 (r.Wal.torn_tail + r.Wal.trailing_garbage);
+      Alcotest.(check int) "checksummed, not legacy" 0 r.Wal.legacy;
       Alcotest.(check (list int)) "consecutive seqs" [ 1; 2; 3 ]
         (List.map (fun (r : Wal.record) -> r.Wal.seq) records);
       Alcotest.(check string) "payload preserved"
@@ -548,26 +551,52 @@ let test_wal_frame () =
       let oc = open_out_gen [ Open_append ] 0o600 path in
       output_string oc {|{"seq":4,"req":{"op":"truncat|};
       close_out oc;
-      let records, dropped = Wal.read ~path in
-      Alcotest.(check int) "valid prefix survives" 3 (List.length records);
-      Alcotest.(check int) "torn tail dropped" 1 dropped;
+      let r = Wal.read ~path in
+      Alcotest.(check int) "valid prefix survives" 3 (List.length r.Wal.records);
+      Alcotest.(check int) "torn tail dropped" 1 r.Wal.torn_tail;
+      Alcotest.(check bool) "torn tail is not corruption" false (Wal.corrupt r);
       (* reopening repairs the tail and journaling continues at seq 4 *)
       let w = Wal.open_ ~path () in
       Alcotest.(check int) "repaired next seq" 4 (Wal.next_seq w);
       Alcotest.(check int) "append continues" 4 (Wal.append w {|{"op":"x"}|});
       Wal.close w;
-      let records, dropped = Wal.read ~path in
-      Alcotest.(check int) "four records" 4 (List.length records);
-      Alcotest.(check int) "clean after repair" 0 dropped;
-      (* a gap in sequence numbers invalidates the tail from there *)
+      let r = Wal.read ~path in
+      Alcotest.(check int) "four records" 4 (List.length r.Wal.records);
+      Alcotest.(check int) "clean after repair" 0
+        (r.Wal.torn_tail + r.Wal.trailing_garbage);
+      (* a gap in sequence numbers is a corruption verdict from there
+         on (legacy frames: accepted unverified, but the sequence
+         discipline still holds) *)
       let oc = open_out path in
       output_string oc
         ({|{"seq":1,"req":{"op":"a"}}|} ^ "\n" ^ {|{"seq":3,"req":{"op":"b"}}|}
          ^ "\n");
       close_out oc;
-      let records, dropped = Wal.read ~path in
-      Alcotest.(check int) "prefix before gap" 1 (List.length records);
-      Alcotest.(check int) "gap dropped" 1 dropped)
+      let r = Wal.read ~path in
+      Alcotest.(check int) "prefix before gap" 1 (List.length r.Wal.records);
+      Alcotest.(check int) "gap dropped" 1 r.Wal.trailing_garbage;
+      Alcotest.(check bool) "gap is corruption" true (Wal.corrupt r);
+      Alcotest.(check (option int)) "bad seq reported" (Some 3)
+        r.Wal.first_bad_seq;
+      Alcotest.(check int) "legacy frames counted" 1 r.Wal.legacy;
+      (* strict open refuses a corrupt journal; best-effort repairs to
+         the valid prefix and keeps journaling *)
+      (match Wal.open_ ~path () with
+       | exception Wal.Corrupt (p, rep) ->
+         Alcotest.(check string) "corrupt path" path p;
+         Alcotest.(check (option int)) "corrupt report seq" (Some 3)
+           rep.Wal.first_bad_seq
+       | w ->
+         Wal.close w;
+         Alcotest.fail "strict open_ accepted a corrupt journal");
+      let w = Wal.open_ ~best_effort:true ~path () in
+      Alcotest.(check int) "best-effort continues after prefix" 2
+        (Wal.append w {|{"op":"c"}|});
+      Wal.close w;
+      let r = Wal.read ~path in
+      Alcotest.(check bool) "best-effort repaired the journal" false
+        (Wal.corrupt r);
+      Alcotest.(check int) "prefix + new record" 2 (List.length r.Wal.records))
 
 let test_wal_group_commit () =
   with_tmpdir (fun dir ->
@@ -583,11 +612,11 @@ let test_wal_group_commit () =
       Alcotest.(check int) "one fsync per group" 2 s.Wal.fsyncs;
       Alcotest.(check int) "groups" 2 s.Wal.groups;
       Wal.close w;
-      let records, dropped = Wal.read ~path in
-      Alcotest.(check int) "all framed" 4 (List.length records);
-      Alcotest.(check int) "clean" 0 dropped;
+      let r = Wal.read ~path in
+      Alcotest.(check int) "all framed" 4 (List.length r.Wal.records);
+      Alcotest.(check int) "clean" 0 (r.Wal.torn_tail + r.Wal.trailing_garbage);
       Alcotest.(check (list int)) "consecutive" [ 1; 2; 3; 4 ]
-        (List.map (fun (r : Wal.record) -> r.Wal.seq) records))
+        (List.map (fun (r : Wal.record) -> r.Wal.seq) r.Wal.records))
 
 let test_wal_truncate_and_base_seq () =
   with_tmpdir (fun dir ->
@@ -599,7 +628,7 @@ let test_wal_truncate_and_base_seq () =
       let dropped_bytes = Wal.truncate w in
       Alcotest.(check bool) "bytes reclaimed" true (dropped_bytes > 0);
       Alcotest.(check int) "file now empty" 0
-        (List.length (fst (Wal.read ~path)));
+        (List.length (Wal.read ~path).Wal.records);
       Alcotest.(check int) "seq survives truncation" 6
         (Wal.append w {|{"op":"after"}|});
       Alcotest.(check int) "truncated bytes counted" dropped_bytes
@@ -607,10 +636,10 @@ let test_wal_truncate_and_base_seq () =
       Wal.close w;
       (* a journal whose first record is mid-sequence (post-truncation)
          reads back from that base *)
-      let records, dropped = Wal.read ~path in
-      Alcotest.(check int) "tail readable" 1 (List.length records);
-      Alcotest.(check int) "no drops" 0 dropped;
-      Alcotest.(check int) "base seq preserved" 6 (List.hd records).Wal.seq;
+      let r = Wal.read ~path in
+      Alcotest.(check int) "tail readable" 1 (List.length r.Wal.records);
+      Alcotest.(check int) "no drops" 0 (r.Wal.torn_tail + r.Wal.trailing_garbage);
+      Alcotest.(check int) "base seq preserved" 6 (List.hd r.Wal.records).Wal.seq;
       (* reopen continues after the tail record *)
       let w = Wal.open_ ~path () in
       Alcotest.(check int) "reopen continues" 7 (Wal.next_seq w);
@@ -744,7 +773,7 @@ let test_wal_recovery_kill_points () =
       let eng = engine () in
       let r = Server.recover eng ~path:torn in
       Alcotest.(check int) "torn: replayed all acks" total r.Server.replayed;
-      Alcotest.(check int) "torn: dropped" 1 r.Server.dropped_lines;
+      Alcotest.(check int) "torn: dropped" 1 r.Server.torn_tail;
       Alcotest.(check string) "torn: state intact"
         (List.assoc total fingerprints)
         (Engine.state_fingerprint eng))
@@ -766,7 +795,7 @@ let test_wal_degraded_replay () =
          journal must record the greedy form, not the full request *)
       run {|{"op":"legalize","design":"d","deadline_ms":0.01,"fallback":"greedy"}|};
       Wal.close w;
-      let records, _ = Wal.read ~path in
+      let records = (Wal.read ~path).Wal.records in
       Alcotest.(check int) "two records" 2 (List.length records);
       let journaled = (List.nth records 1).Wal.payload in
       (match Json.parse journaled with

@@ -354,7 +354,8 @@ let test_cache_entries_sorted () =
   let entry key =
     { Mcl_service.Cache.key; design = design (); gp_hpwl = 0; source = "test";
       load_wire = ""; loaded_at = 0.0; legalized = false; eco_count = 0;
-      congest = None; refine = None; dirty = false; pinned = false; last_used = 0 }
+      congest = None; refine = None; dirty = false; pinned = false;
+      last_used = 0; dedup = [] }
   in
   let keys cache =
     List.map
@@ -431,7 +432,8 @@ let test_cache_lru_policy () =
   let entry key =
     { Mcl_service.Cache.key; design = design (); gp_hpwl = 0; source = "test";
       load_wire = ""; loaded_at = 0.0; legalized = false; eco_count = 0;
-      congest = None; refine = None; dirty = false; pinned = false; last_used = 0 }
+      congest = None; refine = None; dirty = false; pinned = false;
+      last_used = 0; dedup = [] }
   in
   let module C = Mcl_service.Cache in
   let c = C.create ~max_designs:2 () in
