@@ -3,7 +3,7 @@
 
    Usage:  dune exec bench/main.exe -- [section] [scale]
    Sections: table1 table2 table3 fig3 fig4 fig5 fig6 threads ablation
-             service congest resilience mgl_kernel exact micro all
+             service congest resilience mgl_kernel shard exact micro all
              (default: all, scale 1.0). *)
 
 open Mcl_netlist
@@ -1382,6 +1382,237 @@ let mgl_kernel ~scale () =
   Printf.printf "\nwrote BENCH_mgl_kernel.json\n\n"
 
 (* ---------------------------------------------------------------- *)
+(* Spatially-sharded legalization: cells/s vs domain count on wide    *)
+(* replicated designs, seam-margin sweep, thread-count invariance and *)
+(* the score-parity gate vs the sequential scheduler on the Table-1   *)
+(* roster. Emits BENCH_shard.json.                                    *)
+(* ---------------------------------------------------------------- *)
+
+let shard ~scale () =
+  let module Json = Mcl_service.Json in
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "== Spatially-sharded legalization ==\n\
+     (host reports %d core(s); the domain sweep sets shards = d and spawns\n\
+    \ min(d, cores) worker domains — surplus domains on a smaller host only\n\
+    \ add GC synchronization, never throughput. The d=1 baseline is the\n\
+    \ sequential arena-kernel Mgl.run.)\n\n"
+    host_cores;
+  (* wide-die inputs: Table-1 designs tiled so the row-occupancy lists
+     are long enough for spatial locality to matter (and >= 50k cells at
+     scale 1). The tile count rises as the per-design size shrinks so
+     cells-per-row stays comparable across scales. *)
+  let replicate = max 12 (int_of_float (Float.round (4.8 /. scale))) in
+  let wide_specs =
+    List.filter_map
+      (fun name ->
+         match Mcl_gen.Suites.find ~scale name with
+         | Some s -> Some { s with Mcl_gen.Spec.replicate }
+         | None -> None)
+      [ "des_perf_1"; "edit_dist_a_md2" ]
+  in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let wide_rows =
+    List.map
+      (fun spec ->
+         let name =
+           Printf.sprintf "%s_x%d" spec.Mcl_gen.Spec.name replicate
+         in
+         Printf.printf "%s:\n" name;
+         let base_cps = ref 0.0 in
+         let cps_by_domains = ref [] in
+         let rows =
+           List.map
+             (fun d ->
+                let design = Mcl_gen.Generator.generate spec in
+                let legalized, t =
+                  if d = 1 then begin
+                    let s, t = timed (fun () -> Mcl.Mgl.run Mcl.Config.default design) in
+                    (s.Mcl.Mgl.legalized, t)
+                  end
+                  else begin
+                    let cfg =
+                      { Mcl.Config.default with
+                        Mcl.Config.shards = d;
+                        threads = min d host_cores }
+                    in
+                    let s, t = timed (fun () -> Mcl.Scheduler.run cfg design) in
+                    (s.Mcl.Scheduler.legalized, t)
+                  end
+                in
+                assert (Mcl_eval.Legality.is_legal design);
+                let cps = float_of_int legalized /. Float.max 1e-9 t in
+                if d = 1 then base_cps := cps;
+                cps_by_domains := (d, cps) :: !cps_by_domains;
+                Printf.printf
+                  "  domains=%d: %7.2fs %9.0f cells/s (%.2fx vs 1)\n%!" d t cps
+                  (cps /. Float.max 1e-9 !base_cps);
+                Json.Obj
+                  [ ("domains", Json.Int d);
+                    ("threads", Json.Int (min d host_cores));
+                    ("cells", Json.Int legalized);
+                    ("seconds", Json.Float t);
+                    ("cells_per_s", Json.Float cps);
+                    ("speedup_vs_1",
+                     Json.Float (cps /. Float.max 1e-9 !base_cps)) ])
+             domain_counts
+         in
+         let cps d = List.assoc d !cps_by_domains in
+         let strictly_increasing = cps 1 < cps 2 && cps 2 < cps 4 in
+         let speedup_4 = cps 4 /. Float.max 1e-9 (cps 1) in
+         Printf.printf "  strictly increasing 1->2->4: %b, 4-domain speedup %.2fx\n\n%!"
+           strictly_increasing speedup_4;
+         Json.Obj
+           [ ("name", Json.String name);
+             ("replicate", Json.Int replicate);
+             ("domains", Json.List rows);
+             ("strictly_increasing", Json.Bool strictly_increasing);
+             ("speedup_4", Json.Float speedup_4) ])
+      wide_specs
+  in
+  (* thread-count invariance: seams fixed at 4 stripes, the pool width
+     must not leak into the output *)
+  let invariance =
+    match wide_specs with
+    | [] -> Json.Obj [ ("bit_identical", Json.Bool true) ]
+    | spec :: _ ->
+      let reference = ref None in
+      let identical = ref true in
+      List.iter
+        (fun threads ->
+           let design = Mcl_gen.Generator.generate spec in
+           let cfg =
+             { Mcl.Config.default with Mcl.Config.shards = 4; threads }
+           in
+           ignore (Mcl.Scheduler.run cfg design);
+           let p = Design.snapshot design in
+           match !reference with
+           | None -> reference := Some p
+           | Some q -> if p <> q then identical := false)
+        [ 1; 2; 4 ];
+      Printf.printf
+        "Thread invariance (shards=4, threads in {1,2,4}): bit-identical %b\n\n%!"
+        !identical;
+      Json.Obj
+        [ ("design",
+           Json.String (Printf.sprintf "%s_x%d"
+                          (List.hd wide_specs).Mcl_gen.Spec.name replicate));
+          ("shards", Json.Int 4);
+          ("bit_identical", Json.Bool !identical) ]
+  in
+  (* seam-margin sweep: wider margins push more cells to the boundary
+     pass (less parallel work) in exchange for more slack at seams *)
+  let margin_rows =
+    match wide_specs with
+    | [] -> []
+    | spec :: _ ->
+      Printf.printf "Seam-margin sweep (shards=4):\n";
+      List.map
+        (fun margin ->
+           let design = Mcl_gen.Generator.generate spec in
+           let cfg =
+             { Mcl.Config.default with
+               Mcl.Config.shards = 4;
+               threads = min 4 host_cores }
+           in
+           let s, t =
+             timed (fun () -> Mcl.Scheduler.run ~shard_margin:margin cfg design)
+           in
+           let cps =
+             float_of_int s.Mcl.Scheduler.legalized /. Float.max 1e-9 t
+           in
+           let interior, boundary, deferred =
+             match s.Mcl.Scheduler.sharding with
+             | Some i ->
+               (i.Mcl.Scheduler.interior_legalized,
+                i.Mcl.Scheduler.boundary_zone, i.Mcl.Scheduler.deferred)
+             | None -> (0, 0, 0)
+           in
+           Printf.printf
+             "  margin=%3d: %9.0f cells/s interior=%d boundary=%d deferred=%d\n%!"
+             margin cps interior boundary deferred;
+           Json.Obj
+             [ ("margin", Json.Int margin);
+               ("cells_per_s", Json.Float cps);
+               ("interior", Json.Int interior);
+               ("boundary", Json.Int boundary);
+               ("deferred", Json.Int deferred) ])
+        [ 0; 8; 32 ]
+  in
+  (* parity gate: every Table-1 design, every domain count — the
+     sharded output must be bit-identical to the sequential scheduler
+     or (different seam geometry implies different insertion order)
+     legality-clean within 15% of its Eq. 10 score (DESIGN.md §16) *)
+  Printf.printf "\nParity vs sequential scheduler (Table-1 roster):\n";
+  let all_ok = ref true in
+  let parity_rows =
+    List.concat_map
+      (fun spec ->
+         let gp = Mcl_gen.Generator.generate spec in
+         let gp_hpwl = Mcl_eval.Metrics.hpwl gp in
+         let seq = Mcl_gen.Generator.generate spec in
+         ignore (Mcl.Scheduler.run Mcl.Config.default seq);
+         let seq_snap = Design.snapshot seq in
+         let seq_score =
+           (Mcl_eval.Score.evaluate ~gp_hpwl seq).Mcl_eval.Score.score
+         in
+         List.map
+           (fun d ->
+              let design = Mcl_gen.Generator.generate spec in
+              (* output is thread-invariant by construction, so the
+                 parity verdict is unaffected by capping the pool *)
+              let cfg =
+                { Mcl.Config.default with
+                  Mcl.Config.shards = d;
+                  threads = min d host_cores }
+              in
+              ignore (Mcl.Scheduler.run cfg design);
+              let bit_identical = Design.snapshot design = seq_snap in
+              let legal = Mcl_eval.Legality.is_legal design in
+              let score =
+                (Mcl_eval.Score.evaluate ~gp_hpwl design).Mcl_eval.Score.score
+              in
+              let ratio = score /. Float.max 1e-9 seq_score in
+              let ok = bit_identical || (legal && ratio <= 1.15) in
+              if not ok then all_ok := false;
+              Printf.printf
+                "  %-20s domains=%d: %s legal=%b score %.4f vs %.4f (%.3fx) %s\n%!"
+                spec.Mcl_gen.Spec.name d
+                (if bit_identical then "bit-identical" else "differs      ")
+                legal score seq_score ratio
+                (if ok then "ok" else "FAIL");
+              Json.Obj
+                [ ("name", Json.String spec.Mcl_gen.Spec.name);
+                  ("domains", Json.Int d);
+                  ("bit_identical", Json.Bool bit_identical);
+                  ("legal", Json.Bool legal);
+                  ("score_ratio", Json.Float ratio);
+                  ("parity_ok", Json.Bool ok) ])
+           [ 2; 4; 8 ])
+      (Mcl_gen.Suites.iccad2017 ~scale ())
+  in
+  Printf.printf "\nParity gate on all designs x domain counts: %b\n"
+    !all_ok;
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "shard");
+        ("scale", Json.Float scale);
+        ("host_cores", Json.Int host_cores);
+        ("wide", Json.List wide_rows);
+        ("threads_invariance", invariance);
+        ("seam_margins", Json.List margin_rows);
+        ("parity",
+         Json.Obj
+           [ ("all_ok", Json.Bool !all_ok);
+             ("designs", Json.List parity_rows) ]) ]
+  in
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_shard.json\n\n"
+
+(* ---------------------------------------------------------------- *)
 (* Exact window solver: B&B throughput, certificate rates by window   *)
 (* size, and the refiner's end-to-end effect on the Table-1 suite.    *)
 (* Part 1 sweeps the window half-width on one mid-size design and     *)
@@ -1606,6 +1837,7 @@ let () =
     congest ~scale ();
     resilience ~scale ();
     mgl_kernel ~scale ();
+    shard ~scale ();
     exact ~scale ();
     micro ()
   in
@@ -1625,10 +1857,11 @@ let () =
   | "congest" -> congest ~scale ()
   | "resilience" -> resilience ~scale ()
   | "mgl_kernel" -> mgl_kernel ~scale ()
+  | "shard" -> shard ~scale ()
   | "exact" -> exact ~scale ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|service_load|congest|resilience|mgl_kernel|exact|micro|all)\n"
+      "unknown section %S (use table1|table2|table3|fig3|fig4|fig5|fig6|threads|ablation|service|service_load|congest|resilience|mgl_kernel|shard|exact|micro|all)\n"
       other;
     exit 2

@@ -2,21 +2,25 @@
 
 open Cmdliner
 
-let run suite scale outdir =
+let run suite scale replicate outdir =
+  if replicate < 1 then failwith "--replicate must be >= 1";
   let specs =
     match suite with
-    | "iccad2017" -> Mcl_gen.Suites.iccad2017 ~scale ()
+    | "iccad2017" -> Mcl_gen.Suites.iccad2017 ~scale ~replicate ()
     | "ispd2015" -> Mcl_gen.Suites.ispd2015 ~scale ()
     | name ->
       (match Mcl_gen.Suites.find ~scale name with
        | Some s -> [ s ]
        | None -> failwith (Printf.sprintf "unknown suite or benchmark %S" name))
   in
+  let specs =
+    List.map (fun s -> { s with Mcl_gen.Spec.replicate }) specs
+  in
   (try Unix.mkdir outdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   List.iter
     (fun spec ->
        let d = Mcl_gen.Generator.generate spec in
-       let path = Filename.concat outdir (spec.Mcl_gen.Spec.name ^ ".mcl") in
+       let path = Filename.concat outdir (d.Mcl_netlist.Design.name ^ ".mcl") in
        Mcl_bookshelf.Writer.write_file path d;
        Printf.printf "%s: %d cells\n%!" path (Mcl_netlist.Design.num_cells d))
     specs
@@ -27,8 +31,14 @@ let cmd =
          & info [] ~docv:"SUITE" ~doc:"iccad2017, ispd2015 or a benchmark name.")
   in
   let scale = Arg.(value & opt float 1.0 & info [ "scale" ]) in
+  let replicate =
+    Arg.(value & opt int 1
+         & info [ "replicate" ]
+             ~doc:"Tile each design N times horizontally (wide-die inputs \
+                   for sharded legalization).")
+  in
   let outdir = Arg.(value & opt string "benchmarks" & info [ "o"; "outdir" ]) in
   Cmd.v (Cmd.info "mcl-genbench" ~doc:"Generate benchmark files")
-    Term.(const run $ suite $ scale $ outdir)
+    Term.(const run $ suite $ scale $ replicate $ outdir)
 
 let () = exit (Cmd.eval cmd)

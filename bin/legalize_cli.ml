@@ -60,11 +60,13 @@ let run_lint_all ~scale =
     (Mcl_gen.Suites.all ~scale ());
   exit (if !clean then 0 else 1)
 
-let run input suite scale algo threads window_halfwidth window_halfheight
+let run input suite scale algo threads shards window_halfwidth window_halfheight
     congestion no_fences no_routability objective_total refine refine_nodes
     output svg_congestion verbose lint lint_all audit =
   if threads <= 0 then
     usage_error (Printf.sprintf "--threads must be >= 1 (got %d)" threads);
+  if shards <= 0 then
+    usage_error (Printf.sprintf "--shards must be >= 1 (got %d)" shards);
   if scale <= 0.0 then
     usage_error (Printf.sprintf "--scale must be > 0 (got %g)" scale);
   if window_halfwidth <= 0 then
@@ -93,6 +95,7 @@ let run input suite scale algo threads window_halfwidth window_halfheight
     { (if objective_total then Mcl.Config.total_displacement else Mcl.Config.default)
       with
       Mcl.Config.threads;
+      shards;
       window_halfwidth;
       window_halfheight;
       congestion_weight = congestion;
@@ -222,13 +225,15 @@ let run input suite scale algo threads window_halfwidth window_halfheight
 (* `serve`: the resident ECO legalization service (lib/service). Reads
    newline-delimited JSON requests from stdin (or a Unix-domain socket)
    and answers one response line per request; see README §Service. *)
-let run_serve socket threads max_batch no_fences no_routability wal_path
+let run_serve socket threads shards max_batch no_fences no_routability wal_path
     recover_path best_effort max_pending max_designs max_conns snapshot_every
     fault_seed fault_kinds =
   if best_effort && recover_path = None then
     usage_error "--recover-best-effort requires --recover PATH";
   if threads <= 0 then
     usage_error (Printf.sprintf "--threads must be >= 1 (got %d)" threads);
+  if shards <= 0 then
+    usage_error (Printf.sprintf "--shards must be >= 1 (got %d)" shards);
   if max_batch <= 0 then
     usage_error (Printf.sprintf "--max-batch must be >= 1 (got %d)" max_batch);
   if max_pending <= 0 then
@@ -263,6 +268,7 @@ let run_serve socket threads max_batch no_fences no_routability wal_path
   let config =
     { Mcl.Config.default with
       Mcl.Config.threads;
+      shards;
       consider_fences = not no_fences;
       consider_routability = not no_routability }
   in
@@ -334,6 +340,14 @@ let serve_cmd =
              ~doc:"Dispatch pool width: independent-design requests of one \
                    batch run on this many domains (also the MGL scheduler \
                    width inside each request).")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Spatial die stripes legalized concurrently inside each \
+                   request (>= 2 selects the sharded MGL scheduler; seams \
+                   are fixed by die geometry, so results depend on this \
+                   value but never on --threads).")
   in
   let max_batch =
     Arg.(value & opt int 64
@@ -410,8 +424,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the resident legalization service (NDJSON request loop; ops: \
              load, legalize, eco, query, lint, audit, stats, shutdown).")
-    Term.(const run_serve $ socket $ threads $ max_batch $ no_fences $ no_rout
-          $ wal $ recover $ best_effort $ max_pending $ max_designs
+    Term.(const run_serve $ socket $ threads $ shards $ max_batch $ no_fences
+          $ no_rout $ wal $ recover $ best_effort $ max_pending $ max_designs
           $ max_conns $ snapshot_every $ fault_seed $ fault_kinds)
 
 let cmd =
@@ -434,6 +448,15 @@ let cmd =
   in
   let threads =
     Arg.(value & opt int 1 & info [ "j"; "threads" ] ~doc:"MGL scheduler domains.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Spatial die stripes legalized concurrently (>= 2 selects \
+                   the sharded MGL scheduler: interior cells of all stripes \
+                   run in parallel, then a sequential boundary pass). Seams \
+                   are fixed by die geometry and fences, so the result \
+                   depends on N but never on --threads.")
   in
   let window_halfwidth =
     Arg.(value & opt int Mcl.Config.default.Mcl.Config.window_halfwidth
@@ -513,7 +536,7 @@ let cmd =
   in
   Cmd.group
     ~default:
-      Term.(const run $ input $ suite $ scale $ algo $ threads
+      Term.(const run $ input $ suite $ scale $ algo $ threads $ shards
             $ window_halfwidth $ window_halfheight $ congestion $ no_fences
             $ no_rout $ total $ refine $ refine_nodes $ output
             $ svg_congestion $ verbose $ lint $ lint_all $ audit)

@@ -15,6 +15,7 @@ type t = {
   run_matching : bool;
   run_row_order : bool;
   threads : int;
+  shards : int;
   congestion_weight : float;
   congestion_bin_sites : int;
 }
@@ -34,6 +35,7 @@ let default =
     run_matching = true;
     run_row_order = true;
     threads = 1;
+    shards = 1;
     congestion_weight = 0.0;
     congestion_bin_sites = 32 }
 

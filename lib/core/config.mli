@@ -22,6 +22,12 @@ type t = {
   run_matching : bool;          (** enable stage 2 (Sec. 3.2) *)
   run_row_order : bool;         (** enable stage 3 (Sec. 3.3) *)
   threads : int;                (** MGL scheduler batch width (Sec. 3.5) *)
+  shards : int;
+      (** number of spatial die stripes legalized concurrently; 1 (the
+          default) keeps the classic round-batched scheduler, [>= 2]
+          switches {!Scheduler.run} to the sharded path (seams fixed by
+          die geometry, so the output depends on [shards] but never on
+          [threads]) *)
   congestion_weight : float;
       (** weight of the soft congestion penalty in MGL insertion
           scoring; 0 (the default) disables the congestion machinery

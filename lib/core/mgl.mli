@@ -63,6 +63,16 @@ val grow_window :
     for the scheduler. *)
 val fallback_place : ?relax_routability:bool -> Insertion.ctx -> int -> bool
 
+(** [legalize_one ctx ~target ~growths] runs the windowed insertion
+    search for one cell (initial window, growth retries up to the full
+    die), applying the winning candidate; [false] when even the
+    full-die window has no feasible insertion point (callers fall back
+    to {!fallback_place}). [growths] accumulates window enlargements.
+    Exposed for the sharded scheduler's boundary-reconciliation pass. *)
+val legalize_one :
+  ?budget:Mcl_resilience.Budget.t -> ?kernel:[ `Arena | `Reference ] ->
+  Insertion.ctx -> target:int -> growths:int ref -> bool
+
 (** Fraction of the die area occupied by cells (alias of
     {!Insertion.utilization}; contexts hold it precomputed). *)
 val utilization : Design.t -> float

@@ -93,6 +93,65 @@ let row_cells t row =
   let store = t.rows.(row) in
   (store.arr, store.len)
 
+(* K-way merge of per-shard occupancies into one structure. Each part
+   row is already (x, id)-sorted, so a pointer-per-part merge emits the
+   union in order; a cell registered in several parts (fixed cells are
+   obstacles everywhere) collapses to one entry because its duplicate
+   keys are adjacent in the merge. *)
+let merge design parts =
+  let t = create design in
+  Array.iter
+    (fun (p : t) ->
+       if p.design != design then
+         invalid_arg "Placement.merge: parts built for another design")
+    parts;
+  let n_parts = Array.length parts in
+  let idx = Array.make n_parts 0 in
+  for row = 0 to Array.length t.rows - 1 do
+    Array.fill idx 0 n_parts 0;
+    let store = t.rows.(row) in
+    let total = ref 0 in
+    Array.iter (fun p -> total := !total + p.rows.(row).len) parts;
+    if Array.length store.arr < !total then
+      store.arr <- Array.make !total (-1);
+    let head p =
+      let ps = parts.(p).rows.(row) in
+      if idx.(p) < ps.len then Some ps.arr.(idx.(p)) else None
+    in
+    let last = ref (-1) in
+    let continue_ = ref true in
+    while !continue_ do
+      let best = ref (-1) and best_key = ref (max_int, max_int) in
+      for p = 0 to n_parts - 1 do
+        match head p with
+        | None -> ()
+        | Some id ->
+          let key = (cell_x t id, id) in
+          if !best = -1 || key < !best_key then begin
+            best := p;
+            best_key := key
+          end
+      done;
+      match !best with
+      | -1 -> continue_ := false
+      | p ->
+        let id = parts.(p).rows.(row).arr.(idx.(p)) in
+        idx.(p) <- idx.(p) + 1;
+        if id <> !last then begin
+          store.arr.(store.len) <- id;
+          store.len <- store.len + 1;
+          last := id
+        end
+    done
+  done;
+  Array.iter
+    (fun (p : t) ->
+       Array.iteri
+         (fun id r -> if r then t.registered.(id) <- true)
+         p.registered)
+    parts;
+  t
+
 let iter_in_range t ~row iv f =
   let store = t.rows.(row) in
   for i = 0 to store.len - 1 do

@@ -28,6 +28,13 @@ val mem : t -> int -> bool
 val row_cells : t -> int -> int array * int
 (** [(array, len)]: only the first [len] entries are valid. *)
 
+(** [merge design parts] unions per-shard occupancies into a fresh
+    structure by a k-way per-row merge (each part's rows are already
+    (x, id)-sorted). A cell registered in several parts — fixed cells
+    are obstacles in every shard — appears once. All parts must have
+    been built for (physically) the same design. *)
+val merge : Design.t -> t array -> t
+
 (** Fold over cells of [row] whose x-extent overlaps [iv]. *)
 val iter_in_range : t -> row:int -> Mcl_geom.Interval.t -> (int -> unit) -> unit
 

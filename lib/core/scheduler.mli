@@ -1,17 +1,42 @@
 (** Deterministic multi-threaded MGL (paper Sec. 3.5).
 
-    The scheduler maintains the paper's two lists: [L_p], windows under
-    processing (pairwise non-overlapping), and [L_w], cells waiting
-    (including those whose window grew after a failed insertion). Each
-    round, a maximal prefix-greedy batch of non-overlapping windows is
-    selected in cell order; their best insertion points are computed
-    read-only (optionally on multiple domains) and then applied in
-    order. Because the windows are disjoint, the computed candidates
-    touch disjoint cell sets and the result is identical to processing
-    the batch sequentially — determinism follows by construction, as
-    the paper argues. *)
+    Two parallel decompositions live here, selected by
+    [config.shards]:
+
+    {b Round-batched} ([shards = 1], the classic path). The scheduler
+    maintains the paper's two lists: [L_p], windows under processing
+    (pairwise non-overlapping), and [L_w], cells waiting (including
+    those whose window grew after a failed insertion). Each round, a
+    maximal prefix-greedy batch of non-overlapping windows is selected
+    in cell order; their best insertion points are computed read-only
+    (optionally on multiple domains) and then applied in order. Because
+    the windows are disjoint, the computed candidates touch disjoint
+    cell sets and the result is identical to processing the batch
+    sequentially — determinism follows by construction, as the paper
+    argues.
+
+    {b Spatially sharded} ([shards >= 2]). The die is split into
+    contiguous column stripes at seams fixed by die geometry and fence
+    positions (see {!Shard}), never by cell order. Every movable cell
+    is classified interior-to-one-stripe or boundary; interior cells of
+    all stripes are legalized concurrently as coarse jobs — one
+    stripe per job, each with its own {!Placement} and {!Arena}, with
+    insertion windows clamped to the stripe — then the per-stripe
+    occupancies are merged and a sequential boundary pass legalizes the
+    rest in global order. Stripe jobs touch disjoint cells and sites,
+    and the boundary pass is sequential, so the output depends on
+    [config.shards] (seam geometry) but never on [config.threads]. *)
 
 open Mcl_netlist
+
+type shard_info = {
+  shard_count : int;      (** effective stripe count (may be clamped) *)
+  seam_margin : int;      (** extra seam clearance used to classify *)
+  interior_legalized : int;  (** cells placed inside their stripe *)
+  boundary_zone : int;    (** cells classified boundary up front *)
+  deferred : int;         (** interior cells that exhausted their stripe
+                              and fell through to the boundary pass *)
+}
 
 type stats = {
   legalized : int;
@@ -19,25 +44,34 @@ type stats = {
   window_growths : int;
   fallbacks : int;
   kernel : Arena.counters;
-      (** merged insertion-kernel counters across all worker arenas *)
+      (** merged insertion-kernel counters across all worker arenas, in
+          shard-index order (then the boundary arena) on the sharded
+          path — byte-stable for any thread count *)
+  sharding : shard_info option;
+      (** [Some] iff the sharded path ran *)
 }
 
 (** [run config design] legalizes like {!Mgl.run} but batch-scheduled;
     [config.threads] > 1 computes each batch on that many domains.
-    [budget] is polled at round boundaries and per candidate
-    evaluation; expiry raises
+    [config.shards] >= 2 switches to the sharded path above
+    ([shard_margin] widens the seam clearance used when classifying
+    cells as interior, default 0). [budget] is polled at round
+    boundaries and per candidate evaluation (sharded path: per window
+    attempt); expiry raises
     {!Mcl_resilience.Budget.Deadline_exceeded} (from the calling
     domain — worker raises are funnelled through the pool join). *)
 val run :
   ?disp_from:[ `Gp | `Current ] -> ?budget:Mcl_resilience.Budget.t ->
+  ?shard_margin:int ->
   Config.t -> Design.t -> stats
 
 (** [run_jobs ~threads jobs] drains [jobs] through a shared work queue
     on [min threads (length jobs)] domains; with [threads <= 1] (or a
     single job) everything runs inline on the calling domain, in list
     order. This is the domain pool behind {!run}'s per-round candidate
-    computation, exposed so other subsystems (the ECO service engine)
-    can fan independent-design work across the same mechanism.
+    computation and the sharded path's stripe jobs, exposed so other
+    subsystems (the ECO service engine) can fan independent-design work
+    across the same mechanism.
 
     Jobs must not touch shared mutable state without their own
     synchronization. A job that raises kills its worker after the

@@ -1,0 +1,132 @@
+module Interval = Mcl_geom.Interval
+module Rect = Mcl_geom.Rect
+open Mcl_netlist
+
+type t = {
+  shards : int;
+  stripes : Rect.t array;
+  seams : int array;
+  fence_stripe : int array;
+  margin : int;
+}
+
+(* A stripe narrower than this cannot host a useful insertion window;
+   the effective shard count is clamped so every stripe keeps it. *)
+let min_stripe_sites = 64
+
+(* Minimum room kept between adjacent seams when nudging one onto a
+   fence edge; a nudge that would squeeze a stripe below this falls
+   back to the even split. *)
+let min_seam_gap = 16
+
+let fence_x_extent (f : Fence.t) =
+  List.fold_left
+    (fun acc (r : Rect.t) ->
+       match acc with
+       | None -> Some (r.Rect.x.Interval.lo, r.Rect.x.Interval.hi)
+       | Some (lo, hi) ->
+         Some (min lo r.Rect.x.Interval.lo, max hi r.Rect.x.Interval.hi))
+    None f.Fence.rects
+
+(* The fence rect strictly containing x, scanning fences then rects in
+   id order: the first hit wins, so the nudge target is deterministic. *)
+let cutting_rect design x =
+  let hit = ref None in
+  Array.iter
+    (fun (f : Fence.t) ->
+       if !hit = None then
+         List.iter
+           (fun (r : Rect.t) ->
+              if !hit = None
+                 && r.Rect.x.Interval.lo < x && x < r.Rect.x.Interval.hi
+              then hit := Some r.Rect.x)
+           f.Fence.rects)
+    design.Design.fences;
+  !hit
+
+let plan ?(margin = 0) ~shards design =
+  if shards < 1 then invalid_arg "Shard.plan: shards must be >= 1";
+  if margin < 0 then invalid_arg "Shard.plan: margin must be >= 0";
+  let fp = design.Design.floorplan in
+  let num_sites = fp.Floorplan.num_sites in
+  let eff = max 1 (min shards (num_sites / min_stripe_sites)) in
+  let ideal i = num_sites * (i + 1) / eff in
+  let seams = Array.init (eff - 1) ideal in
+  (* nudge seams off fences: left to right, each seam moves to the
+     nearest edge of the fence rect it cuts; a few passes settle chains
+     where the nudge lands inside another fence *)
+  for _pass = 1 to 4 do
+    Array.iteri
+      (fun i s ->
+         match cutting_rect design s with
+         | None -> ()
+         | Some iv ->
+           let cand =
+             if s - iv.Interval.lo <= iv.Interval.hi - s then iv.Interval.lo
+             else iv.Interval.hi
+           in
+           let lo_bound =
+             (if i = 0 then 0 else seams.(i - 1)) + min_seam_gap
+           in
+           let hi_bound =
+             (if i = eff - 2 then num_sites else ideal (i + 1)) - min_seam_gap
+           in
+           if cand >= lo_bound && cand <= hi_bound then seams.(i) <- cand
+           else seams.(i) <- ideal i)
+      seams
+  done;
+  let die = Floorplan.die fp in
+  let stripes =
+    Array.init eff (fun k ->
+        let xl = if k = 0 then 0 else seams.(k - 1) in
+        let xh = if k = eff - 1 then num_sites else seams.(k) in
+        Rect.of_intervals (Interval.make xl xh) die.Rect.y)
+  in
+  let fence_stripe =
+    Array.map
+      (fun f ->
+         match fence_x_extent f with
+         | None -> -1
+         | Some (lo, hi) ->
+           let rec find k =
+             if k >= eff then -1
+             else if
+               stripes.(k).Rect.x.Interval.lo <= lo
+               && hi <= stripes.(k).Rect.x.Interval.hi
+             then k
+             else find (k + 1)
+           in
+           find 0)
+      design.Design.fences
+  in
+  { shards = eff; stripes; seams; fence_stripe; margin }
+
+type assignment = Interior of int | Boundary
+
+let stripe_of_x t x =
+  let rec find k =
+    if k >= t.shards - 1 then t.shards - 1
+    else if x < t.seams.(k) then k
+    else find (k + 1)
+  in
+  find 0
+
+let classify t config design ~util (c : Cell.t) =
+  if c.Cell.is_fixed then invalid_arg "Shard.classify: fixed cell";
+  if config.Config.consider_fences && c.Cell.region > 0 then begin
+    match t.fence_stripe.(c.Cell.region - 1) with
+    | k when k >= 0 -> Interior k
+    | _ -> Boundary
+  end
+  else begin
+    let h = Design.height design c and w = Design.width design c in
+    let win = Mgl.initial_window config design c ~h ~w ~util in
+    let num_sites = design.Design.floorplan.Floorplan.num_sites in
+    let xl = max 0 (win.Rect.x.Interval.lo - t.margin) in
+    let xh = min num_sites (win.Rect.x.Interval.hi + t.margin) in
+    let k = stripe_of_x t xl in
+    let st = t.stripes.(k) in
+    if xl >= st.Rect.x.Interval.lo && xh <= st.Rect.x.Interval.hi then
+      Interior k
+    else Boundary
+  end

@@ -1,0 +1,58 @@
+(** Spatial die sharding for parallel legalization.
+
+    The die is partitioned into [shards] contiguous vertical stripes.
+    Seam positions are derived {e deterministically} from die geometry
+    and the fence regions — never from cell order or arrival order —
+    so a (design, shards, margin) triple always yields the same plan
+    regardless of thread count or scheduling.
+
+    Classification assigns every movable cell either to exactly one
+    stripe (interior: its clip-padded initial candidate window, plus
+    the seam margin, fits inside the stripe — or, for a fenced cell,
+    its whole fence does) or to the boundary zone (the window crosses
+    a seam). Interior cells of different stripes can be legalized
+    concurrently because all of their candidate positions, and every
+    local cell an insertion may shift, stay inside their own stripe;
+    boundary-zone cells are reconciled sequentially afterwards over
+    the merged occupancy (see {!Scheduler.run}). Classification is a
+    pure function of the cell's own geometry, so it is invariant under
+    any permutation of the cell array. *)
+
+open Mcl_netlist
+
+type t = {
+  shards : int;            (** effective stripe count (may be clamped) *)
+  stripes : Mcl_geom.Rect.t array;
+      (** disjoint, x-ascending, covering the die exactly *)
+  seams : int array;       (** interior seam x positions, [shards - 1] *)
+  fence_stripe : int array;
+      (** fence index (0-based, fence_id - 1) -> owning stripe, or -1
+          when the fence's x-extent crosses a seam *)
+  margin : int;            (** extra seam halo in sites *)
+}
+
+(** [plan ?margin ~shards design] places [shards - 1] seams, starting
+    from equal-width stripes and nudging each seam to the nearest
+    fence-rect edge when it would cut through a fence (ties resolve
+    left; a nudge that would collapse a stripe below a minimum width
+    falls back to the even split). The effective shard count is clamped
+    so every stripe keeps that minimum width. [margin] (default 0)
+    widens the boundary zone: a cell whose window comes within [margin]
+    sites of a seam is classified boundary. *)
+val plan : ?margin:int -> shards:int -> Design.t -> t
+
+type assignment =
+  | Interior of int  (** owned by this stripe *)
+  | Boundary         (** reconciled sequentially after the stripes *)
+
+(** [classify t config design ~util cell] assigns a movable cell.
+    [util] is {!Insertion.utilization} of the design (it parameterizes
+    the initial window, exactly as the legalizer builds it). Fenced
+    cells (when [config.consider_fences]) follow their fence: interior
+    to the stripe owning the fence, boundary when the fence crosses a
+    seam. Raises [Invalid_argument] on fixed cells. *)
+val classify : t -> Config.t -> Design.t -> util:float -> Cell.t -> assignment
+
+(** The stripe whose x-range contains [x] (seams belong to the stripe
+    on their right). *)
+val stripe_of_x : t -> int -> int

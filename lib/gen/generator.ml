@@ -152,6 +152,99 @@ let make_nets rng ~spec ~design_cells ~types ~num_sites ~num_rows ~num_io =
         Net.make ~net_id ~endpoints:!endpoints)
   end
 
+(* ----- replication ----- *)
+
+(* Tile [copies] horizontal copies of a design side by side: cells,
+   fences, nets, IO pins and blockages of copy [c] shift right by
+   [c * num_sites]; rows, the cell library and the spacing table are
+   shared. Cell ids are [c * n + i], fence ids [c * f + j + 1], so
+   copy 0 keeps the original numbering. *)
+let replicate_stripes (d : Design.t) ~copies =
+  if copies < 1 then invalid_arg "Generator.replicate_stripes: copies < 1";
+  if copies = 1 then d
+  else begin
+    let fp = d.Design.floorplan in
+    let ns = fp.Floorplan.num_sites in
+    let ns_dbu = ns * fp.Floorplan.site_width in
+    let n_cells = Array.length d.Design.cells in
+    let n_fences = Array.length d.Design.fences in
+    let n_nets = Array.length d.Design.nets in
+    let shift_rect c (r : Rect.t) =
+      let dx = c * ns in
+      Rect.make ~xl:(r.Rect.x.lo + dx) ~yl:r.Rect.y.lo
+        ~xh:(r.Rect.x.hi + dx) ~yh:r.Rect.y.hi
+    in
+    let shift_rect_dbu c (r : Rect.t) =
+      let dx = c * ns_dbu in
+      Rect.make ~xl:(r.Rect.x.lo + dx) ~yl:r.Rect.y.lo
+        ~xh:(r.Rect.x.hi + dx) ~yh:r.Rect.y.hi
+    in
+    let cells =
+      Array.init (copies * n_cells) (fun id ->
+          let c = id / n_cells and i = id mod n_cells in
+          let src = d.Design.cells.(i) in
+          let cell =
+            Cell.make ~id ~type_id:src.Cell.type_id
+              ~region:
+                (if src.Cell.region = 0 then 0
+                 else (c * n_fences) + src.Cell.region)
+              ~is_fixed:src.Cell.is_fixed
+              ~gp_x:(src.Cell.gp_x + (c * ns)) ~gp_y:src.Cell.gp_y ()
+          in
+          cell.Cell.x <- src.Cell.x + (c * ns);
+          cell.Cell.y <- src.Cell.y;
+          cell)
+    in
+    let fences =
+      Array.init (copies * n_fences) (fun j ->
+          let c = j / n_fences and i = j mod n_fences in
+          let src = d.Design.fences.(i) in
+          Fence.make ~fence_id:(j + 1)
+            ~name:(Printf.sprintf "%s_c%d" src.Fence.name c)
+            ~rects:(List.map (shift_rect c) src.Fence.rects))
+    in
+    let nets =
+      Array.init (copies * n_nets) (fun j ->
+          let c = j / n_nets and i = j mod n_nets in
+          let src = d.Design.nets.(i) in
+          Net.make ~net_id:j
+            ~endpoints:
+              (List.map
+                 (function
+                   | Net.Cell_pin { cell; dx; dy } ->
+                     Net.Cell_pin { cell = (c * n_cells) + cell; dx; dy }
+                   | Net.Fixed_pin { px; py } ->
+                     Net.Fixed_pin { px = px + (c * ns_dbu); py })
+                 src.Net.endpoints))
+    in
+    let io_pins =
+      List.concat_map
+        (fun c ->
+           List.map
+             (fun (p : Floorplan.io_pin) ->
+                { p with Floorplan.io_rect = shift_rect_dbu c p.Floorplan.io_rect })
+             fp.Floorplan.io_pins)
+        (List.init copies Fun.id)
+    in
+    let blockages =
+      List.concat_map
+        (fun c -> List.map (shift_rect c) fp.Floorplan.blockages)
+        (List.init copies Fun.id)
+    in
+    let floorplan =
+      Floorplan.make ~num_sites:(copies * ns) ~num_rows:fp.Floorplan.num_rows
+        ~site_width:fp.Floorplan.site_width ~row_height:fp.Floorplan.row_height
+        ~hrail_period:fp.Floorplan.hrail_period
+        ~hrail_halfwidth:fp.Floorplan.hrail_halfwidth
+        ~vrail_pitch:fp.Floorplan.vrail_pitch
+        ~vrail_width:fp.Floorplan.vrail_width ~io_pins ~blockages
+        ~edge_spacing:fp.Floorplan.edge_spacing ()
+    in
+    Design.make
+      ~name:(Printf.sprintf "%s_x%d" d.Design.name copies)
+      ~floorplan ~cell_types:d.Design.cell_types ~cells ~nets ~fences ()
+  end
+
 (* ----- main ----- *)
 
 let generate (spec : Spec.t) =
@@ -356,5 +449,9 @@ let generate (spec : Spec.t) =
     make_nets rng ~spec ~design_cells:cells ~types ~num_sites ~num_rows
       ~num_io:spec.Spec.num_io_pins
   in
-  Design.make ~name:spec.Spec.name ~floorplan ~cell_types:types ~cells ~nets
-    ~fences ()
+  let d =
+    Design.make ~name:spec.Spec.name ~floorplan ~cell_types:types ~cells ~nets
+      ~fences ()
+  in
+  if spec.Spec.replicate > 1 then replicate_stripes d ~copies:spec.Spec.replicate
+  else d

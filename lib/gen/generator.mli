@@ -8,3 +8,14 @@
     [spec.seed]. *)
 
 val generate : Spec.t -> Mcl_netlist.Design.t
+
+(** [replicate_stripes d ~copies] tiles [copies] horizontal copies of
+    [d] side by side on a [copies]-times-wider die: cells, fences,
+    nets, IO pins and blockages of copy [c] are shifted right by
+    [c * num_sites] (cell ids become [c * n + i]); rows, the cell
+    library and the edge-spacing table are shared. Local structure —
+    density, height mix, hotspots — is preserved exactly, which makes
+    the result the natural wide-die input for the spatially-sharded
+    legalizer benchmarks ([Spec.replicate] routes here). [copies = 1]
+    returns [d] itself. *)
+val replicate_stripes : Mcl_netlist.Design.t -> copies:int -> Mcl_netlist.Design.t

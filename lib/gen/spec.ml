@@ -13,6 +13,7 @@ type t = {
   routability : bool;
   num_edge_types : int;
   num_macros : int;
+  replicate : int;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     num_io_pins = 40;
     routability = true;
     num_edge_types = 3;
-    num_macros = 0 }
+    num_macros = 0;
+    replicate = 1 }
 
 let with_name t name = { t with name }

@@ -16,6 +16,11 @@ type t = {
   routability : bool;             (** emit P/G grid + IO pins *)
   num_edge_types : int;
   num_macros : int;               (** fixed macro blocks placed pre-GP *)
+  replicate : int;
+      (** horizontal copies of the whole design, tiled side by side
+          ({!Generator.replicate_stripes}): scales cell count linearly
+          while keeping local structure — the wide-die inputs of the
+          sharded-legalization benchmarks. 1 = no replication. *)
 }
 
 (** Sensible defaults: 2000 cells, 60% density, 10% double-height,

@@ -27,9 +27,11 @@ let iccad_spec ~scale ~seed ~name ~cells ~density ~mix =
     num_io_pins = 30;
     routability = true;
     num_edge_types = 3;
-    num_macros = 0 }
+    num_macros = 0;
+    replicate = 1 }
 
-let iccad2017 ?(scale = 1.0) () =
+let iccad2017 ?(scale = 1.0) ?(replicate = 1) () =
+  List.map (fun s -> { s with Spec.replicate })
   [ iccad_spec ~scale ~seed:101 ~name:"des_perf_1" ~cells:4500 ~density:0.906 ~mix:mix_md0;
     iccad_spec ~scale ~seed:102 ~name:"des_perf_a_md1" ~cells:4150 ~density:0.551 ~mix:mix_md1;
     iccad_spec ~scale ~seed:103 ~name:"des_perf_a_md2" ~cells:4200 ~density:0.559 ~mix:mix_md2;
@@ -61,7 +63,8 @@ let ispd_spec ~scale ~seed ~name ~cells ~density =
     num_io_pins = 0;
     routability = false;
     num_edge_types = 1;
-    num_macros = 0 }
+    num_macros = 0;
+    replicate = 1 }
 
 let ispd2015 ?(scale = 1.0) () =
   [ ispd_spec ~scale ~seed:201 ~name:"des_perf_1" ~cells:2500 ~density:0.906;

@@ -7,8 +7,10 @@
     default reduced size). *)
 
 (** The 16 ICCAD-2017-like benchmarks of Table 1 (fences + routability
-    constraints on). *)
-val iccad2017 : ?scale:float -> unit -> Spec.t list
+    constraints on). [replicate] tiles each design that many times
+    horizontally ({!Generator.replicate_stripes}) — the wide-die,
+    >= 50k-cell inputs of the sharded-legalization benchmarks. *)
+val iccad2017 : ?scale:float -> ?replicate:int -> unit -> Spec.t list
 
 (** The 20 ISPD-2015-like benchmarks of Table 2 (10% of cells double
     height and half width; fences and routability off). *)

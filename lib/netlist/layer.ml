@@ -1,7 +1,12 @@
 type t = M1 | M2 | M3
 
 let above = function M1 -> Some M2 | M2 -> Some M3 | M3 -> None
-let equal a b = a = b
+(* explicit match compiles to a tag test; [a = b] would go through the
+   polymorphic compare runtime, which dominates hot routability checks *)
+let equal a b =
+  match (a, b) with
+  | M1, M1 | M2, M2 | M3, M3 -> true
+  | (M1 | M2 | M3), _ -> false
 let to_string = function M1 -> "M1" | M2 -> "M2" | M3 -> "M3"
 
 let of_string = function
